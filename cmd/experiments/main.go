@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (Section VIII):
+//
+//	experiments [-full] [-samples N] [-seed S] [-out DIR] table1 fig11 fig12 fig13 fig14 fig15 fig16
+//	experiments all
+//
+// By default a reduced workload is used; -full runs at paper scale
+// (100 samples per point, sizes up to 2000 edges), which takes
+// considerably longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		full    = flag.Bool("full", false, "run at paper scale")
+		samples = flag.Int("samples", 0, "override samples per data point")
+		seed    = flag.Int64("seed", 0, "override random seed")
+		outDir  = flag.String("out", "", "also write each table as TSV into this directory")
+	)
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	o := expt.Defaults()
+	if *full {
+		o = expt.PaperScale()
+	}
+	if *samples > 0 {
+		o.Samples = *samples
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+	want := map[string]bool{}
+	for _, t := range targets {
+		if t == "all" {
+			for _, k := range []string{"table1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16"} {
+				want[k] = true
+			}
+			continue
+		}
+		want[strings.ToLower(t)] = true
+	}
+
+	emit := func(t *expt.Table, file string) {
+		fmt.Println(t.TSV())
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outDir, file), []byte(t.TSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if want["table1"] {
+		t, err := expt.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		emit(t, "table1.tsv")
+	}
+	if want["fig11"] {
+		t, err := expt.Fig11(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t, "fig11.tsv")
+	}
+	if want["fig12"] || want["fig13"] {
+		timeT, distT, err := expt.Fig12and13(o)
+		if err != nil {
+			fatal(err)
+		}
+		if want["fig12"] {
+			emit(timeT, "fig12.tsv")
+		}
+		if want["fig13"] {
+			emit(distT, "fig13.tsv")
+		}
+	}
+	if want["fig14"] || want["fig15"] {
+		timeT, distT, err := expt.Fig14and15(o)
+		if err != nil {
+			fatal(err)
+		}
+		if want["fig14"] {
+			emit(timeT, "fig14.tsv")
+		}
+		if want["fig15"] {
+			emit(distT, "fig15.tsv")
+		}
+	}
+	if want["fig16"] {
+		t, err := expt.Fig16(o)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t, "fig16.tsv")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

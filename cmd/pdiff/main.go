@@ -1,0 +1,77 @@
+// Command pdiff computes the difference between two runs of the same
+// SP-workflow specification:
+//
+//	pdiff -spec spec.xml -from run1.xml -to run2.xml [-cost unit|length|power:EPS]
+//	      [-script] [-clusters DEPTH] [-html out.html]
+//
+// It prints the edit distance, and optionally the minimum-cost edit
+// script, the composite-module change rollup, and a standalone HTML
+// visualization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/view"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "specification XML file (required)")
+		fromPath = flag.String("from", "", "source run XML file (required)")
+		toPath   = flag.String("to", "", "target run XML file (required)")
+		costName = flag.String("cost", "unit", "cost model: unit, length, or power:EPS")
+		script   = flag.Bool("script", false, "print the minimum-cost edit script")
+		clusters = flag.Int("clusters", -1, "print the composite-module rollup at this depth")
+		htmlOut  = flag.String("html", "", "write an HTML visualization to this file")
+	)
+	flag.Parse()
+	if *specPath == "" || *fromPath == "" || *toPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	model, err := cli.ParseCost(*costName)
+	if err != nil {
+		fatal(err)
+	}
+	sp, err := cli.LoadSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	r1, err := cli.LoadRun(*fromPath, sp)
+	if err != nil {
+		fatal(fmt.Errorf("loading %s: %w", *fromPath, err))
+	}
+	r2, err := cli.LoadRun(*toPath, sp)
+	if err != nil {
+		fatal(fmt.Errorf("loading %s: %w", *toPath, err))
+	}
+	d, err := view.New(r1, r2, model)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(d.Summary())
+	if *script {
+		fmt.Println("\nedit script:")
+		fmt.Print(d.Script.String())
+	}
+	if *clusters >= 0 {
+		fmt.Println()
+		fmt.Print(d.ClusterReport(*clusters))
+	}
+	if *htmlOut != "" {
+		page := d.HTML(fmt.Sprintf("pdiff: %s vs %s", *fromPath, *toPath))
+		if err := os.WriteFile(*htmlOut, []byte(page), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *htmlOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,225 @@
+// Command provstore manages an on-disk provenance repository of
+// SP-workflow specifications and their runs:
+//
+//	provstore -dir DIR import-spec NAME spec.xml
+//	provstore -dir DIR gen-run NAME RUN [-seed N] [-target E]
+//	provstore -dir DIR import-run NAME RUN run.xml
+//	provstore -dir DIR ls [NAME]
+//	provstore -dir DIR diff NAME RUN1 RUN2 [-cost unit] [-script]
+//	provstore -dir DIR matrix NAME [-cost unit]
+//
+// "matrix" prints the pairwise distance matrix over all stored runs of
+// a specification together with a UPGMA dendrogram — the cohort view a
+// scientist uses to see which executions behave alike.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/cli"
+	"repro/internal/gen"
+	"repro/internal/store"
+	"repro/internal/view"
+	"repro/internal/wfrun"
+)
+
+func main() {
+	var dir string
+	flag.StringVar(&dir, "dir", "provstore", "repository directory")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	switch args[0] {
+	case "import-spec":
+		importSpec(st, args[1:])
+	case "import-run":
+		importRun(st, args[1:])
+	case "gen-run":
+		genRun(st, args[1:])
+	case "ls":
+		list(st, args[1:])
+	case "diff":
+		diff(st, args[1:])
+	case "matrix":
+		matrix(st, args[1:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|gen-run|ls|diff|matrix ...")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "provstore:", err)
+	os.Exit(1)
+}
+
+func importSpec(st *store.Store, args []string) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("import-spec NAME FILE"))
+	}
+	sp, err := cli.LoadSpec(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.SaveSpec(args[0], sp); err != nil {
+		fatal(err)
+	}
+	stats := sp.Stats()
+	fmt.Printf("stored %s: |V|=%d |E|=%d forks=%d loops=%d\n",
+		args[0], stats.V, stats.E, stats.Forks, stats.Loops)
+}
+
+func importRun(st *store.Store, args []string) {
+	if len(args) != 3 {
+		fatal(fmt.Errorf("import-run SPEC RUN FILE"))
+	}
+	sp, err := st.LoadSpec(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	r, err := cli.LoadRun(args[2], sp)
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.SaveRun(args[0], args[1], r); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stored %s/%s: %d nodes, %d edges\n", args[0], args[1], r.NumNodes(), r.NumEdges())
+}
+
+func genRun(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("gen-run", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	target := fs.Int("target", 0, "approximate run size in edges (0 = unconstrained)")
+	if len(args) < 2 {
+		fatal(fmt.Errorf("gen-run SPEC RUN [flags]"))
+	}
+	if err := fs.Parse(args[2:]); err != nil {
+		fatal(err)
+	}
+	sp, err := st.LoadSpec(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var r *wfrun.Run
+	if *target > 0 {
+		r, err = gen.RunWithTargetEdges(sp, *target, 0.1, gen.DefaultRunParams(), rng)
+	} else {
+		r, err = gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.SaveRun(args[0], args[1], r); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %s/%s: %d nodes, %d edges\n", args[0], args[1], r.NumNodes(), r.NumEdges())
+}
+
+func list(st *store.Store, args []string) {
+	if len(args) == 0 {
+		specs, err := st.ListSpecs()
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range specs {
+			runs, _ := st.ListRuns(s)
+			fmt.Printf("%s\t%d runs\n", s, len(runs))
+		}
+		return
+	}
+	runs, err := st.ListRuns(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range runs {
+		fmt.Println(r)
+	}
+}
+
+func diff(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	costName := fs.String("cost", "unit", "cost model")
+	script := fs.Bool("script", false, "print the edit script")
+	if len(args) < 3 {
+		fatal(fmt.Errorf("diff SPEC RUN1 RUN2 [flags]"))
+	}
+	if err := fs.Parse(args[3:]); err != nil {
+		fatal(err)
+	}
+	model, err := cli.ParseCost(*costName)
+	if err != nil {
+		fatal(err)
+	}
+	r1, err := st.LoadRun(args[0], args[1])
+	if err != nil {
+		fatal(err)
+	}
+	r2, err := st.LoadRun(args[0], args[2])
+	if err != nil {
+		fatal(err)
+	}
+	d, err := view.New(r1, r2, model)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(d.Summary())
+	if *script {
+		fmt.Println("\nedit script (with detected path replacements):")
+		fmt.Print(view.RenderCompact(d.Script))
+	}
+}
+
+func matrix(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	costName := fs.String("cost", "unit", "cost model")
+	if len(args) < 1 {
+		fatal(fmt.Errorf("matrix SPEC [flags]"))
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		fatal(err)
+	}
+	model, err := cli.ParseCost(*costName)
+	if err != nil {
+		fatal(err)
+	}
+	names, err := st.ListRuns(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	if len(names) < 2 {
+		fatal(fmt.Errorf("need at least two stored runs, have %d", len(names)))
+	}
+	runs := make([]*wfrun.Run, len(names))
+	for i, n := range names {
+		r, err := st.LoadRun(args[0], n)
+		if err != nil {
+			fatal(err)
+		}
+		runs[i] = r
+	}
+	mx, err := analysis.DistanceMatrix(runs, names, model)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(mx)
+	fmt.Printf("medoid:  %s\n", names[mx.Medoid()])
+	fmt.Printf("outlier: %s\n\n", names[mx.Outlier()])
+	fmt.Println("clustering:")
+	fmt.Print(mx.Cluster().Render())
+}

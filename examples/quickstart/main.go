@@ -1,0 +1,81 @@
+// Quickstart: build a small SP-workflow specification, execute two
+// runs that fork differently, and difference them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	provdiff "repro"
+	"repro/internal/sptree"
+)
+
+// nCopies executes every parallel branch and replicates each fork n
+// times.
+type nCopies struct{ n int }
+
+func (d nCopies) ParallelSubset(p *sptree.Node) []int {
+	all := make([]int, len(p.Children))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+func (d nCopies) ForkCopies(*sptree.Node) int     { return d.n }
+func (d nCopies) LoopIterations(*sptree.Node) int { return 1 }
+
+func main() {
+	// A pipeline: fetch -> align -> (blastA | blastB) -> report,
+	// where the align..collect segment may fork over input sets.
+	g := provdiff.NewGraph()
+	for _, m := range []string{"fetch", "align", "blastA", "blastB", "collect", "report"} {
+		g.MustAddNode(provdiff.NodeID(m), m)
+	}
+	g.MustAddEdge("fetch", "align")
+	eA := g.MustAddEdge("align", "blastA")
+	eA2 := g.MustAddEdge("blastA", "collect")
+	eB := g.MustAddEdge("align", "blastB")
+	eB2 := g.MustAddEdge("blastB", "collect")
+	g.MustAddEdge("collect", "report")
+
+	// Each BLAST branch may fork over the sequences it receives.
+	forks := []provdiff.EdgeSet{{eA, eA2}, {eB, eB2}}
+	sp, err := provdiff.NewSpec(g, forks, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two provenance records of the same experiment: yesterday each
+	// branch processed one batch, today three batches each.
+	small, err := provdiff.Execute(sp, nCopies{n: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	big, err := provdiff.Execute(sp, nCopies{n: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run 1: %d edges, run 2: %d edges\n", small.NumEdges(), big.NumEdges())
+
+	res, err := provdiff.Diff(small, big, provdiff.Unit{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edit distance (unit cost): %g\n", res.Distance)
+
+	script, _, err := res.Script()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minimum-cost edit script:")
+	fmt.Print(script.String())
+
+	// The same pair under the length cost model.
+	dLen, err := provdiff.Distance(small, big, provdiff.Length{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edit distance (length cost): %g\n", dLen)
+}

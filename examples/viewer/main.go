@@ -1,0 +1,38 @@
+// Viewer: generate a standalone PDiffView HTML page for the paper's
+// Fig. 2 worked example (runs R1 and R2, edit distance 4).
+//
+//	go run ./examples/viewer [out.html]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	provdiff "repro"
+	"repro/internal/fixtures"
+)
+
+func main() {
+	out := "pdiffview-fig2.html"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	r2 := fixtures.Fig2R2(sp)
+
+	dv, err := provdiff.NewDiffView(r1, r2, provdiff.Unit{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(dv.Summary())
+	if dv.Result.Distance != 4 {
+		log.Fatalf("expected the paper's distance 4, got %g", dv.Result.Distance)
+	}
+	page := dv.HTML("Fig. 2: R1 vs R2 (edit distance 4)")
+	if err := os.WriteFile(out, []byte(page), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s — open it in a browser to step through the diff\n", out)
+}

@@ -1,0 +1,86 @@
+package provdiff
+
+import (
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/params"
+	"repro/internal/sptree"
+	"repro/internal/store"
+	"repro/internal/view"
+)
+
+// Multi-run analysis (the paper's motivating workflow: compare many
+// executions of an experiment).
+type (
+	// DistanceMatrixResult is a symmetric pairwise distance matrix
+	// over a run cohort with medoid/outlier/clustering helpers.
+	DistanceMatrixResult = analysis.Matrix
+	// Dendrogram is a UPGMA hierarchical clustering tree.
+	Dendrogram = analysis.Dendrogram
+)
+
+// DistanceMatrix computes all pairwise edit distances of a cohort.
+func DistanceMatrix(runs []*Run, names []string, m CostModel) (*DistanceMatrixResult, error) {
+	return analysis.DistanceMatrix(runs, names, m)
+}
+
+// Data and parameter differencing (Section I's data dimension).
+type (
+	// Annotations attach parameter settings to module instances and
+	// data identifiers to edges of a run.
+	Annotations = params.Annotations
+	// DataReport highlights parameter/data differences over the
+	// matched provenance.
+	DataReport = params.Report
+)
+
+// NewAnnotations returns an empty annotation set.
+func NewAnnotations() *Annotations { return params.NewAnnotations() }
+
+// CompactScript folds delete/insert pairs over the same terminals in
+// an edit script into detected path replacements (Section III-C.1's
+// post-processing).
+func CompactScript(s *Script) []view.CompactOp { return view.CompactScript(s) }
+
+// DataDiff highlights parameter and data differences on the nodes and
+// edges aligned by a computed mapping.
+func DataDiff(res *Result, a1, a2 *Annotations) *DataReport { return params.DataDiff(res, a1, a2) }
+
+// DiffWithData computes a diff in which data is a factor in the
+// matching: pairing two edges whose data identifiers disagree adds
+// weight to the mapping objective, steering the matching toward copies
+// that carry the same data. The returned Result's Distance is the
+// penalized objective.
+func DiffWithData(r1, r2 *Run, m CostModel, a1, a2 *Annotations, weight float64) (*Result, error) {
+	return core.Diff(r1, r2, m, core.WithLeafPenalty(params.LeafPenalty(a1, a2, weight)))
+}
+
+// RandomDecider adapts RunParams into a Decider for custom execution
+// loops.
+func RandomDecider(p RunParams, rng *rand.Rand) Decider {
+	return gen.NewDecider(p, rng)
+}
+
+// TreeNode re-exports the annotated SP-tree node type for advanced
+// callers (custom deciders inspect specification nodes).
+type TreeNode = sptree.Node
+
+// Tree node types.
+const (
+	NodeQ = sptree.Q
+	NodeS = sptree.S
+	NodeP = sptree.P
+	NodeF = sptree.F
+	NodeL = sptree.L
+)
+
+// Provenance repository (the prototype's store/import/export layer).
+
+// Store is an on-disk repository of specifications and runs.
+type Store = store.Store
+
+// OpenStore opens (creating if needed) a provenance repository.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }

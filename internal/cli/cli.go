@@ -1,0 +1,77 @@
+// Package cli holds small helpers shared by the command-line tools:
+// cost-model parsing and XML file loading.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/spec"
+	"repro/internal/wfrun"
+	"repro/internal/wfxml"
+)
+
+// ParseCost parses a -cost flag value: "unit", "length" or
+// "power:EPS" with EPS ≤ 1.
+func ParseCost(name string) (cost.Model, error) {
+	switch {
+	case name == "unit":
+		return cost.Unit{}, nil
+	case name == "length":
+		return cost.Length{}, nil
+	case strings.HasPrefix(name, "power:"):
+		eps, err := strconv.ParseFloat(strings.TrimPrefix(name, "power:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad power exponent: %w", err)
+		}
+		if eps > 1 {
+			return nil, fmt.Errorf("cli: power exponent %g > 1 violates the quadrangle inequality", eps)
+		}
+		return cost.Power{Epsilon: eps}, nil
+	}
+	return nil, fmt.Errorf("cli: unknown cost model %q (want unit, length or power:EPS)", name)
+}
+
+// LoadSpec reads a specification XML file.
+func LoadSpec(path string) (*spec.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return wfxml.DecodeSpec(f)
+}
+
+// LoadRun reads a run XML file and derives its annotated tree against
+// the specification.
+func LoadRun(path string, sp *spec.Spec) (*wfrun.Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return wfxml.DecodeRun(f, sp)
+}
+
+// SaveSpec writes a specification XML file.
+func SaveSpec(path string, sp *spec.Spec, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return wfxml.EncodeSpec(f, sp, name)
+}
+
+// SaveRun writes a run XML file.
+func SaveRun(path string, r *wfrun.Run, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return wfxml.EncodeRun(f, r, name)
+}

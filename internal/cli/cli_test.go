@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/fixtures"
+	"repro/internal/wfxml"
+)
+
+func TestParseCost(t *testing.T) {
+	if m, err := ParseCost("unit"); err != nil || m.Name() != "unit" {
+		t.Fatalf("unit: %v %v", m, err)
+	}
+	if m, err := ParseCost("length"); err != nil || m.Name() != "length" {
+		t.Fatalf("length: %v %v", m, err)
+	}
+	m, err := ParseCost("power:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := m.(cost.Power); !ok || p.Epsilon != 0.5 {
+		t.Fatalf("power:0.5 parsed as %#v", m)
+	}
+	for _, bad := range []string{"power:2", "power:x", "manhattan", ""} {
+		if _, err := ParseCost(bad); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sp := fixtures.Fig2SpecWithLoop()
+	r := fixtures.Fig2R3(sp)
+
+	specPath := filepath.Join(dir, "spec.xml")
+	runPath := filepath.Join(dir, "run.xml")
+	if err := SaveSpec(specPath, sp, "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRun(runPath, r, "r3"); err != nil {
+		t.Fatal(err)
+	}
+
+	sp2, err := LoadSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Stats() != sp.Stats() {
+		t.Fatal("spec stats changed")
+	}
+	r2, err := LoadRun(runPath, sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.NumEdges() != r.NumEdges() {
+		t.Fatal("run size changed")
+	}
+	if err := wfxml.ValidateRunTree(r2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadSpec("/nonexistent/spec.xml"); err == nil {
+		t.Fatal("missing spec file should fail")
+	}
+	sp := fixtures.Fig2Spec()
+	if _, err := LoadRun("/nonexistent/run.xml", sp); err == nil {
+		t.Fatal("missing run file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.xml")
+	if err := os.WriteFile(bad, []byte("<garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(bad); err == nil {
+		t.Fatal("garbage spec should fail")
+	}
+	if _, err := LoadRun(bad, sp); err == nil {
+		t.Fatal("garbage run should fail")
+	}
+}

@@ -1,0 +1,199 @@
+// Package core implements the differencing algorithm of Bao et al.:
+// the subtree-deletion dynamic program (Algorithm 3), the edit
+// distance / minimum-cost well-formed mapping computation on annotated
+// SP-trees (Algorithm 4, extended to loops by Algorithm 6), and the
+// assembly of a validity-preserving minimum-cost edit script from the
+// mapping (the constructive proof of Lemma 5.1).
+package core
+
+import (
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/sptree"
+)
+
+var inf = math.Inf(1)
+
+// deleter computes, per Algorithm 3, for every node v of an annotated
+// run tree:
+//
+//	X(v)    — the minimum cost of deleting T[v];
+//	Y(v)[l] — the minimum cost of a sequence of elementary subtree
+//	          deletions reducing T[v] to a branch-free subtree with
+//	          exactly l leaves;
+//	l(v)    — the maximum achievable l.
+//
+// P, F and L nodes keep exactly one child and delete the others
+// (loops are handled exactly like forks, Section VI); S nodes split
+// the leaf budget over their children by the Z dynamic program.
+// Argmins are recorded so deletion plans can be reconstructed.
+type deleter struct {
+	model cost.Model
+
+	x     map[*sptree.Node]float64
+	y     map[*sptree.Node][]float64 // y[v][l], l in [0, l(v)]; unreachable = +Inf
+	keep  map[*sptree.Node][]int     // P/F/L: child kept to reach l leaves
+	zarg  map[*sptree.Node][][]int   // S: leaves given to the first i-1 children
+	bestL map[*sptree.Node]int       // argmin_l Y(v)[l] + γ(l, s(v), t(v))
+}
+
+func newDeleter(m cost.Model) *deleter {
+	return &deleter{
+		model: m,
+		x:     make(map[*sptree.Node]float64),
+		y:     make(map[*sptree.Node][]float64),
+		keep:  make(map[*sptree.Node][]int),
+		zarg:  make(map[*sptree.Node][][]int),
+		bestL: make(map[*sptree.Node]int),
+	}
+}
+
+// X returns the minimum cost of deleting T[v].
+func (d *deleter) X(v *sptree.Node) float64 {
+	d.ensure(v)
+	return d.x[v]
+}
+
+// ensure computes the tables for v (and its descendants) once.
+func (d *deleter) ensure(v *sptree.Node) {
+	if _, ok := d.x[v]; ok {
+		return
+	}
+	for _, c := range v.Children {
+		d.ensure(c)
+	}
+	switch v.Type {
+	case sptree.Q:
+		d.y[v] = []float64{inf, 0}
+
+	case sptree.P, sptree.F, sptree.L:
+		maxL := 0
+		sumX := 0.0
+		for _, c := range v.Children {
+			if lc := len(d.y[c]) - 1; lc > maxL {
+				maxL = lc
+			}
+			sumX += d.x[c]
+		}
+		y := make([]float64, maxL+1)
+		keep := make([]int, maxL+1)
+		y[0] = inf
+		for l := 1; l <= maxL; l++ {
+			y[l] = inf
+			keep[l] = -1
+			for i, c := range v.Children {
+				yc := d.y[c]
+				if l >= len(yc) || math.IsInf(yc[l], 1) {
+					continue
+				}
+				cand := yc[l] + sumX - d.x[c]
+				if cand < y[l] {
+					y[l] = cand
+					keep[l] = i
+				}
+			}
+		}
+		d.y[v] = y
+		d.keep[v] = keep
+
+	case sptree.S:
+		maxL := 0
+		for _, c := range v.Children {
+			maxL += len(d.y[c]) - 1
+		}
+		z := make([]float64, maxL+1)
+		zprev := make([]float64, maxL+1)
+		arg := make([][]int, len(v.Children)+1)
+		for i := range zprev {
+			zprev[i] = inf
+		}
+		zprev[0] = 0
+		for i, c := range v.Children {
+			arg[i+1] = make([]int, maxL+1)
+			yc := d.y[c]
+			for l := 0; l <= maxL; l++ {
+				z[l] = inf
+				arg[i+1][l] = -1
+				for k := 0; k <= l; k++ {
+					if math.IsInf(zprev[k], 1) {
+						continue
+					}
+					lc := l - k
+					if lc >= len(yc) || math.IsInf(yc[lc], 1) {
+						continue
+					}
+					if cand := zprev[k] + yc[lc]; cand < z[l] {
+						z[l] = cand
+						arg[i+1][l] = k
+					}
+				}
+			}
+			z, zprev = zprev, z
+		}
+		y := append([]float64(nil), zprev...)
+		y[0] = inf // an S node always retains at least one leaf per child
+		d.y[v] = y
+		d.zarg[v] = arg
+	}
+
+	// X(v) = min over l of Y(v)[l] + γ(l, s(v), t(v)): reduce to an
+	// elementary subtree with l leaves, then delete it in one step.
+	y := d.y[v]
+	best := inf
+	bestL := -1
+	for l := 1; l < len(y); l++ {
+		if math.IsInf(y[l], 1) {
+			continue
+		}
+		if cand := y[l] + d.model.PathCost(l, v.Src, v.Dst); cand < best {
+			best = cand
+			bestL = l
+		}
+	}
+	d.x[v] = best
+	d.bestL[v] = bestL
+}
+
+// planReduce appends to plan the ordered elementary deletions that
+// reduce T[v] to a branch-free subtree with exactly l leaves; every
+// listed node is deleted after the reductions that precede it.
+func (d *deleter) planReduce(v *sptree.Node, l int, plan *[]*sptree.Node) {
+	d.ensure(v)
+	switch v.Type {
+	case sptree.Q:
+		// Already branch-free with one leaf.
+
+	case sptree.P, sptree.F, sptree.L:
+		i := d.keep[v][l]
+		for j, c := range v.Children {
+			if j != i {
+				d.planDelete(c, plan)
+			}
+		}
+		d.planReduce(v.Children[i], l, plan)
+
+	case sptree.S:
+		arg := d.zarg[v]
+		alloc := make([]int, len(v.Children))
+		rem := l
+		for i := len(v.Children); i >= 1; i-- {
+			k := arg[i][rem]
+			alloc[i-1] = rem - k
+			rem = k
+		}
+		for i, c := range v.Children {
+			d.planReduce(c, alloc[i], plan)
+		}
+	}
+}
+
+// planDelete appends the ordered elementary deletions that delete T[v]
+// entirely: reduce it to the optimal branch-free size, then delete the
+// resulting elementary subtree rooted at v (which requires p(v) to be
+// a true P, F or L node at execution time).
+func (d *deleter) planDelete(v *sptree.Node, plan *[]*sptree.Node) {
+	d.ensure(v)
+	d.planReduce(v, d.bestL[v], plan)
+	*plan = append(*plan, v)
+}

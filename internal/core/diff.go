@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/match"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// decision records the outcome of the minimum-cost well-formed mapping
+// computation for one pair of homologous nodes (v1, v2): its cost
+// γ(M(v1, v2)) and which of their children are matched.
+type decision struct {
+	cost     float64
+	pairs    [][2]*sptree.Node // matched child pairs
+	unstable bool              // Definition 5.2: P pair whose single homologous children stay unmatched
+}
+
+type pairKey [2]*sptree.Node
+
+// differ carries the state of one Diff computation.
+type differ struct {
+	sp          *spec.Spec
+	model       cost.Model
+	del1, del2  *deleter
+	memo        map[pairKey]*decision
+	wMemo       map[pairKey]float64
+	leafPenalty func(q1, q2 *sptree.Node) float64
+}
+
+// Option configures Diff.
+type Option func(*differ)
+
+// WithLeafPenalty makes data a factor in the matching (Section I:
+// "It is a factor in the matching between nodes in the executions"):
+// fn is added to the mapping cost of every matched pair of Q leaves,
+// so copies whose data disagree are steered apart when re-pairing is
+// cheaper. fn must be non-negative. With a leaf penalty installed,
+// Result.Distance is the penalized mapping objective; the edit script
+// still realizes the chosen mapping, but its operation cost equals
+// Distance minus the penalties of matched leaves.
+func WithLeafPenalty(fn func(q1, q2 *sptree.Node) float64) Option {
+	return func(df *differ) { df.leafPenalty = fn }
+}
+
+// Result is the outcome of differencing two runs.
+type Result struct {
+	// Distance is the edit distance δ(R1, R2).
+	Distance float64
+
+	r1, r2 *wfrun.Run
+	df     *differ
+}
+
+// Diff computes the edit distance between two valid runs of the same
+// specification under the given cost model (Algorithms 3, 4 and 6).
+// The returned Result can additionally produce the minimum-cost edit
+// script and the underlying well-formed mapping.
+func Diff(r1, r2 *wfrun.Run, m cost.Model, opts ...Option) (*Result, error) {
+	if r1.Spec != r2.Spec {
+		return nil, fmt.Errorf("core: runs belong to different specifications")
+	}
+	if r1.Tree == nil || r2.Tree == nil {
+		return nil, fmt.Errorf("core: runs lack annotated SP-trees")
+	}
+	df := &differ{
+		sp:    r1.Spec,
+		model: m,
+		del1:  newDeleter(m),
+		del2:  newDeleter(m),
+		memo:  make(map[pairKey]*decision),
+		wMemo: make(map[pairKey]float64),
+	}
+	for _, opt := range opts {
+		opt(df)
+	}
+	dec := df.c(r1.Tree, r2.Tree)
+	return &Result{Distance: dec.cost, r1: r1, r2: r2, df: df}, nil
+}
+
+// Distance is a convenience wrapper returning only δ(R1, R2).
+func Distance(r1, r2 *wfrun.Run, m cost.Model) (float64, error) {
+	res, err := Diff(r1, r2, m)
+	if err != nil {
+		return 0, err
+	}
+	return res.Distance, nil
+}
+
+// Mapping returns the minimum-cost well-formed mapping as pairs of
+// (T1 node, T2 node), including the root pair, in preorder of T1.
+func (r *Result) Mapping() [][2]*sptree.Node {
+	var out [][2]*sptree.Node
+	var rec func(v1, v2 *sptree.Node)
+	rec = func(v1, v2 *sptree.Node) {
+		out = append(out, [2]*sptree.Node{v1, v2})
+		dec := r.df.memo[pairKey{v1, v2}]
+		for _, p := range dec.pairs {
+			rec(p[0], p[1])
+		}
+	}
+	rec(r.r1.Tree, r.r2.Tree)
+	return out
+}
+
+// c computes γ(M(v1, v2)) for homologous nodes, memoized (Algorithm 4
+// plus the L case of Algorithm 6).
+func (df *differ) c(v1, v2 *sptree.Node) *decision {
+	key := pairKey{v1, v2}
+	if dec, ok := df.memo[key]; ok {
+		return dec
+	}
+	if v1.Spec != v2.Spec {
+		panic("core: c called on non-homologous nodes")
+	}
+	var dec *decision
+	switch v1.Type {
+	case sptree.Q:
+		dec = &decision{}
+		if df.leafPenalty != nil {
+			dec.cost = df.leafPenalty(v1, v2)
+		}
+
+	case sptree.S:
+		// Case 2: children of mapped S nodes are preserved pairwise.
+		dec = &decision{}
+		for i := range v1.Children {
+			c1, c2 := v1.Children[i], v2.Children[i]
+			dec.cost += df.c(c1, c2).cost
+			dec.pairs = append(dec.pairs, [2]*sptree.Node{c1, c2})
+		}
+
+	case sptree.P:
+		dec = df.parallelCase(v1, v2)
+
+	case sptree.F:
+		dec = df.matchCase(v1, v2, false)
+
+	case sptree.L:
+		dec = df.matchCase(v1, v2, true)
+
+	default:
+		panic(fmt.Sprintf("core: unknown node type %s", v1.Type))
+	}
+	df.memo[key] = dec
+	return dec
+}
+
+// parallelCase handles P node pairs: Case 3a (single homologous
+// children, possibly unstably matched) and Case 3b (children paired by
+// specification branch, each pair kept only if cheaper than
+// delete+insert).
+func (df *differ) parallelCase(v1, v2 *sptree.Node) *decision {
+	if len(v1.Children) == 1 && len(v2.Children) == 1 &&
+		v1.Children[0].Spec == v2.Children[0].Spec {
+		c1, c2 := v1.Children[0], v2.Children[0]
+		mapped := df.c(c1, c2).cost
+		swap := df.del1.X(c1) + df.del2.X(c2) + 2*df.w(v1.Spec, c1.Spec)
+		if mapped <= swap {
+			return &decision{cost: mapped, pairs: [][2]*sptree.Node{{c1, c2}}}
+		}
+		return &decision{cost: swap, unstable: true}
+	}
+	by1 := make(map[*sptree.Node]*sptree.Node, len(v1.Children))
+	for _, c := range v1.Children {
+		by1[c.Spec] = c
+	}
+	dec := &decision{}
+	for _, c2 := range v2.Children {
+		c1, ok := by1[c2.Spec]
+		if !ok {
+			dec.cost += df.del2.X(c2)
+			continue
+		}
+		mapped := df.c(c1, c2).cost
+		apart := df.del1.X(c1) + df.del2.X(c2)
+		if mapped <= apart {
+			dec.cost += mapped
+			dec.pairs = append(dec.pairs, [2]*sptree.Node{c1, c2})
+		} else {
+			dec.cost += apart
+		}
+		delete(by1, c2.Spec)
+	}
+	for _, c1 := range by1 {
+		dec.cost += df.del1.X(c1)
+	}
+	return dec
+}
+
+// matchCase handles F nodes (minimum-cost bipartite matching over
+// copies, Case 4 / Fig. 9) and L nodes (minimum-cost non-crossing
+// bipartite matching over ordered iterations, Algorithm 6).
+func (df *differ) matchCase(v1, v2 *sptree.Node, ordered bool) *decision {
+	m, n := len(v1.Children), len(v2.Children)
+	pair := func(i, j int) float64 { return df.c(v1.Children[i], v2.Children[j]).cost }
+	del := func(i int) float64 { return df.del1.X(v1.Children[i]) }
+	ins := func(j int) float64 { return df.del2.X(v2.Children[j]) }
+	var res match.Result
+	if ordered {
+		res = match.NonCrossing(m, n, pair, del, ins)
+	} else {
+		res = match.Bipartite(m, n, pair, del, ins)
+	}
+	dec := &decision{cost: res.Cost}
+	for _, p := range res.Pairs {
+		dec.pairs = append(dec.pairs, [2]*sptree.Node{v1.Children[p[0]], v2.Children[p[1]]})
+	}
+	return dec
+}
+
+// w computes W_TG(a, b): the minimum cost of inserting (or deleting)
+// an elementary subtree rooted at a child of specification node a that
+// is distinct from the subtree rooted at specification node b
+// (Section V-A, Eq. 2). a is the specification P node of an unstably
+// matched pair; candidate subtrees range over the branch-free
+// executions of a's other children.
+func (df *differ) w(a, b *sptree.Node) float64 {
+	key := pairKey{a, b}
+	if v, ok := df.wMemo[key]; ok {
+		return v
+	}
+	best := inf
+	for _, c := range a.Children {
+		if c == b {
+			continue
+		}
+		for _, l := range df.sp.AchievableLengths(c) {
+			if cand := df.model.PathCost(l, a.Src, a.Dst); cand < best {
+				best = cand
+			}
+		}
+	}
+	df.wMemo[key] = best
+	return best
+}
+
+// minSkeleton returns, for the unstable workaround, the specification
+// child of a (other than b) and the branch-free execution length
+// realizing W_TG(a, b).
+func (df *differ) minSkeleton(a, b *sptree.Node) (*sptree.Node, int) {
+	best := inf
+	var bestChild *sptree.Node
+	bestLen := 0
+	for _, c := range a.Children {
+		if c == b {
+			continue
+		}
+		for _, l := range df.sp.AchievableLengths(c) {
+			if cand := df.model.PathCost(l, a.Src, a.Dst); cand < best {
+				best = cand
+				bestChild = c
+				bestLen = l
+			}
+		}
+	}
+	return bestChild, bestLen
+}
+
+// DeletionCost computes X(v) of Algorithm 3 — the minimum cost of
+// deleting the run subtree rooted at v — under the given cost model.
+// Exposed for baselines and cross-validation oracles.
+func DeletionCost(v *sptree.Node, m cost.Model) float64 {
+	return newDeleter(m).X(v)
+}

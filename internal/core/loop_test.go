@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/edit"
+	"repro/internal/fixtures"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// iterDecider runs the Fig. 2 loop a fixed number of iterations,
+// taking only the (2,4,6) branch inside each iteration so iterations
+// are minimal and identical.
+type iterDecider struct{ iters int }
+
+func (d iterDecider) ParallelSubset(p *sptree.Node) []int {
+	// Pick the branch whose fork covers edge (2,4).
+	for i, c := range p.Children {
+		for _, leaf := range c.Leaves() {
+			if leaf.Edge.From == "2" && leaf.Edge.To == "4" {
+				return []int{i}
+			}
+		}
+	}
+	return []int{0}
+}
+func (d iterDecider) ForkCopies(*sptree.Node) int     { return 1 }
+func (d iterDecider) LoopIterations(*sptree.Node) int { return d.iters }
+
+// TestLoopIterationDistance: adding k iterations of a minimal loop
+// body costs exactly k path expansions under the unit cost model, and
+// the script marks them as loop operations.
+func TestLoopIterationDistance(t *testing.T) {
+	sp := fixtures.Fig2SpecWithLoop()
+	two, err := wfrun.Execute(sp, iterDecider{iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := wfrun.Execute(sp, iterDecider{iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diff(two, five, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 3 {
+		t.Fatalf("distance = %g, want 3 (three iteration expansions)", res.Distance)
+	}
+	script, final, err := res.Script()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopOps := 0
+	for _, op := range script.Ops {
+		if op.LoopOp {
+			loopOps++
+			if op.Kind != edit.Insert {
+				t.Fatalf("expected insertions (expansions), got %v", op)
+			}
+		}
+	}
+	if loopOps != 3 {
+		t.Fatalf("loop ops = %d, want 3\n%s", loopOps, script)
+	}
+	if !sptree.EquivalentRuns(final, five.Tree) {
+		t.Fatal("script did not produce the five-iteration run")
+	}
+	// And the reverse direction contracts three iterations.
+	back, err := Diff(five, two, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Distance != 3 {
+		t.Fatalf("reverse distance = %g, want 3", back.Distance)
+	}
+}
+
+// TestLoopOrderMatters: the non-crossing matching of Algorithm 6 must
+// respect iteration order. Build runs whose iterations differ in
+// content: R1 = [A, B], R2 = [B, A] where A and B are distinguishable
+// iteration bodies. A crossing matching would pair A-A and B-B for
+// free; the non-crossing optimum must pay.
+func TestLoopOrderMatters(t *testing.T) {
+	sp := fixtures.Fig2SpecWithLoop()
+
+	mk := func(order []string) *wfrun.Run {
+		d := &orderDecider{order: order}
+		r, err := wfrun.Execute(sp, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ab := mk([]string{"3", "4"}) // iteration 1 takes branch 3, iteration 2 branch 4
+	ba := mk([]string{"4", "3"})
+	aa := mk([]string{"3", "3"})
+
+	dSame, err := Distance(ab, ab, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dSame != 0 {
+		t.Fatalf("identical iteration orders should be distance 0, got %g", dSame)
+	}
+	dSwap, err := Distance(ab, ba, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dSwap == 0 {
+		t.Fatal("swapped iteration order must cost something (non-crossing matching)")
+	}
+	dHalf, err := Distance(ab, aa, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dHalf == 0 || dHalf > dSwap+1e-9 {
+		t.Fatalf("changing one iteration (%g) should not cost more than swapping both (%g)", dHalf, dSwap)
+	}
+	if math.IsInf(dSwap, 1) {
+		t.Fatal("distance must be finite")
+	}
+}
+
+// orderDecider takes branch order[i] in the i-th loop iteration. The
+// loop body contains exactly one P node, so counting ParallelSubset
+// calls identifies the iteration.
+type orderDecider struct {
+	order []string
+	calls int
+}
+
+func (d *orderDecider) ParallelSubset(p *sptree.Node) []int {
+	want := "3"
+	if d.calls < len(d.order) {
+		want = d.order[d.calls]
+	}
+	d.calls++
+	for i, c := range p.Children {
+		for _, leaf := range c.Leaves() {
+			if leaf.Edge.From == "2" && string(leaf.Edge.To) == want {
+				return []int{i}
+			}
+		}
+	}
+	return []int{0}
+}
+func (d *orderDecider) ForkCopies(*sptree.Node) int { return 1 }
+func (d *orderDecider) LoopIterations(l *sptree.Node) int {
+	return len(d.order)
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/edit"
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// deepSkeletonSpec builds a specification where the unstable-match
+// workaround must synthesize a *structured* scratch subtree: branch A
+// is a 4-hop chain of parallel edge pairs (expensive to edit hop by
+// hop), branch B is a two-edge path whose second hop is a parallel
+// pair with one side forked — so the scratch skeleton for B passes
+// through the S, P and F cases of the builder.
+func deepSkeletonSpec(t *testing.T) *spec.Spec {
+	t.Helper()
+	g := graph.New()
+	for _, n := range []string{"s", "m1", "m2", "m3", "x", "t"} {
+		g.MustAddNode(graph.NodeID(n), n)
+	}
+	chain := []string{"s", "m1", "m2", "m3", "t"}
+	for i := 0; i+1 < len(chain); i++ {
+		g.MustAddEdge(graph.NodeID(chain[i]), graph.NodeID(chain[i+1]))
+		g.MustAddEdge(graph.NodeID(chain[i]), graph.NodeID(chain[i+1]))
+	}
+	g.MustAddEdge("s", "x")
+	xt0 := g.MustAddEdge("x", "t")
+	g.MustAddEdge("x", "t")
+	sp, err := spec.New(g, []spec.EdgeSet{{xt0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// pickA executes only branch A, choosing parallel edge `pick` at every
+// hop.
+type pickA struct{ pick int }
+
+func (d pickA) ParallelSubset(p *sptree.Node) []int {
+	// The top-level P: choose the S child whose first leaf leaves "s"
+	// toward "m1" (branch A).
+	for i, c := range p.Children {
+		leaves := c.Leaves()
+		if len(leaves) > 0 && leaves[0].Dst == "m1" && c.Type == sptree.S {
+			return []int{i}
+		}
+	}
+	// A multi-edge hop inside branch A: both children are Q leaves.
+	if len(p.Children) == 2 && p.Children[0].Type == sptree.Q {
+		return []int{d.pick}
+	}
+	return []int{0}
+}
+func (pickA) ForkCopies(*sptree.Node) int     { return 1 }
+func (pickA) LoopIterations(*sptree.Node) int { return 1 }
+
+func TestUnstableWithStructuredSkeleton(t *testing.T) {
+	sp := deepSkeletonSpec(t)
+	r1, err := wfrun.Execute(sp, pickA{pick: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := wfrun.Execute(sp, pickA{pick: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diff(r1, r2, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop-by-hop editing costs 2 per hop * 4 hops = 8; the scratch
+	// workaround costs 1 (insert B skeleton) + 1 (delete A) + 1
+	// (insert new A) + 1 (delete skeleton) = 4.
+	if res.Distance != 4 {
+		t.Fatalf("distance = %g, want 4", res.Distance)
+	}
+	script, final, err := res.Script()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.TotalCost() != 4 {
+		t.Fatalf("script cost %g != 4\n%s", script.TotalCost(), script)
+	}
+	var skeletons []edit.Op
+	for _, op := range script.Ops {
+		if op.Temporary {
+			skeletons = append(skeletons, op)
+		}
+	}
+	if len(skeletons) != 2 {
+		t.Fatalf("want a scratch insert/delete pair, got %d temporaries:\n%s", len(skeletons), script)
+	}
+	// The skeleton is branch B's two-edge path s -> x -> t.
+	for _, op := range skeletons {
+		if op.Length != 2 || op.SrcLabel != "s" || op.DstLabel != "t" {
+			t.Fatalf("skeleton op should be a 2-edge s..t path, got %+v", op)
+		}
+		if len(op.PathLabels) != 3 || op.PathLabels[1] != "x" {
+			t.Fatalf("skeleton path should pass through x, got %v", op.PathLabels)
+		}
+	}
+	if !sptree.EquivalentRuns(final, r2.Tree) {
+		t.Fatal("script did not produce T2")
+	}
+}
+
+// TestSkeletonLongerAllocation drives the skeleton builder through a
+// series allocation where the first child cannot absorb the whole
+// length budget: branch B is a 3-edge chain with a short parallel
+// shortcut, making two lengths achievable.
+func TestSkeletonLongerAllocation(t *testing.T) {
+	g := graph.New()
+	for _, n := range []string{"s", "m1", "m2", "m3", "x", "y", "t"} {
+		g.MustAddNode(graph.NodeID(n), n)
+	}
+	chain := []string{"s", "m1", "m2", "m3", "t"}
+	for i := 0; i+1 < len(chain); i++ {
+		g.MustAddEdge(graph.NodeID(chain[i]), graph.NodeID(chain[i+1]))
+		g.MustAddEdge(graph.NodeID(chain[i]), graph.NodeID(chain[i+1]))
+	}
+	// Branch B: s -> x -> y -> t with a shortcut x -> t, so B
+	// achieves lengths {2, 3}.
+	g.MustAddEdge("s", "x")
+	g.MustAddEdge("x", "y")
+	g.MustAddEdge("y", "t")
+	g.MustAddEdge("x", "t")
+	sp, err := spec.New(g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := wfrun.Execute(sp, pickA{pick: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := wfrun.Execute(sp, pickA{pick: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diff(r1, r2, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 4 {
+		t.Fatalf("distance = %g, want 4", res.Distance)
+	}
+	script, final, err := res.Script()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.TotalCost() != res.Distance {
+		t.Fatalf("script cost %g != %g\n%s", script.TotalCost(), res.Distance, script)
+	}
+	if !sptree.EquivalentRuns(final, r2.Tree) {
+		t.Fatal("script did not produce T2")
+	}
+	// Under the length cost model the skeleton should pick the
+	// shortest achievable B execution (length 2 via the shortcut).
+	resLen, err := Diff(r1, r2, cost.Length{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scriptLen, _, err := resLen.Script()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range scriptLen.Ops {
+		if op.Temporary && op.Length != 2 {
+			t.Fatalf("length-cost skeleton should use the length-2 shortcut, got length %d", op.Length)
+		}
+	}
+}

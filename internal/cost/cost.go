@@ -1,0 +1,171 @@
+// Package cost implements the edit-operation cost models of
+// Section III-C.2 of Bao et al.
+//
+// The cost of inserting or deleting an elementary path p is
+// γ(|p|, Label(s(p)), Label(t(p))): a function of the path length and
+// the labels on its two terminals. γ must be a distance metric with
+// respect to elementary path insertions and deletions: non-negative,
+// zero only on the empty path, symmetric between insertion and
+// deletion, and satisfying the quadrangle inequality
+//
+//	γ(l1+l2+l3, A, D) ≤ γ(l1+l2'+l3, A, D) + γ(l2, B, C) + γ(l2', B, C).
+//
+// Any sublinear power γ(l) = l^ε with ε ≤ 1 is eligible; ε = 0 is the
+// unit cost model and ε = 1 the length cost model.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model prices elementary path edit operations.
+type Model interface {
+	// PathCost returns γ(length, srcLabel, dstLabel), the cost of
+	// inserting (equivalently, deleting) an elementary path of the
+	// given length between terminals carrying the given labels.
+	// length must be >= 1 for a real path.
+	PathCost(length int, srcLabel, dstLabel string) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Unit assigns every edit operation cost 1 (γ(l) = l^0).
+type Unit struct{}
+
+// PathCost implements Model.
+func (Unit) PathCost(length int, _, _ string) float64 {
+	if length <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// Name implements Model.
+func (Unit) Name() string { return "unit" }
+
+// Length prices an operation by the length of the edited path
+// (γ(l) = l).
+type Length struct{}
+
+// PathCost implements Model.
+func (Length) PathCost(length int, _, _ string) float64 {
+	if length <= 0 {
+		return 0
+	}
+	return float64(length)
+}
+
+// Name implements Model.
+func (Length) Name() string { return "length" }
+
+// Power prices an operation as l^Epsilon. Epsilon must be <= 1 for the
+// quadrangle inequality to hold; the paper evaluates ε ∈ [0, 1].
+type Power struct{ Epsilon float64 }
+
+// PathCost implements Model.
+func (p Power) PathCost(length int, _, _ string) float64 {
+	if length <= 0 {
+		return 0
+	}
+	return math.Pow(float64(length), p.Epsilon)
+}
+
+// Name implements Model.
+func (p Power) Name() string { return fmt.Sprintf("power(%.2f)", p.Epsilon) }
+
+// Weighted scales a base model by per-terminal-label weights,
+// demonstrating the label-dependent generality of the cost model. The
+// cost is Base(l) * (W[src] + W[dst]) / 2, with missing weights
+// defaulting to 1. Note that skewed weights can violate the
+// quadrangle inequality; validate candidate weightings with
+// CheckMetric before using them for differencing.
+type Weighted struct {
+	Base Model
+	W    map[string]float64
+}
+
+// PathCost implements Model.
+func (w Weighted) PathCost(length int, srcLabel, dstLabel string) float64 {
+	if length <= 0 {
+		return 0
+	}
+	ws, ok := w.W[srcLabel]
+	if !ok {
+		ws = 1
+	}
+	wd, ok := w.W[dstLabel]
+	if !ok {
+		wd = 1
+	}
+	return w.Base.PathCost(length, srcLabel, dstLabel) * (ws + wd) / 2
+}
+
+// Name implements Model.
+func (w Weighted) Name() string { return "weighted(" + w.Base.Name() + ")" }
+
+// Func adapts a plain function to a Model.
+type Func struct {
+	Fn    func(length int, srcLabel, dstLabel string) float64
+	Label string
+}
+
+// PathCost implements Model.
+func (f Func) PathCost(length int, srcLabel, dstLabel string) float64 {
+	return f.Fn(length, srcLabel, dstLabel)
+}
+
+// Name implements Model.
+func (f Func) Name() string { return f.Label }
+
+// CheckMetric verifies the metric conditions of Section III-C.2 on a
+// model for all lengths up to maxLen and the given label alphabet:
+// non-negativity, identity (γ > 0 for l ≥ 1) and the quadrangle
+// inequality over all length splits. Symmetry holds by construction
+// (one function prices both insertion and deletion). It returns the
+// first violation found, or nil.
+func CheckMetric(m Model, maxLen int, labels []string) error {
+	if len(labels) == 0 {
+		labels = []string{""}
+	}
+	for l := 1; l <= maxLen; l++ {
+		for _, a := range labels {
+			for _, b := range labels {
+				if c := m.PathCost(l, a, b); c < 0 {
+					return fmt.Errorf("cost: %s: negative cost %g at l=%d (%s,%s)", m.Name(), c, l, a, b)
+				} else if c == 0 {
+					return fmt.Errorf("cost: %s: zero cost for non-empty path l=%d (%s,%s)", m.Name(), l, a, b)
+				}
+			}
+		}
+	}
+	// Quadrangle inequality with label-free split bounds: for every
+	// l1, l3 >= 0 and l2, l2' >= 1 with l1+l2+l3 <= maxLen and
+	// l1+l2'+l3 <= maxLen,
+	//   γ(l1+l2+l3) <= γ(l1+l2'+l3) + γ(l2) + γ(l2').
+	for _, a := range labels {
+		for _, d := range labels {
+			for _, b := range labels {
+				for _, c := range labels {
+					for l1 := 0; l1 <= maxLen; l1++ {
+						for l3 := 0; l1+l3 <= maxLen; l3++ {
+							for l2 := 1; l1+l2+l3 <= maxLen; l2++ {
+								for l2p := 1; l1+l2p+l3 <= maxLen; l2p++ {
+									lhs := m.PathCost(l1+l2+l3, a, d)
+									rhs := m.PathCost(l1+l2p+l3, a, d) +
+										m.PathCost(l2, b, c) + m.PathCost(l2p, b, c)
+									if lhs > rhs+1e-9 {
+										return fmt.Errorf(
+											"cost: %s: quadrangle violated: γ(%d)=%g > γ(%d)+γ(%d)+γ(%d)=%g",
+											m.Name(), l1+l2+l3, lhs, l1+l2p+l3, l2, l2p, rhs)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

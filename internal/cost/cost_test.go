@@ -1,0 +1,118 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnit(t *testing.T) {
+	u := Unit{}
+	if u.PathCost(1, "a", "b") != 1 || u.PathCost(100, "a", "b") != 1 {
+		t.Fatal("unit cost must be 1 for any non-empty path")
+	}
+	if u.PathCost(0, "a", "b") != 0 {
+		t.Fatal("unit cost of empty path must be 0")
+	}
+	if u.Name() != "unit" {
+		t.Fatalf("Name = %q", u.Name())
+	}
+}
+
+func TestLength(t *testing.T) {
+	l := Length{}
+	if l.PathCost(7, "a", "b") != 7 {
+		t.Fatal("length cost must equal the path length")
+	}
+	if l.PathCost(0, "", "") != 0 {
+		t.Fatal("length cost of empty path must be 0")
+	}
+}
+
+func TestPowerMatchesEndpoints(t *testing.T) {
+	if got := (Power{Epsilon: 0}).PathCost(9, "", ""); got != 1 {
+		t.Fatalf("power(0)(9) = %g, want 1 (unit)", got)
+	}
+	if got := (Power{Epsilon: 1}).PathCost(9, "", ""); got != 9 {
+		t.Fatalf("power(1)(9) = %g, want 9 (length)", got)
+	}
+	if got := (Power{Epsilon: 0.5}).PathCost(9, "", ""); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("power(0.5)(9) = %g, want 3", got)
+	}
+}
+
+func TestPowerIsMetricForEpsilonLeqOne(t *testing.T) {
+	for _, eps := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if err := CheckMetric(Power{Epsilon: eps}, 12, nil); err != nil {
+			t.Errorf("power(%g) should satisfy the metric conditions: %v", eps, err)
+		}
+	}
+}
+
+func TestSuperlinearViolatesQuadrangle(t *testing.T) {
+	if err := CheckMetric(Power{Epsilon: 2}, 8, nil); err == nil {
+		t.Fatal("l^2 must violate the quadrangle inequality")
+	}
+}
+
+func TestNegativeCostRejected(t *testing.T) {
+	bad := Func{Fn: func(l int, _, _ string) float64 { return -1 }, Label: "neg"}
+	if err := CheckMetric(bad, 3, nil); err == nil {
+		t.Fatal("negative cost must be rejected")
+	}
+	zero := Func{Fn: func(l int, _, _ string) float64 { return 0 }, Label: "zero"}
+	if err := CheckMetric(zero, 3, nil); err == nil {
+		t.Fatal("zero cost for non-empty paths must be rejected")
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	w := Weighted{Base: Length{}, W: map[string]float64{"hot": 3}}
+	if got := w.PathCost(2, "hot", "hot"); got != 6 {
+		t.Fatalf("weighted cost = %g, want 6", got)
+	}
+	if got := w.PathCost(2, "cold", "cold"); got != 2 {
+		t.Fatalf("default weight should be 1: got %g", got)
+	}
+	if got := w.PathCost(0, "hot", "hot"); got != 0 {
+		t.Fatal("weighted cost of empty path must be 0")
+	}
+	// With uniform weights the model degenerates to its base and
+	// remains metric.
+	uniform := Weighted{Base: Length{}, W: map[string]float64{"hot": 1, "cold": 1}}
+	if err := CheckMetric(uniform, 6, []string{"hot", "cold"}); err != nil {
+		t.Fatalf("uniformly weighted length should stay metric: %v", err)
+	}
+	// Skewed weights let a heavy endpoint pair be undercut by cheap
+	// replacements of its middle segment — CheckMetric must catch the
+	// quadrangle violation.
+	if err := CheckMetric(w, 6, []string{"hot", "cold"}); err == nil {
+		t.Fatal("skewed weights should violate the quadrangle inequality")
+	}
+}
+
+func TestPowerMonotoneProperty(t *testing.T) {
+	// For ε ∈ [0,1], cost is non-decreasing in length — the property
+	// the skeleton-length minimization in core relies on for the
+	// paper's cost family.
+	f := func(l uint8, eps8 uint8) bool {
+		l1 := int(l%50) + 1
+		l2 := l1 + 1
+		eps := float64(eps8%101) / 100
+		p := Power{Epsilon: eps}
+		return p.PathCost(l1, "", "") <= p.PathCost(l2, "", "")+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuncModel(t *testing.T) {
+	m := Func{Fn: func(l int, s, d string) float64 { return float64(l) + float64(len(s)+len(d)) }, Label: "custom"}
+	if m.Name() != "custom" {
+		t.Fatal("name passthrough broken")
+	}
+	if m.PathCost(2, "ab", "c") != 5 {
+		t.Fatal("function not applied")
+	}
+}

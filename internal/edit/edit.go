@@ -1,0 +1,201 @@
+// Package edit implements the edit operations of Bao et al. at the
+// annotated SP-tree level: insertion and deletion of elementary
+// subtrees (Section IV-D), which correspond one-to-one to elementary
+// path insertions/deletions on run graphs (Lemma 4.6) and, for the
+// children of L nodes, to the path expansion/contraction operations of
+// Section VI.
+//
+// Operations are applied destructively to a working run tree; every
+// application enforces the local validity constraints so that each
+// intermediate tree remains a valid run tree.
+package edit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sptree"
+)
+
+// Kind distinguishes insertions from deletions.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Delete Kind = iota
+	Insert
+)
+
+// String returns "delete" or "insert".
+func (k Kind) String() string {
+	if k == Delete {
+		return "delete"
+	}
+	return "insert"
+}
+
+// Op records one applied elementary edit operation, in both the tree
+// domain (for costs) and the path domain (for display): the elementary
+// subtree edited had Length leaves and terminals labeled SrcLabel and
+// DstLabel; PathNodes/PathLabels walk the corresponding elementary
+// path through the run graph.
+type Op struct {
+	Kind       Kind
+	Cost       float64
+	Length     int
+	SrcLabel   string
+	DstLabel   string
+	PathNodes  []string
+	PathLabels []string
+	// LoopOp reports that the operation edits a child of an L node,
+	// i.e. is a path expansion (insert) or contraction (delete) of a
+	// loop iteration in the graph domain.
+	LoopOp bool
+	// Temporary marks operations on scratch subtrees introduced to
+	// work around unstable matches (Definition 5.2); they come in
+	// insert/delete pairs.
+	Temporary bool
+}
+
+// String renders the operation in the paper's Λ→p / p→Λ notation.
+func (o Op) String() string {
+	path := "(" + strings.Join(o.PathNodes, ",") + ")"
+	tag := ""
+	if o.LoopOp {
+		tag = " [loop]"
+	}
+	if o.Temporary {
+		tag += " [temp]"
+	}
+	if o.Kind == Insert {
+		return fmt.Sprintf("Λ→%s cost=%g%s", path, o.Cost, tag)
+	}
+	return fmt.Sprintf("%s→Λ cost=%g%s", path, o.Cost, tag)
+}
+
+// Script is a sequence of applied edit operations.
+type Script struct {
+	Ops []Op
+}
+
+// TotalCost sums the costs of all operations.
+func (s *Script) TotalCost() float64 {
+	total := 0.0
+	for _, op := range s.Ops {
+		total += op.Cost
+	}
+	return total
+}
+
+// String renders one operation per line.
+func (s *Script) String() string {
+	var b strings.Builder
+	for i, op := range s.Ops {
+		fmt.Fprintf(&b, "%3d. %s\n", i+1, op.String())
+	}
+	return b.String()
+}
+
+// CheckDeletable verifies that the subtree rooted at v may be removed
+// by a single elementary deletion: T[v] is branch-free and p(v) is a
+// true P, F or L node (Definition 4.1 and Lemma 5.6).
+func CheckDeletable(v *sptree.Node) error {
+	p := v.Parent
+	if p == nil {
+		return fmt.Errorf("edit: cannot delete the root")
+	}
+	switch p.Type {
+	case sptree.P, sptree.F, sptree.L:
+	default:
+		return fmt.Errorf("edit: parent of deleted subtree is %s, want P, F or L", p.Type)
+	}
+	if !p.True() {
+		return fmt.Errorf("edit: parent is a pseudo %s node; deleting its only child would invalidate the run", p.Type)
+	}
+	if !sptree.BranchFree(v) {
+		return fmt.Errorf("edit: subtree is not branch-free; not an elementary deletion")
+	}
+	return nil
+}
+
+// DeleteElementary removes the elementary subtree rooted at v from its
+// parent after validating the operation.
+func DeleteElementary(v *sptree.Node) error {
+	if err := CheckDeletable(v); err != nil {
+		return err
+	}
+	p := v.Parent
+	i := p.ChildIndex(v)
+	if i < 0 {
+		return fmt.Errorf("edit: node is not among its parent's children")
+	}
+	p.RemoveChild(i)
+	return nil
+}
+
+// CheckInsertable verifies that sub may be attached as a child of
+// parent: parent is a P, F or L node; sub is branch-free; sub derives
+// from the right part of the specification; and, for P parents, no
+// existing child already derives from the same specification branch
+// (a P node may not execute the same branch twice).
+func CheckInsertable(parent, sub *sptree.Node) error {
+	if sub.Spec == nil || parent.Spec == nil {
+		return fmt.Errorf("edit: insertion requires specification-aligned run trees")
+	}
+	if !sptree.BranchFree(sub) {
+		return fmt.Errorf("edit: inserted subtree is not branch-free; not an elementary insertion")
+	}
+	switch parent.Type {
+	case sptree.P:
+		if sub.Spec.Parent != parent.Spec {
+			return fmt.Errorf("edit: inserted subtree does not derive from a branch of the P node")
+		}
+		for _, c := range parent.Children {
+			if c.Spec == sub.Spec {
+				return fmt.Errorf("edit: P node already executes specification branch of inserted subtree")
+			}
+		}
+	case sptree.F, sptree.L:
+		if sub.Spec != parent.Spec.Children[0] {
+			return fmt.Errorf("edit: inserted subtree does not derive from the %s node's specification child", parent.Type)
+		}
+	default:
+		return fmt.Errorf("edit: insertion parent is %s, want P, F or L", parent.Type)
+	}
+	return nil
+}
+
+// InsertElementary attaches sub as the pos-th child of parent
+// (pos == -1 appends) after validating the operation.
+func InsertElementary(parent *sptree.Node, pos int, sub *sptree.Node) error {
+	if err := CheckInsertable(parent, sub); err != nil {
+		return err
+	}
+	if pos < 0 {
+		pos = len(parent.Children)
+	}
+	if pos > len(parent.Children) {
+		return fmt.Errorf("edit: insert position %d out of range", pos)
+	}
+	parent.InsertChild(pos, sub)
+	return nil
+}
+
+// PathOf returns the node-instance and label sequences of the
+// elementary path represented by a branch-free subtree: the leaves in
+// order give consecutive edges of the path. For subtrees whose leaves
+// are not chained (synthetic skeletons), the sequence still lists the
+// edge endpoints in order.
+func PathOf(v *sptree.Node) (instances, labels []string) {
+	leaves := v.Leaves()
+	if len(leaves) == 0 {
+		return nil, nil
+	}
+	instances = append(instances, string(leaves[0].Edge.From))
+	labels = append(labels, leaves[0].Src)
+	for _, q := range leaves {
+		instances = append(instances, string(q.Edge.To))
+		labels = append(labels, q.Dst)
+	}
+	return instances, labels
+}

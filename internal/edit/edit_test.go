@@ -1,0 +1,181 @@
+package edit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/sptree"
+)
+
+// findRunNode returns the first node of the given type in preorder.
+func findRunNode(root *sptree.Node, typ sptree.Type, pred func(*sptree.Node) bool) *sptree.Node {
+	var out *sptree.Node
+	root.Walk(func(n *sptree.Node) bool {
+		if out == nil && n.Type == typ && (pred == nil || pred(n)) {
+			out = n
+		}
+		return out == nil
+	})
+	return out
+}
+
+func TestDeleteElementaryFromTrueFork(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	fork := findRunNode(r1.Tree, sptree.F, func(n *sptree.Node) bool { return len(n.Children) == 2 })
+	if fork == nil {
+		t.Fatal("R1 should contain a two-copy fork")
+	}
+	child := fork.Children[0]
+	if err := DeleteElementary(child); err != nil {
+		t.Fatal(err)
+	}
+	if len(fork.Children) != 1 {
+		t.Fatal("child not removed")
+	}
+	// The fork is now pseudo: removing its last child must fail.
+	if err := DeleteElementary(fork.Children[0]); err == nil {
+		t.Fatal("deleting the only child of a pseudo node must fail")
+	}
+	if err := sptree.ValidateRunTree(r1.Tree, sp.Tree); err != nil {
+		t.Fatalf("tree invalid after legal deletion: %v", err)
+	}
+}
+
+func TestDeleteElementaryRejectsRootAndSChildren(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	if err := DeleteElementary(r1.Tree); err == nil {
+		t.Fatal("deleting the root must fail")
+	}
+	s := findRunNode(r1.Tree, sptree.S, nil)
+	if err := DeleteElementary(s.Children[0]); err == nil {
+		t.Fatal("deleting a child of an S node must fail")
+	}
+}
+
+func TestDeleteElementaryRejectsNonBranchFree(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r2 := fixtures.Fig2R2(sp)
+	// The root F has two copies; one contains a true inner F, so the
+	// copy subtree is not branch-free.
+	root := r2.Tree
+	var nonFree *sptree.Node
+	for _, c := range root.Children {
+		if !sptree.BranchFree(c) {
+			nonFree = c
+		}
+	}
+	if nonFree == nil {
+		t.Fatal("expected a non-branch-free copy in R2")
+	}
+	if err := DeleteElementary(nonFree); err == nil {
+		t.Fatal("deleting a non-branch-free subtree in one step must fail")
+	}
+}
+
+func TestInsertElementaryForkCopy(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	fork := findRunNode(r1.Tree, sptree.F, func(n *sptree.Node) bool { return len(n.Children) == 2 })
+	copyTree := fork.Children[0].Clone()
+	if err := InsertElementary(fork, -1, copyTree); err != nil {
+		t.Fatal(err)
+	}
+	if len(fork.Children) != 3 {
+		t.Fatal("copy not inserted")
+	}
+	if err := sptree.ValidateRunTree(r1.Tree, sp.Tree); err != nil {
+		t.Fatalf("tree invalid after insertion: %v", err)
+	}
+}
+
+func TestInsertElementaryRejectsDuplicateBranch(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	p := findRunNode(r1.Tree, sptree.P, func(n *sptree.Node) bool { return len(n.Children) >= 2 })
+	dup := p.Children[0].Clone()
+	if err := InsertElementary(p, -1, dup); err == nil {
+		t.Fatal("inserting a duplicate specification branch under P must fail")
+	}
+}
+
+func TestInsertElementaryRejectsWrongParentType(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	s := findRunNode(r1.Tree, sptree.S, nil)
+	leaf := findRunNode(r1.Tree, sptree.Q, nil).Clone()
+	if err := InsertElementary(s, -1, leaf); err == nil {
+		t.Fatal("inserting under an S node must fail")
+	}
+}
+
+func TestInsertElementaryRejectsForeignSubtree(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	fork := findRunNode(r1.Tree, sptree.F, func(n *sptree.Node) bool { return len(n.Children) == 2 })
+	// A leaf from elsewhere in the tree does not derive from the
+	// fork's specification child.
+	foreign := findRunNode(r1.Tree, sptree.Q, func(n *sptree.Node) bool {
+		return n.Spec != nil && n.Spec.Parent != fork.Spec.Children[0]
+	}).Clone()
+	if err := InsertElementary(fork, -1, foreign); err == nil {
+		t.Fatal("inserting a foreign subtree must fail")
+	}
+}
+
+func TestPathOf(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	// A branch-free fork copy is an elementary path like (2a,3b,6a).
+	fork := findRunNode(r1.Tree, sptree.F, func(n *sptree.Node) bool { return len(n.Children) == 2 })
+	inst, labels := PathOf(fork.Children[0])
+	if len(inst) != 3 || len(labels) != 3 {
+		t.Fatalf("path = %v / %v", inst, labels)
+	}
+	if labels[0] != "2" || labels[2] != "6" {
+		t.Fatalf("labels = %v, want 2..6", labels)
+	}
+	if inst, _ := PathOf(&sptree.Node{Type: sptree.P}); inst != nil {
+		t.Fatal("empty subtree should yield empty path")
+	}
+}
+
+func TestOpAndScriptRendering(t *testing.T) {
+	ops := []Op{
+		{Kind: Insert, Cost: 1, Length: 2, PathNodes: []string{"2a", "4b", "6a"}},
+		{Kind: Delete, Cost: 1, Length: 2, PathNodes: []string{"2a", "3b", "6a"}, LoopOp: true},
+		{Kind: Insert, Cost: 1, Length: 1, PathNodes: []string{"s", "t"}, Temporary: true},
+	}
+	s := &Script{Ops: ops}
+	if s.TotalCost() != 3 {
+		t.Fatalf("TotalCost = %g", s.TotalCost())
+	}
+	out := s.String()
+	if !strings.Contains(out, "Λ→(2a,4b,6a)") {
+		t.Fatalf("missing insertion rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "(2a,3b,6a)→Λ") || !strings.Contains(out, "[loop]") {
+		t.Fatalf("missing deletion/loop rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "[temp]") {
+		t.Fatalf("missing temp tag:\n%s", out)
+	}
+	if ops[0].String() == ops[1].String() {
+		t.Fatal("distinct ops render identically")
+	}
+	if Delete.String() != "delete" || Insert.String() != "insert" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestInsertPositionOutOfRange(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	fork := findRunNode(r1.Tree, sptree.F, func(n *sptree.Node) bool { return len(n.Children) == 2 })
+	c := fork.Children[0].Clone()
+	if err := InsertElementary(fork, 99, c); err == nil {
+		t.Fatal("out-of-range position must fail")
+	}
+}

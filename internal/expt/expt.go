@@ -1,0 +1,408 @@
+// Package expt reproduces the paper's evaluation (Section VIII): one
+// runner per table/figure, each emitting the same rows/series the
+// paper reports. Runners take an Options value so benchmarks can use
+// reduced sample counts while the CLI can run at paper scale.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/spec"
+	"repro/internal/wfrun"
+)
+
+// Table is a labeled numeric result table.
+type Table struct {
+	Name      string
+	Cols      []string
+	RowLabels []string // optional; empty means no label column
+	Rows      [][]float64
+}
+
+// TSV renders the table as tab-separated values with a header line.
+func (t *Table) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Name)
+	if len(t.RowLabels) > 0 {
+		b.WriteString("name\t")
+	}
+	b.WriteString(strings.Join(t.Cols, "\t"))
+	b.WriteByte('\n')
+	for i, row := range t.Rows {
+		if len(t.RowLabels) > 0 {
+			b.WriteString(t.RowLabels[i])
+			b.WriteByte('\t')
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = formatCell(v)
+		}
+		b.WriteString(strings.Join(parts, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// Options controls workload scale. Zero values fall back to Defaults.
+type Options struct {
+	// Samples is the number of run pairs (or sample specifications)
+	// averaged per data point. The paper uses 100-200.
+	Samples int
+	// Fig11Sizes are the total-edge targets for the real-workflow
+	// experiment (paper: 200..2000 step 200).
+	Fig11Sizes []int
+	// Fig12Sizes are the specification edge counts for the
+	// series-vs-parallel experiment (paper: 100..1000 step 100).
+	Fig12Sizes []int
+	// Probs are the fork/loop probabilities for Figs. 14/15
+	// (paper: 0..1 step 0.1).
+	Probs []float64
+	// Epsilons are the cost exponents for Fig. 16 (paper: 0..1).
+	Epsilons []float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Defaults returns a reduced workload suitable for tests and benches.
+func Defaults() Options {
+	return Options{
+		Samples:    3,
+		Fig11Sizes: []int{200, 400, 600},
+		Fig12Sizes: []int{100, 200, 300},
+		Probs:      []float64{0, 0.25, 0.5, 0.75, 1},
+		Epsilons:   []float64{0, 0.25, 0.5, 0.75, 1},
+		Seed:       1,
+	}
+}
+
+// PaperScale returns the full workload of Section VIII.
+func PaperScale() Options {
+	sizes11 := make([]int, 0, 10)
+	for e := 200; e <= 2000; e += 200 {
+		sizes11 = append(sizes11, e)
+	}
+	sizes12 := make([]int, 0, 10)
+	for e := 100; e <= 1000; e += 100 {
+		sizes12 = append(sizes12, e)
+	}
+	probs := make([]float64, 0, 11)
+	for p := 0.0; p <= 1.0001; p += 0.1 {
+		probs = append(probs, math.Round(p*10)/10)
+	}
+	eps := make([]float64, 0, 11)
+	for e := 0.0; e <= 1.0001; e += 0.1 {
+		eps = append(eps, math.Round(e*10)/10)
+	}
+	return Options{
+		Samples:    100,
+		Fig11Sizes: sizes11,
+		Fig12Sizes: sizes12,
+		Probs:      probs,
+		Epsilons:   eps,
+		Seed:       1,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := Defaults()
+	if o.Samples <= 0 {
+		o.Samples = d.Samples
+	}
+	if len(o.Fig11Sizes) == 0 {
+		o.Fig11Sizes = d.Fig11Sizes
+	}
+	if len(o.Fig12Sizes) == 0 {
+		o.Fig12Sizes = d.Fig12Sizes
+	}
+	if len(o.Probs) == 0 {
+		o.Probs = d.Probs
+	}
+	if len(o.Epsilons) == 0 {
+		o.Epsilons = d.Epsilons
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// Table1 reproduces Table I: characteristics of the six real workflow
+// specifications.
+func Table1() (*Table, error) {
+	t := &Table{
+		Name: "Table I: characteristics of real workflow specifications",
+		Cols: []string{"|V|", "|E|", "|F|", "||F||", "|L|", "||L||"},
+	}
+	for _, name := range gen.CatalogNames {
+		sp, err := gen.Catalog(name)
+		if err != nil {
+			return nil, err
+		}
+		st := sp.Stats()
+		t.RowLabels = append(t.RowLabels, name)
+		t.Rows = append(t.Rows, []float64{
+			float64(st.V), float64(st.E),
+			float64(st.Forks), float64(st.ForkSz),
+			float64(st.Loops), float64(st.LoopSz),
+		})
+	}
+	return t, nil
+}
+
+// timeDiff measures the wall-clock time of one differencing call (the
+// paper omits XML parse time; we likewise measure only the algorithm).
+func timeDiff(r1, r2 *wfrun.Run, m cost.Model) (float64, float64, error) {
+	start := time.Now()
+	res, err := core.Diff(r1, r2, m)
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start).Seconds(), res.Distance, nil
+}
+
+// Fig11 reproduces Fig. 11: differencing time on the six real
+// workflows, varying the total number of edges across the two runs,
+// unit cost, averaged over sample pairs. Columns are seconds per
+// workflow; rows are total edge counts.
+func Fig11(o Options) (*Table, error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	t := &Table{Name: "Fig. 11: real scientific workflows (seconds)", Cols: append([]string{"edges"}, gen.CatalogNames...)}
+	specs := make([]*spec.Spec, len(gen.CatalogNames))
+	for i, name := range gen.CatalogNames {
+		sp, err := gen.Catalog(name)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = sp
+	}
+	for _, total := range o.Fig11Sizes {
+		row := []float64{float64(total)}
+		for _, sp := range specs {
+			sum := 0.0
+			for s := 0; s < o.Samples; s++ {
+				r1, err := gen.RunWithTargetEdges(sp, total/2, 0.1, gen.DefaultRunParams(), rng)
+				if err != nil {
+					return nil, err
+				}
+				r2, err := gen.RunWithTargetEdges(sp, total/2, 0.1, gen.DefaultRunParams(), rng)
+				if err != nil {
+					return nil, err
+				}
+				secs, _, err := timeDiff(r1, r2, cost.Unit{})
+				if err != nil {
+					return nil, err
+				}
+				sum += secs
+			}
+			row = append(row, sum/float64(o.Samples))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// seriesParallelPoint runs one (ratio, size) cell of Figs. 12/13.
+func seriesParallelPoint(ratio float64, edges, samples int, rng *rand.Rand) (secs, dist float64, err error) {
+	params := gen.RunParams{ProbP: 0.95, MaxF: 1, MaxL: 1}
+	for s := 0; s < samples; s++ {
+		sp, err := gen.RandomSpec(gen.SpecConfig{Edges: edges, SeriesRatio: ratio}, rng)
+		if err != nil {
+			return 0, 0, err
+		}
+		r1, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			return 0, 0, err
+		}
+		r2, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			return 0, 0, err
+		}
+		se, d, err := timeDiff(r1, r2, cost.Unit{})
+		if err != nil {
+			return 0, 0, err
+		}
+		secs += se
+		dist += d
+	}
+	n := float64(samples)
+	return secs / n, dist / n, nil
+}
+
+// Fig12and13 reproduces Figs. 12 (execution time) and 13 (edit
+// distance) for series/parallel ratios 3, 1 and 1/3 over random
+// fork/loop-free specifications with probP = 95%.
+func Fig12and13(o Options) (timeT, distT *Table, err error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	ratios := []float64{3, 1, 1.0 / 3}
+	cols := []string{"spec_edges", "r=3", "r=1", "r=1/3"}
+	timeT = &Table{Name: "Fig. 12: series vs parallel (seconds)", Cols: cols}
+	distT = &Table{Name: "Fig. 13: series vs parallel (edit distance)", Cols: cols}
+	for _, edges := range o.Fig12Sizes {
+		trow := []float64{float64(edges)}
+		drow := []float64{float64(edges)}
+		for _, r := range ratios {
+			secs, dist, err := seriesParallelPoint(r, edges, o.Samples, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			trow = append(trow, secs)
+			drow = append(drow, dist)
+		}
+		timeT.Rows = append(timeT.Rows, trow)
+		distT.Rows = append(distT.Rows, drow)
+	}
+	return timeT, distT, nil
+}
+
+// forkLoopParams builds the run parameters for one side of the
+// Fig. 14/15 experiment: fork-heavy or loop-heavy with the given
+// probability, probP = 1 and maxF = maxL = 20.
+func forkLoopParams(forkHeavy bool, prob float64) gen.RunParams {
+	p := gen.RunParams{ProbP: 1, MaxF: 20, MaxL: 20}
+	if forkHeavy {
+		p.ProbF = prob
+		p.ProbL = 0
+	} else {
+		p.ProbL = prob
+		p.ProbF = 0
+	}
+	return p
+}
+
+// Fig14and15 reproduces Figs. 14 (execution time) and 15 (edit
+// distance): specification with 100 edges, ratio 0.5, 5 forks and 5
+// loops; run pairs are fork-fork, fork-loop and loop-loop with the
+// fork/loop probability swept over Probs.
+func Fig14and15(o Options) (timeT, distT *Table, err error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	cols := []string{"prob", "fork_vs_fork", "fork_vs_loop", "loop_vs_loop"}
+	timeT = &Table{Name: "Fig. 14: fork vs loop (seconds)", Cols: cols}
+	distT = &Table{Name: "Fig. 15: fork vs loop (edit distance)", Cols: cols}
+	type combo struct{ aFork, bFork bool }
+	combos := []combo{{true, true}, {true, false}, {false, false}}
+	for _, p := range o.Probs {
+		trow := []float64{p}
+		drow := []float64{p}
+		for _, cb := range combos {
+			secs, dist := 0.0, 0.0
+			for s := 0; s < o.Samples; s++ {
+				sp, err := gen.RandomSpec(gen.SpecConfig{Edges: 100, SeriesRatio: 0.5, Forks: 5, Loops: 5}, rng)
+				if err != nil {
+					return nil, nil, err
+				}
+				r1, err := gen.RandomRun(sp, forkLoopParams(cb.aFork, p), rng)
+				if err != nil {
+					return nil, nil, err
+				}
+				r2, err := gen.RandomRun(sp, forkLoopParams(cb.bFork, p), rng)
+				if err != nil {
+					return nil, nil, err
+				}
+				se, d, err := timeDiff(r1, r2, cost.Unit{})
+				if err != nil {
+					return nil, nil, err
+				}
+				secs += se
+				dist += d
+			}
+			trow = append(trow, secs/float64(o.Samples))
+			drow = append(drow, dist/float64(o.Samples))
+		}
+		timeT.Rows = append(timeT.Rows, trow)
+		distT.Rows = append(distT.Rows, drow)
+	}
+	return timeT, distT, nil
+}
+
+// Fig16 reproduces the cost-model sensitivity experiment: for each
+// exponent ε, compute the ε-optimal edit script between random runs of
+// the Fig. 17(b) specification, then report its percent error when
+// re-priced under the unit (ε = 0) and length (ε = 1) models, both on
+// average and in the worst case.
+func Fig16(o Options) (*Table, error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	sp, err := gen.Fig17bSpec(nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name: "Fig. 16: influence of the cost model (percent error)",
+		Cols: []string{"epsilon", "avg_err_unit", "worst_err_unit", "avg_err_length", "worst_err_length"},
+	}
+	params := gen.RunParams{ProbP: 0.5, ProbF: 1, MaxF: 5, MaxL: 1}
+	unit := cost.Unit{}
+	length := cost.Length{}
+	// Pre-generate the run pairs so every ε sees the same workload.
+	type pair struct{ a, b *wfrun.Run }
+	pairs := make([]pair, o.Samples)
+	for i := range pairs {
+		a, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			return nil, err
+		}
+		b, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			return nil, err
+		}
+		pairs[i] = pair{a, b}
+	}
+	for _, eps := range o.Epsilons {
+		model := cost.Power{Epsilon: eps}
+		sumU, worstU, sumL, worstL := 0.0, 0.0, 0.0, 0.0
+		for _, pr := range pairs {
+			res, err := core.Diff(pr.a, pr.b, model)
+			if err != nil {
+				return nil, err
+			}
+			script, _, err := res.Script()
+			if err != nil {
+				return nil, err
+			}
+			optU, err := core.Distance(pr.a, pr.b, unit)
+			if err != nil {
+				return nil, err
+			}
+			optL, err := core.Distance(pr.a, pr.b, length)
+			if err != nil {
+				return nil, err
+			}
+			errU := percentError(core.EvaluateScript(script, unit), optU)
+			errL := percentError(core.EvaluateScript(script, length), optL)
+			sumU += errU
+			sumL += errL
+			worstU = math.Max(worstU, errU)
+			worstL = math.Max(worstL, errL)
+		}
+		n := float64(len(pairs))
+		t.Rows = append(t.Rows, []float64{eps, sumU / n, worstU, sumL / n, worstL})
+	}
+	return t, nil
+}
+
+func percentError(got, opt float64) float64 {
+	if opt == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (got - opt) / opt * 100
+}

@@ -1,0 +1,138 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 || len(tab.RowLabels) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	tsv := tab.TSV()
+	// Spot-check the PGAQ row against Table I.
+	if !strings.Contains(tsv, "PGAQ\t37\t41\t4\t22\t2\t26") {
+		t.Fatalf("PGAQ row wrong:\n%s", tsv)
+	}
+	if !strings.Contains(tsv, "PA\t11\t13\t3\t6\t1\t6") {
+		t.Fatalf("PA row wrong:\n%s", tsv)
+	}
+}
+
+func tinyOptions() Options {
+	return Options{
+		Samples:    1,
+		Fig11Sizes: []int{120},
+		Fig12Sizes: []int{60},
+		Probs:      []float64{0.2, 0.8},
+		Epsilons:   []float64{0, 1},
+		Seed:       11,
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	tab, err := Fig11(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 7 {
+		t.Fatalf("shape = %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+	for i, v := range tab.Rows[0][1:] {
+		if v <= 0 {
+			t.Fatalf("column %d: non-positive time %g", i, v)
+		}
+	}
+}
+
+func TestFig12and13Smoke(t *testing.T) {
+	timeT, distT, err := Fig12and13(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timeT.Rows) != 1 || len(distT.Rows) != 1 {
+		t.Fatal("wrong row count")
+	}
+	if len(timeT.Cols) != 4 {
+		t.Fatalf("cols = %v", timeT.Cols)
+	}
+	for _, v := range timeT.Rows[0][1:] {
+		if v <= 0 {
+			t.Fatal("non-positive time")
+		}
+	}
+	for _, v := range distT.Rows[0][1:] {
+		if v < 0 {
+			t.Fatal("negative distance")
+		}
+	}
+}
+
+func TestFig14and15Smoke(t *testing.T) {
+	timeT, distT, err := Fig14and15(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timeT.Rows) != 2 || len(distT.Rows) != 2 {
+		t.Fatal("wrong row count")
+	}
+	// At high fork probability, FF distance should be smaller than FL
+	// distance more often than not; smoke-check non-negativity only
+	// (shape assertions live in EXPERIMENTS.md generation).
+	for _, row := range distT.Rows {
+		for _, v := range row[1:] {
+			if v < 0 {
+				t.Fatal("negative distance")
+			}
+		}
+	}
+}
+
+func TestFig16Smoke(t *testing.T) {
+	o := tinyOptions()
+	o.Samples = 2
+	tab, err := Fig16(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatal("wrong row count")
+	}
+	for _, row := range tab.Rows {
+		eps, avgU, worstU, avgL, worstL := row[0], row[1], row[2], row[3], row[4]
+		if avgU < 0 || avgL < 0 || worstU < avgU || worstL < avgL {
+			t.Fatalf("inconsistent errors at eps=%g: %v", eps, row)
+		}
+		// The ε-optimal script is exactly optimal under its own
+		// extreme: ε=0 has zero unit error, ε=1 zero length error.
+		if eps == 0 && avgU > 1e-9 {
+			t.Fatalf("unit error at eps=0 should be 0, got %g", avgU)
+		}
+		if eps == 1 && avgL > 1e-9 {
+			t.Fatalf("length error at eps=1 should be 0, got %g", avgL)
+		}
+	}
+}
+
+func TestTSVFormat(t *testing.T) {
+	tab := &Table{Name: "x", Cols: []string{"a", "b"}, Rows: [][]float64{{1, 2.5}}}
+	tsv := tab.TSV()
+	if !strings.Contains(tsv, "# x\n") || !strings.Contains(tsv, "1\t2.5") {
+		t.Fatalf("bad TSV:\n%s", tsv)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Samples == 0 || len(o.Fig11Sizes) == 0 || o.Seed == 0 {
+		t.Fatal("defaults not applied")
+	}
+	p := PaperScale()
+	if p.Samples != 100 || len(p.Fig11Sizes) != 10 || len(p.Probs) != 11 {
+		t.Fatalf("paper scale wrong: %+v", p)
+	}
+}

@@ -1,0 +1,177 @@
+// Package fixtures builds the worked examples of the paper — the
+// specification and runs of Fig. 2, the edit script of Fig. 3/7, and
+// the cost-model specification of Fig. 17 — for use in tests, examples
+// and benchmarks.
+package fixtures
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/wfrun"
+)
+
+// fig2Graph builds the SP specification graph of Fig. 2(a): modules
+// 1..7 with three parallel middle branches 2→{3,4,5}→6.
+func fig2Graph() *graph.Graph {
+	g := graph.New()
+	for i := 1; i <= 7; i++ {
+		id := graph.NodeID(fmt.Sprint(i))
+		g.MustAddNode(id, fmt.Sprint(i))
+	}
+	for _, e := range [][2]string{
+		{"1", "2"},
+		{"2", "3"}, {"3", "6"},
+		{"2", "4"}, {"4", "6"},
+		{"2", "5"}, {"5", "6"},
+		{"6", "7"},
+	} {
+		g.MustAddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))
+	}
+	return g
+}
+
+func edges(g *graph.Graph, pairs ...[2]string) spec.EdgeSet {
+	var out spec.EdgeSet
+	for _, p := range pairs {
+		out = append(out, graph.Edge{From: graph.NodeID(p[0]), To: graph.NodeID(p[1])})
+	}
+	return out
+}
+
+// Fig2Spec returns the basic SP-workflow specification of Fig. 2(a)
+// used in Sections IV and V: forks over the series subgraphs (2,3,6),
+// (2,4,6), (2,5,6) and the entire graph, and no loops.
+func Fig2Spec() *spec.Spec {
+	g := fig2Graph()
+	forks := []spec.EdgeSet{
+		edges(g, [2]string{"2", "3"}, [2]string{"3", "6"}),
+		edges(g, [2]string{"2", "4"}, [2]string{"4", "6"}),
+		edges(g, [2]string{"2", "5"}, [2]string{"5", "6"}),
+		edges(g,
+			[2]string{"1", "2"},
+			[2]string{"2", "3"}, [2]string{"3", "6"},
+			[2]string{"2", "4"}, [2]string{"4", "6"},
+			[2]string{"2", "5"}, [2]string{"5", "6"},
+			[2]string{"6", "7"}),
+	}
+	sp, err := spec.New(g, forks, nil)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// Fig2SpecWithLoop returns the extended specification of Section VI:
+// the forks of Fig2Spec plus the loop over the subgraph from 2 to 6
+// indicated by the dotted back arrow of Fig. 2(a).
+func Fig2SpecWithLoop() *spec.Spec {
+	g := fig2Graph()
+	forks := []spec.EdgeSet{
+		edges(g, [2]string{"2", "3"}, [2]string{"3", "6"}),
+		edges(g, [2]string{"2", "4"}, [2]string{"4", "6"}),
+		edges(g, [2]string{"2", "5"}, [2]string{"5", "6"}),
+	}
+	loops := []spec.EdgeSet{
+		edges(g,
+			[2]string{"2", "3"}, [2]string{"3", "6"},
+			[2]string{"2", "4"}, [2]string{"4", "6"},
+			[2]string{"2", "5"}, [2]string{"5", "6"}),
+	}
+	sp, err := spec.New(g, forks, loops)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// runGraph assembles a run graph from instance ids (labels are the
+// instance id with its trailing letters stripped).
+func runGraph(edges [][2]string) *graph.Graph {
+	g := graph.New()
+	add := func(id string) {
+		label := id
+		for len(label) > 0 {
+			c := label[len(label)-1]
+			if c >= 'a' && c <= 'z' {
+				label = label[:len(label)-1]
+				continue
+			}
+			break
+		}
+		g.MustAddNode(graph.NodeID(id), label)
+	}
+	seen := map[string]bool{}
+	for _, e := range edges {
+		for _, id := range []string{e[0], e[1]} {
+			if !seen[id] {
+				seen[id] = true
+				add(id)
+			}
+		}
+	}
+	for _, e := range edges {
+		g.MustAddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))
+	}
+	return g
+}
+
+// Fig2R1 returns run R1 of Fig. 2(b): one copy of the workflow in
+// which the (2,3,6) branch forked twice and the (2,4,6) branch ran
+// once.
+func Fig2R1(sp *spec.Spec) *wfrun.Run {
+	g := runGraph([][2]string{
+		{"1a", "2a"},
+		{"2a", "3a"}, {"3a", "6a"},
+		{"2a", "3b"}, {"3b", "6a"},
+		{"2a", "4a"}, {"4a", "6a"},
+		{"6a", "7a"},
+	})
+	r, err := wfrun.Derive(sp, g, nil)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Fig2R2 returns run R2 of Fig. 2(c): two fork copies of the entire
+// workflow sharing terminals 1a and 7a.
+func Fig2R2(sp *spec.Spec) *wfrun.Run {
+	g := runGraph([][2]string{
+		{"1a", "2a"},
+		{"2a", "3a"}, {"3a", "6a"},
+		{"2a", "4a"}, {"4a", "6a"},
+		{"2a", "4b"}, {"4b", "6a"},
+		{"6a", "7a"},
+		{"1a", "2b"},
+		{"2b", "4c"}, {"4c", "6b"},
+		{"2b", "5a"}, {"5a", "6b"},
+		{"6b", "7a"},
+	})
+	r, err := wfrun.Derive(sp, g, nil)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Fig2R3 returns run R3 of Fig. 2(d): two loop iterations chained by
+// the implicit edge (6a, 2b). Requires Fig2SpecWithLoop.
+func Fig2R3(sp *spec.Spec) *wfrun.Run {
+	g := runGraph([][2]string{
+		{"1a", "2a"},
+		{"2a", "3a"}, {"3a", "6a"},
+		{"2a", "4a"}, {"4a", "6a"},
+		{"2a", "4b"}, {"4b", "6a"},
+		{"6a", "2b"}, // implicit loop edge
+		{"2b", "4c"}, {"4c", "6b"},
+		{"2b", "5a"}, {"5a", "6b"},
+		{"6b", "7a"},
+	})
+	r, err := wfrun.Derive(sp, g, nil)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,279 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+// The paper's evaluation (Table I) uses six real scientific workflows
+// collected from myExperiment. The workflows themselves are no longer
+// available; this catalog reconstructs SP specifications with exactly
+// the published characteristics (|V|, |E|, |F|, ||F||, |L|, ||L||),
+// which is what drives the differencing workload of Fig. 11. The
+// reconstruction is verified against Table I by unit test.
+
+// CatalogNames lists the six Table I workflows in paper order.
+var CatalogNames = []string{"PA", "EMBOSS", "SAXPF", "MB", "PGAQ", "BAIDD"}
+
+// Catalog builds a Table I workflow specification by name.
+func Catalog(name string) (*spec.Spec, error) {
+	switch name {
+	case "PA":
+		return buildPA()
+	case "EMBOSS":
+		return buildEMBOSS()
+	case "SAXPF":
+		return buildSAXPF()
+	case "MB":
+		return buildMB()
+	case "PGAQ":
+		return buildPGAQ()
+	case "BAIDD":
+		return buildBAIDD()
+	}
+	return nil, fmt.Errorf("gen: unknown catalog workflow %q", name)
+}
+
+// builder assembles chain-of-blocks SP workflows and tracks the edge
+// sets needed for fork/loop annotations.
+type builder struct {
+	g    *graph.Graph
+	cur  graph.NodeID
+	next int
+}
+
+func newBuilder() *builder {
+	b := &builder{g: graph.New()}
+	b.cur = b.fresh()
+	return b
+}
+
+func (b *builder) fresh() graph.NodeID {
+	id := graph.NodeID(fmt.Sprintf("m%d", b.next))
+	b.g.MustAddNode(id, string(id))
+	b.next++
+	return id
+}
+
+// chain extends the workflow by k sequential modules and returns the
+// edges added.
+func (b *builder) chain(k int) spec.EdgeSet {
+	var out spec.EdgeSet
+	for i := 0; i < k; i++ {
+		nxt := b.fresh()
+		out = append(out, b.g.MustAddEdge(b.cur, nxt))
+		b.cur = nxt
+	}
+	return out
+}
+
+// block appends a parallel block: paths[i] interior modules on branch
+// i (0 = a direct edge). It returns the per-branch edge sets and the
+// block's sink follows b.cur.
+func (b *builder) block(paths ...int) []spec.EdgeSet {
+	src := b.cur
+	dst := b.fresh()
+	out := make([]spec.EdgeSet, len(paths))
+	for i, interior := range paths {
+		prev := src
+		for j := 0; j < interior; j++ {
+			mid := b.fresh()
+			out[i] = append(out[i], b.g.MustAddEdge(prev, mid))
+			prev = mid
+		}
+		out[i] = append(out[i], b.g.MustAddEdge(prev, dst))
+	}
+	b.cur = dst
+	return out
+}
+
+func union(sets ...spec.EdgeSet) spec.EdgeSet {
+	var out spec.EdgeSet
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// buildPA reconstructs the protein-annotation workflow with Table I
+// characteristics |V|=11, |E|=13, |F|=3, ||F||=6, |L|=1, ||L||=6.
+func buildPA() (*spec.Spec, error) {
+	b := newBuilder()
+	b.chain(1)                // 1 -> 2
+	blast := b.block(1, 1, 1) // 2 -> {3,4,5} -> 6
+	b.chain(2)                // 6 -> 7 -> 8
+	b.block(1, 1)             // 8 -> {9,10} -> 11
+	forks := []spec.EdgeSet{blast[0], blast[1], blast[2]}
+	loops := []spec.EdgeSet{union(blast...)}
+	return spec.New(b.g, forks, loops)
+}
+
+// buildEMBOSS: |V|=17, |E|=22, |F|=4, ||F||=10, |L|=2, ||L||=10.
+func buildEMBOSS() (*spec.Spec, error) {
+	b := newBuilder()
+	b.chain(1)
+	blockA := b.block(1, 1, 0) // 5 edges
+	b.chain(1)
+	blockB := b.block(1, 1, 1, 0) // 7 edges
+	pre := b.chain(1)
+	blockC := b.block(1, 1) // 4 edges
+	b.chain(3)
+	forks := []spec.EdgeSet{blockA[0], blockA[1], blockB[0], union(blockC...)}
+	loops := []spec.EdgeSet{union(blockA...), union(pre, union(blockC...))}
+	return spec.New(b.g, forks, loops)
+}
+
+// buildSAXPF: |V|=27, |E|=36, |F|=7, ||F||=18, |L|=1, ||L||=7.
+func buildSAXPF() (*spec.Spec, error) {
+	b := newBuilder()
+	b.chain(2)
+	b1 := b.block(1, 1, 1, 0) // 7 edges
+	b.chain(2)
+	b2 := b.block(1, 1, 0) // 5 edges
+	b.chain(2)
+	pre := b.chain(1)
+	b3 := b.block(1, 1, 0) // 5 edges
+	b.chain(3)
+	b4 := b.block(1, 1, 1, 0) // 7 edges
+	b.chain(2)
+	_ = b2
+	forks := []spec.EdgeSet{
+		b1[0], b1[1], b1[2],
+		b4[0], b4[1], b4[2],
+		union(pre, union(b3...)),
+	}
+	loops := []spec.EdgeSet{union(b1...)}
+	return spec.New(b.g, forks, loops)
+}
+
+// buildMB: |V|=17, |E|=19, |F|=2, ||F||=6, |L|=1, ||L||=6.
+func buildMB() (*spec.Spec, error) {
+	b := newBuilder()
+	b.chain(2)
+	pre := b.chain(1)
+	b1 := b.block(1, 1, 0) // 5 edges
+	b.chain(3)
+	b2 := b.block(1, 1) // 4 edges
+	b.chain(4)
+	forks := []spec.EdgeSet{b1[0], union(b2...)}
+	loops := []spec.EdgeSet{union(pre, union(b1...))}
+	return spec.New(b.g, forks, loops)
+}
+
+// buildPGAQ: |V|=37, |E|=41, |F|=4, ||F||=22, |L|=2, ||L||=26.
+func buildPGAQ() (*spec.Spec, error) {
+	b := newBuilder()
+	b.chain(2)
+	preA := b.chain(4)
+	bA := b.block(1, 1, 0) // 5 edges
+	postA := b.chain(4)
+	span1 := b.chain(6) // standalone fork span
+	b.chain(1)
+	preB := b.chain(4)
+	bB := b.block(1, 1, 0, 0) // 6 edges
+	postB := b.chain(3)
+	span2 := b.chain(5) // standalone fork span
+	b.chain(1)
+	forks := []spec.EdgeSet{
+		union(bA...), // 5
+		union(bB...), // 6
+		span1,        // 6
+		span2,        // 5
+	}
+	loops := []spec.EdgeSet{
+		union(preA, union(bA...), postA), // 4+5+4 = 13
+		union(preB, union(bB...), postB), // 4+6+3 = 13
+	}
+	return spec.New(b.g, forks, loops)
+}
+
+// buildBAIDD: |V|=29, |E|=36, |F|=8, ||F||=17, |L|=2, ||L||=12.
+func buildBAIDD() (*spec.Spec, error) {
+	b := newBuilder()
+	b.chain(2)
+	b1 := b.block(1, 1, 1, 0) // 7 edges
+	b.chain(2)
+	b2 := b.block(1, 1, 0) // 5 edges
+	span := b.chain(3)
+	b3 := b.block(1, 1, 0) // 5 edges
+	b.chain(2)
+	m1 := b.block(0, 0) // 2 parallel edges
+	b.chain(8)
+	forks := []spec.EdgeSet{
+		b1[0], b1[1], b1[2],
+		b2[0], b2[1],
+		b3[0],
+		union(m1...),
+		span,
+	}
+	loops := []spec.EdgeSet{union(b1...), union(b3...)}
+	return spec.New(b.g, forks, loops)
+}
+
+// ProteinAnnotation builds the full 15-module protein annotation
+// workflow of Fig. 1: BLAST against SwissProt/TrEMBL/PIR with forks,
+// the reciprocal-best-hit loop back from collectTop1&Compare to
+// FastaFormat, optional domain search, and a forked annotation phase.
+func ProteinAnnotation() (*spec.Spec, error) {
+	g := graph.New()
+	names := []string{
+		"getProteinSeq", "FastaFormat", "BlastSwP", "BlastTrEMBL", "BlastPIR",
+		"collectTop1&Compare", "getDomAnnot", "getProDomDom", "getPFAMDom",
+		"extractDomSeq", "getGOAnnot", "getFunCatAnnot", "getBrendaAnnot",
+		"getEnzymeAnnot", "exportAnnotSeq",
+	}
+	ids := make([]graph.NodeID, len(names)+1)
+	for i, n := range names {
+		id := graph.NodeID(fmt.Sprint(i + 1))
+		g.MustAddNode(id, n)
+		ids[i+1] = id
+	}
+	e := func(a, b int) graph.Edge { return g.MustAddEdge(ids[a], ids[b]) }
+	e12 := e(1, 2)
+	e23, e36 := e(2, 3), e(3, 6)
+	e24, e46 := e(2, 4), e(4, 6)
+	e25, e56 := e(2, 5), e(5, 6)
+	e67 := e(6, 7)
+	e78, e810 := e(7, 8), e(8, 10)
+	e79, e910 := e(7, 9), e(9, 10)
+	e710 := e(7, 10) // domains already known: skip the search
+	e1011, e1112, e1215 := e(10, 11), e(11, 12), e(12, 15)
+	e1013, e1314, e1415 := e(10, 13), e(13, 14), e(14, 15)
+	_ = e12
+	forks := []spec.EdgeSet{
+		{e23, e36},
+		{e24, e46},
+		{e25, e56},
+		// The per-sequence phase between 6 and 15 forks as a whole.
+		{e67, e78, e810, e79, e910, e710, e1011, e1112, e1215, e1013, e1314, e1415},
+	}
+	loops := []spec.EdgeSet{
+		{e23, e36, e24, e46, e25, e56}, // reciprocal best hits: 6 -> 2
+	}
+	return spec.New(g, forks, loops)
+}
+
+// Fig17bSpec builds the synthetic cost-model specification of
+// Fig. 17(b): a fork over a block of 10 parallel paths between u and
+// v, the i-th of length pathLen(i) (the paper uses i²), preceded and
+// followed by single edges s->u and v->t.
+func Fig17bSpec(pathLen func(i int) int) (*spec.Spec, error) {
+	if pathLen == nil {
+		pathLen = func(i int) int { return i * i }
+	}
+	b := newBuilder()
+	b.chain(1) // s -> u
+	lens := make([]int, 10)
+	for i := range lens {
+		lens[i] = pathLen(i+1) - 1 // interior module count
+		if lens[i] < 0 {
+			return nil, fmt.Errorf("gen: path length must be >= 1")
+		}
+	}
+	paths := b.block(lens...)
+	b.chain(1) // v -> t
+	forks := []spec.EdgeSet{union(paths...)}
+	return spec.New(b.g, forks, nil)
+}

@@ -1,0 +1,264 @@
+// Package gen generates the synthetic workloads of the paper's
+// evaluation (Section VIII): random SP-workflow specifications with a
+// controlled series/parallel composition ratio and well-nested
+// fork/loop annotations, and random valid runs parameterized by
+// probP, probF/maxF and probL/maxL. It also reconstructs the six real
+// workflow specifications of Table I and the cost-model specification
+// of Fig. 17(b).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// SpecConfig controls RandomSpec.
+type SpecConfig struct {
+	// Edges is the number of edges of the specification graph.
+	Edges int
+	// SeriesRatio is r, the ratio of series to parallel compositions
+	// (Section VIII-B): a split is series with probability r/(r+1).
+	// r = +Inf yields a single path; r = 0 a bundle of multi-edges.
+	SeriesRatio float64
+	// Forks and Loops are the number of fork and loop subgraphs to
+	// annotate (0 for the pure series/parallel experiments).
+	Forks, Loops int
+}
+
+// region records a subgraph created by one recursive split, usable as
+// a fork or loop annotation.
+type region struct {
+	edges spec.EdgeSet
+	// forkOK: the region is an exact decomposition-tree node or a
+	// consecutive span of S children (true unless it is a parallel
+	// branch that got flattened into its parallel parent).
+	forkOK bool
+	// loopOK additionally requires the region to be a complete
+	// subgraph (it contains all paths between its terminals), which
+	// fails for any branch of a parallel split.
+	loopOK bool
+}
+
+// RandomSpec generates a random SP-workflow specification.
+func RandomSpec(cfg SpecConfig, rng *rand.Rand) (*spec.Spec, error) {
+	if cfg.Edges < 1 {
+		return nil, fmt.Errorf("gen: need at least one edge")
+	}
+	g := graph.New()
+	next := 0
+	newNode := func() graph.NodeID {
+		id := graph.NodeID(fmt.Sprintf("n%d", next))
+		g.MustAddNode(id, string(id))
+		next++
+		return id
+	}
+	pSeries := cfg.SeriesRatio / (cfg.SeriesRatio + 1)
+	var regions []region
+
+	// build creates a random SP subgraph with `budget` edges between
+	// s and t. parentParallel marks that this region is a branch of a
+	// parallel split (not complete; only a fork candidate if it is an
+	// exact node, which holds unless it is itself a parallel split —
+	// then it merges with the parent P and is not even that).
+	var build func(s, t graph.NodeID, budget int, parentParallel bool) region
+	build = func(s, t graph.NodeID, budget int, parentParallel bool) region {
+		if budget == 1 {
+			e := g.MustAddEdge(s, t)
+			r := region{edges: spec.EdgeSet{e}, forkOK: true, loopOK: !parentParallel}
+			regions = append(regions, r)
+			return r
+		}
+		split := budget / 2
+		if budget > 2 {
+			split = 1 + rng.Intn(budget-1)
+		}
+		var r region
+		if rng.Float64() < pSeries {
+			mid := newNode()
+			left := build(s, mid, split, false)
+			right := build(mid, t, budget-split, false)
+			r = region{edges: append(append(spec.EdgeSet{}, left.edges...), right.edges...),
+				forkOK: true, loopOK: !parentParallel}
+		} else {
+			left := build(s, t, split, true)
+			right := build(s, t, budget-split, true)
+			r = region{edges: append(append(spec.EdgeSet{}, left.edges...), right.edges...),
+				// A parallel split nested directly under a parallel
+				// split flattens into the parent P node, so it is
+				// not an exact tree node.
+				forkOK: !parentParallel, loopOK: !parentParallel}
+		}
+		regions = append(regions, r)
+		return r
+	}
+	s, t := newNode(), newNode()
+	build(s, t, cfg.Edges, false)
+
+	// Parallel branches that are themselves parallel splits are not
+	// exact tree nodes; their children are, so fork candidates are
+	// plentiful. Pick disjoint-or-nested candidates at random — the
+	// construction tree is laminar by design.
+	var forkCands, loopCands []int
+	for i, r := range regions {
+		full := len(r.edges) == cfg.Edges
+		if r.forkOK && !full {
+			forkCands = append(forkCands, i)
+		}
+		if r.loopOK && !full {
+			loopCands = append(loopCands, i)
+		}
+	}
+	used := map[int]bool{}
+	pick := func(cands []int, n int) []spec.EdgeSet {
+		var out []spec.EdgeSet
+		perm := rng.Perm(len(cands))
+		for _, pi := range perm {
+			if len(out) == n {
+				break
+			}
+			idx := cands[pi]
+			if used[idx] {
+				continue
+			}
+			used[idx] = true
+			out = append(out, regions[idx].edges)
+		}
+		return out
+	}
+	forks := pick(forkCands, cfg.Forks)
+	loops := pick(loopCands, cfg.Loops)
+	return spec.New(g, forks, loops)
+}
+
+// RunParams are the run generation parameters of Section VIII: probP
+// is the probability each parallel branch is taken; each fork (loop)
+// execution replicates up to MaxF (MaxL) copies, each taken with
+// probability ProbF (ProbL); at least one branch/copy/iteration is
+// always executed.
+type RunParams struct {
+	ProbP float64
+	ProbF float64
+	MaxF  int
+	ProbL float64
+	MaxL  int
+}
+
+// DefaultRunParams mirrors the paper's common setting: 95% branch
+// probability and modest fork/loop replication.
+func DefaultRunParams() RunParams {
+	return RunParams{ProbP: 0.95, ProbF: 0.5, MaxF: 4, ProbL: 0.5, MaxL: 4}
+}
+
+type randDecider struct {
+	p   RunParams
+	rng *rand.Rand
+}
+
+// NewDecider builds a wfrun.Decider drawing choices from params.
+func NewDecider(p RunParams, rng *rand.Rand) wfrun.Decider {
+	return &randDecider{p: p, rng: rng}
+}
+
+func (d *randDecider) ParallelSubset(p *sptree.Node) []int {
+	var subset []int
+	for i := range p.Children {
+		if d.rng.Float64() < d.p.ProbP {
+			subset = append(subset, i)
+		}
+	}
+	if len(subset) == 0 {
+		subset = []int{d.rng.Intn(len(p.Children))}
+	}
+	return subset
+}
+
+func (d *randDecider) ForkCopies(*sptree.Node) int {
+	return d.count(d.p.ProbF, d.p.MaxF)
+}
+
+func (d *randDecider) LoopIterations(*sptree.Node) int {
+	return d.count(d.p.ProbL, d.p.MaxL)
+}
+
+func (d *randDecider) count(prob float64, max int) int {
+	n := 0
+	for i := 0; i < max; i++ {
+		if d.rng.Float64() < prob {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// RandomRun executes a random valid run of sp with the given
+// parameters.
+func RandomRun(sp *spec.Spec, p RunParams, rng *rand.Rand) (*wfrun.Run, error) {
+	return wfrun.Execute(sp, NewDecider(p, rng))
+}
+
+// RunWithTargetEdges generates a random run whose graph has
+// approximately target edges (within the given relative tolerance) by
+// adaptively scaling the fork/loop replication, as needed to sweep run
+// sizes in the Fig. 11 experiment. It returns the best run found if
+// the tolerance cannot be met within the attempt budget.
+func RunWithTargetEdges(sp *spec.Spec, target int, tol float64, p RunParams, rng *rand.Rand) (*wfrun.Run, error) {
+	if target < sp.G.NumEdges()/2 {
+		return nil, fmt.Errorf("gen: target %d below minimum plausible run size", target)
+	}
+	best := (*wfrun.Run)(nil)
+	bestErr := 1e18
+	params := p
+	if params.MaxF < 1 {
+		params.MaxF = 1
+	}
+	if params.MaxL < 1 {
+		params.MaxL = 1
+	}
+	for attempt := 0; attempt < 48; attempt++ {
+		r, err := RandomRun(sp, params, rng)
+		if err != nil {
+			return nil, err
+		}
+		got := r.NumEdges()
+		diff := float64(got-target) / float64(target)
+		if abs(diff) < abs(bestErr) {
+			best, bestErr = r, diff
+		}
+		if abs(diff) <= tol {
+			return r, nil
+		}
+		// Scale replication toward the target.
+		scale := float64(target) / float64(got)
+		params.MaxF = clamp(int(float64(params.MaxF)*scale+0.5), 1, 4096)
+		params.MaxL = clamp(int(float64(params.MaxL)*scale+0.5), 1, 4096)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gen: could not generate a run near %d edges", target)
+	}
+	return best, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// TestCatalogMatchesTableI is the contract of the reconstruction: the
+// six specifications carry exactly the characteristics published in
+// Table I of the paper.
+func TestCatalogMatchesTableI(t *testing.T) {
+	want := map[string]spec.Stats{
+		"PA":     {V: 11, E: 13, Forks: 3, ForkSz: 6, Loops: 1, LoopSz: 6},
+		"EMBOSS": {V: 17, E: 22, Forks: 4, ForkSz: 10, Loops: 2, LoopSz: 10},
+		"SAXPF":  {V: 27, E: 36, Forks: 7, ForkSz: 18, Loops: 1, LoopSz: 7},
+		"MB":     {V: 17, E: 19, Forks: 2, ForkSz: 6, Loops: 1, LoopSz: 6},
+		"PGAQ":   {V: 37, E: 41, Forks: 4, ForkSz: 22, Loops: 2, LoopSz: 26},
+		"BAIDD":  {V: 29, E: 36, Forks: 8, ForkSz: 17, Loops: 2, LoopSz: 12},
+	}
+	for _, name := range CatalogNames {
+		sp, err := Catalog(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := sp.Stats(); got != want[name] {
+			t.Errorf("%s: stats %+v, want %+v", name, got, want[name])
+		}
+		if err := sptree.ValidateSpecTree(sp.Tree); err != nil {
+			t.Errorf("%s: invalid annotated tree: %v", name, err)
+		}
+	}
+	if _, err := Catalog("NOPE"); err == nil {
+		t.Error("unknown catalog name must fail")
+	}
+}
+
+func TestProteinAnnotation(t *testing.T) {
+	sp, err := ProteinAnnotation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.G.NumNodes() != 15 || sp.G.NumEdges() != 19 {
+		t.Fatalf("PA Fig.1: V=%d E=%d, want 15/19", sp.G.NumNodes(), sp.G.NumEdges())
+	}
+	if len(sp.Forks) != 4 || len(sp.Loops) != 1 {
+		t.Fatalf("PA Fig.1: %d forks %d loops", len(sp.Forks), len(sp.Loops))
+	}
+	// The workflow must be runnable with replicated forks and loops.
+	rng := rand.New(rand.NewSource(1))
+	r, err := RandomRun(sp, RunParams{ProbP: 0.9, ProbF: 0.8, MaxF: 3, ProbL: 0.8, MaxL: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig17bSpec(t *testing.T) {
+	sp, err := Fig17bSpec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges: s->u, v->t, plus sum i^2 for i=1..10 = 385.
+	if got := sp.G.NumEdges(); got != 387 {
+		t.Fatalf("Fig17b edges = %d, want 387", got)
+	}
+	if len(sp.Forks) != 1 {
+		t.Fatalf("Fig17b forks = %d, want 1", len(sp.Forks))
+	}
+	// With linear path lengths the block is 55 edges.
+	sp2, err := Fig17bSpec(func(i int) int { return i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp2.G.NumEdges(); got != 57 {
+		t.Fatalf("Fig17b linear edges = %d, want 57", got)
+	}
+	// The fork must wrap the whole parallel block: its F node exists
+	// with a P child.
+	var f *sptree.Node
+	sp.Tree.Walk(func(n *sptree.Node) bool {
+		if n.Type == sptree.F {
+			f = n
+		}
+		return true
+	})
+	if f == nil || f.Children[0].Type != sptree.P || len(f.Children[0].Children) != 10 {
+		t.Fatalf("Fig17b fork structure wrong:\n%v", f)
+	}
+}
+
+func TestRandomSpecRespectsConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, r := range []float64{3, 1, 1.0 / 3} {
+		for _, edges := range []int{10, 50, 120} {
+			sp, err := RandomSpec(SpecConfig{Edges: edges, SeriesRatio: r, Forks: 3, Loops: 2}, rng)
+			if err != nil {
+				t.Fatalf("r=%g edges=%d: %v", r, edges, err)
+			}
+			if sp.G.NumEdges() != edges {
+				t.Fatalf("r=%g: edges = %d, want %d", r, sp.G.NumEdges(), edges)
+			}
+			if err := sptree.ValidateSpecTree(sp.Tree); err != nil {
+				t.Fatalf("r=%g edges=%d: %v", r, edges, err)
+			}
+		}
+	}
+}
+
+func TestRandomSpecSeriesRatioShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	countS := func(sp *spec.Spec) (s, p int) {
+		sp.Tree.Walk(func(n *sptree.Node) bool {
+			switch n.Type {
+			case sptree.S:
+				s += len(n.Children) - 1
+			case sptree.P:
+				p += len(n.Children) - 1
+			}
+			return true
+		})
+		return
+	}
+	var sHigh, pHigh, sLow, pLow int
+	for i := 0; i < 20; i++ {
+		spHigh, err := RandomSpec(SpecConfig{Edges: 80, SeriesRatio: 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, p := countS(spHigh)
+		sHigh += s
+		pHigh += p
+		spLow, err := RandomSpec(SpecConfig{Edges: 80, SeriesRatio: 1.0 / 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, p = countS(spLow)
+		sLow += s
+		pLow += p
+	}
+	if sHigh <= pHigh {
+		t.Errorf("series-heavy specs should have more series compositions: S=%d P=%d", sHigh, pHigh)
+	}
+	if pLow <= sLow {
+		t.Errorf("parallel-heavy specs should have more parallel compositions: S=%d P=%d", sLow, pLow)
+	}
+}
+
+func TestRandomRunsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		sp, err := RandomSpec(SpecConfig{Edges: 40, SeriesRatio: 1, Forks: 4, Loops: 2}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			r, err := RandomRun(sp, DefaultRunParams(), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("trial %d run %d: %v", trial, i, err)
+			}
+		}
+	}
+}
+
+func TestRunWithTargetEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sp, err := Catalog("PA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{100, 400, 1000} {
+		r, err := RunWithTargetEdges(sp, target, 0.1, DefaultRunParams(), rng)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		got := r.NumEdges()
+		if got < int(float64(target)*0.7) || got > int(float64(target)*1.3) {
+			t.Fatalf("target %d: got %d edges (outside loose bounds)", target, got)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RunWithTargetEdges(sp, 1, 0.1, DefaultRunParams(), rng); err == nil {
+		t.Fatal("absurdly small target must fail")
+	}
+}
+
+func TestDeciderCountBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := &randDecider{p: RunParams{ProbF: 1, MaxF: 20, ProbL: 0, MaxL: 20}, rng: rng}
+	if got := d.ForkCopies(nil); got != 20 {
+		t.Fatalf("probF=1 should give maxF copies, got %d", got)
+	}
+	if got := d.LoopIterations(nil); got != 1 {
+		t.Fatalf("probL=0 should still give one iteration, got %d", got)
+	}
+}
+
+// The catalog specifications should all be runnable at Fig. 11 scale.
+func TestCatalogRunnableAtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for _, name := range CatalogNames {
+		sp, err := Catalog(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunWithTargetEdges(sp, 300, 0.15, DefaultRunParams(), rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := wfrun.Derive(sp, r.Graph, r.EdgeRefs()); err != nil {
+			t.Fatalf("%s: derive on scaled run failed: %v", name, err)
+		}
+	}
+}

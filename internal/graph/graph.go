@@ -1,0 +1,397 @@
+// Package graph provides node-labeled directed multigraphs and the
+// flow-network predicates used by the workflow model of Bao et al.
+// (Definition 3.1): a flow network is a directed graph with a unique
+// source, a unique sink, and every node on some source-sink path.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a Graph. IDs are arbitrary non-empty
+// strings; in specifications they coincide with the (unique) labels, in
+// runs they are label instances such as "3b".
+type NodeID string
+
+// Edge is a directed edge between two nodes. Key disambiguates parallel
+// edges between the same endpoints (SP-graphs are multigraphs); for
+// simple graphs Key is 0.
+type Edge struct {
+	From NodeID
+	To   NodeID
+	Key  int
+}
+
+// String renders the edge as "(u,v)" or "(u,v)#k" for parallel edges.
+func (e Edge) String() string {
+	if e.Key == 0 {
+		return fmt.Sprintf("(%s,%s)", e.From, e.To)
+	}
+	return fmt.Sprintf("(%s,%s)#%d", e.From, e.To, e.Key)
+}
+
+// Graph is a node-labeled directed multigraph. The zero value is an
+// empty graph ready to use.
+type Graph struct {
+	nodes  []NodeID
+	labels map[NodeID]string
+	edges  []Edge
+	out    map[NodeID][]Edge
+	in     map[NodeID][]Edge
+	keySeq map[[2]NodeID]int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		labels: make(map[NodeID]string),
+		out:    make(map[NodeID][]Edge),
+		in:     make(map[NodeID][]Edge),
+		keySeq: make(map[[2]NodeID]int),
+	}
+}
+
+// AddNode inserts a node with the given label. Adding an existing node
+// with the same label is a no-op; with a different label it is an error.
+func (g *Graph) AddNode(id NodeID, label string) error {
+	if id == "" {
+		return fmt.Errorf("graph: empty node id")
+	}
+	if have, ok := g.labels[id]; ok {
+		if have != label {
+			return fmt.Errorf("graph: node %s already exists with label %q (got %q)", id, have, label)
+		}
+		return nil
+	}
+	g.nodes = append(g.nodes, id)
+	g.labels[id] = label
+	return nil
+}
+
+// MustAddNode is AddNode that panics on error; for hand-built fixtures.
+func (g *Graph) MustAddNode(id NodeID, label string) {
+	if err := g.AddNode(id, label); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge inserts a directed edge and returns it. Both endpoints must
+// already exist. Parallel edges receive increasing keys.
+func (g *Graph) AddEdge(from, to NodeID) (Edge, error) {
+	if _, ok := g.labels[from]; !ok {
+		return Edge{}, fmt.Errorf("graph: unknown node %s", from)
+	}
+	if _, ok := g.labels[to]; !ok {
+		return Edge{}, fmt.Errorf("graph: unknown node %s", to)
+	}
+	pair := [2]NodeID{from, to}
+	key := g.keySeq[pair]
+	g.keySeq[pair] = key + 1
+	e := Edge{From: from, To: to, Key: key}
+	g.edges = append(g.edges, e)
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	return e, nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *Graph) MustAddEdge(from, to NodeID) Edge {
+	e, err := g.AddEdge(from, to)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// RemoveEdge deletes a specific edge. It reports whether the edge was
+// present.
+func (g *Graph) RemoveEdge(e Edge) bool {
+	idx := -1
+	for i, have := range g.edges {
+		if have == e {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	g.edges = append(g.edges[:idx], g.edges[idx+1:]...)
+	g.out[e.From] = removeEdge(g.out[e.From], e)
+	g.in[e.To] = removeEdge(g.in[e.To], e)
+	return true
+}
+
+// RemoveNode deletes a node and all incident edges. It reports whether
+// the node was present.
+func (g *Graph) RemoveNode(id NodeID) bool {
+	if _, ok := g.labels[id]; !ok {
+		return false
+	}
+	for _, e := range append([]Edge(nil), g.out[id]...) {
+		g.RemoveEdge(e)
+	}
+	for _, e := range append([]Edge(nil), g.in[id]...) {
+		g.RemoveEdge(e)
+	}
+	delete(g.labels, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	for i, n := range g.nodes {
+		if n == id {
+			g.nodes = append(g.nodes[:i], g.nodes[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+func removeEdge(s []Edge, e Edge) []Edge {
+	for i, have := range s {
+		if have == e {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Nodes returns the node IDs in insertion order. The slice is a copy.
+func (g *Graph) Nodes() []NodeID {
+	return append([]NodeID(nil), g.nodes...)
+}
+
+// Edges returns all edges in insertion order. The slice is a copy.
+func (g *Graph) Edges() []Edge {
+	return append([]Edge(nil), g.edges...)
+}
+
+// NumNodes returns |V(G)|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E(G)|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// HasNode reports whether id is a node of g.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.labels[id]
+	return ok
+}
+
+// Label returns the label on a node; empty if the node is unknown.
+func (g *Graph) Label(id NodeID) string { return g.labels[id] }
+
+// Out returns the outgoing edges of a node (copy).
+func (g *Graph) Out(id NodeID) []Edge { return append([]Edge(nil), g.out[id]...) }
+
+// In returns the incoming edges of a node (copy).
+func (g *Graph) In(id NodeID) []Edge { return append([]Edge(nil), g.in[id]...) }
+
+// OutDegree returns the number of outgoing edges of a node.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.out[id]) }
+
+// InDegree returns the number of incoming edges of a node.
+func (g *Graph) InDegree(id NodeID) int { return len(g.in[id]) }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, n := range g.nodes {
+		c.MustAddNode(n, g.labels[n])
+	}
+	for _, e := range g.edges {
+		// Preserve keys by replaying insertions in order: AddEdge
+		// assigns keys sequentially per endpoint pair, matching the
+		// original assignment order.
+		c.MustAddEdge(e.From, e.To)
+	}
+	return c
+}
+
+// Source returns the unique node with in-degree zero, or an error if
+// there is not exactly one.
+func (g *Graph) Source() (NodeID, error) {
+	var srcs []NodeID
+	for _, n := range g.nodes {
+		if len(g.in[n]) == 0 {
+			srcs = append(srcs, n)
+		}
+	}
+	if len(srcs) != 1 {
+		return "", fmt.Errorf("graph: want exactly one source, have %d", len(srcs))
+	}
+	return srcs[0], nil
+}
+
+// Sink returns the unique node with out-degree zero, or an error if
+// there is not exactly one.
+func (g *Graph) Sink() (NodeID, error) {
+	var sinks []NodeID
+	for _, n := range g.nodes {
+		if len(g.out[n]) == 0 {
+			sinks = append(sinks, n)
+		}
+	}
+	if len(sinks) != 1 {
+		return "", fmt.Errorf("graph: want exactly one sink, have %d", len(sinks))
+	}
+	return sinks[0], nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// TopoOrder returns the nodes in a topological order, or an error if
+// the graph has a cycle.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n] = len(g.in[n])
+	}
+	var queue []NodeID
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	order := make([]NodeID, 0, len(g.nodes))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range g.out[n] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: cycle detected")
+	}
+	return order, nil
+}
+
+// ReachableFrom returns the set of nodes reachable from start
+// (including start) following edge direction.
+func (g *Graph) ReachableFrom(start NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{start: true}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// CoReachableTo returns the set of nodes that can reach end (including
+// end) following edge direction.
+func (g *Graph) CoReachableTo(end NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{end: true}
+	stack := []NodeID{end}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.in[n] {
+			if !seen[e.From] {
+				seen[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	return seen
+}
+
+// CheckFlowNetwork verifies Definition 3.1: a unique source s, a unique
+// sink t, and every node on some s-t path. It returns (s, t, nil) on
+// success.
+func (g *Graph) CheckFlowNetwork() (s, t NodeID, err error) {
+	if len(g.nodes) == 0 {
+		return "", "", fmt.Errorf("graph: empty graph is not a flow network")
+	}
+	s, err = g.Source()
+	if err != nil {
+		return "", "", err
+	}
+	t, err = g.Sink()
+	if err != nil {
+		return "", "", err
+	}
+	if s == t && len(g.nodes) > 1 {
+		return "", "", fmt.Errorf("graph: source equals sink in multi-node graph")
+	}
+	fromS := g.ReachableFrom(s)
+	toT := g.CoReachableTo(t)
+	for _, n := range g.nodes {
+		if !fromS[n] || !toT[n] {
+			return "", "", fmt.Errorf("graph: node %s is not on any %s-%s path", n, s, t)
+		}
+	}
+	return s, t, nil
+}
+
+// UniqueLabels reports whether all node labels are distinct, as the
+// workflow specification model requires.
+func (g *Graph) UniqueLabels() bool {
+	seen := make(map[string]bool, len(g.nodes))
+	for _, n := range g.nodes {
+		l := g.labels[n]
+		if seen[l] {
+			return false
+		}
+		seen[l] = true
+	}
+	return true
+}
+
+// NodeByLabel returns the node carrying the given label. It fails if
+// zero or multiple nodes carry it.
+func (g *Graph) NodeByLabel(label string) (NodeID, error) {
+	var found []NodeID
+	for _, n := range g.nodes {
+		if g.labels[n] == label {
+			found = append(found, n)
+		}
+	}
+	if len(found) != 1 {
+		return "", fmt.Errorf("graph: label %q carried by %d nodes", label, len(found))
+	}
+	return found[0], nil
+}
+
+// String renders a deterministic multi-line description, useful in
+// tests and error messages.
+func (g *Graph) String() string {
+	nodes := g.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var b strings.Builder
+	b.WriteString("nodes:")
+	for _, n := range nodes {
+		fmt.Fprintf(&b, " %s[%s]", n, g.labels[n])
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Key < edges[j].Key
+	})
+	b.WriteString("\nedges:")
+	for _, e := range edges {
+		b.WriteString(" " + e.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,281 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range []string{"s", "a", "b", "t"} {
+		g.MustAddNode(NodeID(n), n)
+	}
+	g.MustAddEdge("s", "a")
+	g.MustAddEdge("s", "b")
+	g.MustAddEdge("a", "t")
+	g.MustAddEdge("b", "t")
+	return g
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	if err := g.AddNode("x", "lab"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("x", "lab"); err != nil {
+		t.Fatalf("re-adding identical node should be a no-op, got %v", err)
+	}
+	if err := g.AddNode("x", "other"); err == nil {
+		t.Fatal("expected error re-adding node with different label")
+	}
+	if err := g.AddNode("", "lab"); err == nil {
+		t.Fatal("expected error for empty node id")
+	}
+	if g.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", g.NumNodes())
+	}
+}
+
+func TestAddEdgeUnknownEndpoint(t *testing.T) {
+	g := New()
+	g.MustAddNode("a", "a")
+	if _, err := g.AddEdge("a", "b"); err == nil {
+		t.Fatal("expected error for unknown target")
+	}
+	if _, err := g.AddEdge("b", "a"); err == nil {
+		t.Fatal("expected error for unknown source")
+	}
+}
+
+func TestParallelEdgeKeys(t *testing.T) {
+	g := New()
+	g.MustAddNode("a", "a")
+	g.MustAddNode("b", "b")
+	e0 := g.MustAddEdge("a", "b")
+	e1 := g.MustAddEdge("a", "b")
+	if e0.Key != 0 || e1.Key != 1 {
+		t.Fatalf("parallel keys = %d, %d; want 0, 1", e0.Key, e1.Key)
+	}
+	if e0.String() != "(a,b)" || e1.String() != "(a,b)#1" {
+		t.Fatalf("edge strings = %q, %q", e0.String(), e1.String())
+	}
+	if g.OutDegree("a") != 2 || g.InDegree("b") != 2 {
+		t.Fatalf("degrees wrong: out=%d in=%d", g.OutDegree("a"), g.InDegree("b"))
+	}
+}
+
+func TestRemoveEdgeAndNode(t *testing.T) {
+	g := diamond(t)
+	e := g.Out("s")[0]
+	if !g.RemoveEdge(e) {
+		t.Fatal("RemoveEdge returned false for present edge")
+	}
+	if g.RemoveEdge(e) {
+		t.Fatal("RemoveEdge returned true for absent edge")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if !g.RemoveNode("a") {
+		t.Fatal("RemoveNode returned false")
+	}
+	if g.HasNode("a") {
+		t.Fatal("node a still present")
+	}
+	for _, e := range g.Edges() {
+		if e.From == "a" || e.To == "a" {
+			t.Fatalf("dangling edge %s", e)
+		}
+	}
+}
+
+func TestSourceSink(t *testing.T) {
+	g := diamond(t)
+	s, err := g.Source()
+	if err != nil || s != "s" {
+		t.Fatalf("Source = %v, %v", s, err)
+	}
+	tt, err := g.Sink()
+	if err != nil || tt != "t" {
+		t.Fatalf("Sink = %v, %v", tt, err)
+	}
+	g.MustAddNode("u", "u") // isolated node: second source and sink
+	if _, err := g.Source(); err == nil {
+		t.Fatal("expected multiple-source error")
+	}
+}
+
+func TestTopoOrderAndCycle(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[NodeID]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %s violates topological order", e)
+		}
+	}
+	g.MustAddEdge("t", "s")
+	if g.IsAcyclic() {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestCheckFlowNetwork(t *testing.T) {
+	g := diamond(t)
+	s, tt, err := g.CheckFlowNetwork()
+	if err != nil || s != "s" || tt != "t" {
+		t.Fatalf("CheckFlowNetwork = %v,%v,%v", s, tt, err)
+	}
+	// A node off every s-t path.
+	g2 := diamond(t)
+	g2.MustAddNode("x", "x")
+	g2.MustAddEdge("s", "x")
+	if _, _, err := g2.CheckFlowNetwork(); err == nil {
+		t.Fatal("expected error: x is a second sink")
+	}
+	if _, _, err := New().CheckFlowNetwork(); err == nil {
+		t.Fatal("expected error for empty graph")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := diamond(t)
+	from := g.ReachableFrom("a")
+	if !from["t"] || from["b"] || !from["a"] {
+		t.Fatalf("ReachableFrom(a) = %v", from)
+	}
+	to := g.CoReachableTo("a")
+	if !to["s"] || to["b"] {
+		t.Fatalf("CoReachableTo(a) = %v", to)
+	}
+}
+
+func TestUniqueLabelsAndNodeByLabel(t *testing.T) {
+	g := diamond(t)
+	if !g.UniqueLabels() {
+		t.Fatal("labels should be unique")
+	}
+	n, err := g.NodeByLabel("a")
+	if err != nil || n != "a" {
+		t.Fatalf("NodeByLabel = %v, %v", n, err)
+	}
+	g.MustAddNode("a2", "a")
+	if g.UniqueLabels() {
+		t.Fatal("duplicate label not detected")
+	}
+	if _, err := g.NodeByLabel("a"); err == nil {
+		t.Fatal("expected ambiguity error")
+	}
+	if _, err := g.NodeByLabel("zzz"); err == nil {
+		t.Fatal("expected missing-label error")
+	}
+}
+
+func TestClonePreservesKeys(t *testing.T) {
+	g := New()
+	g.MustAddNode("a", "a")
+	g.MustAddNode("b", "b")
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("a", "b")
+	c := g.Clone()
+	if c.String() != g.String() {
+		t.Fatalf("clone differs:\n%s\nvs\n%s", c, g)
+	}
+	c.MustAddNode("z", "z")
+	if g.HasNode("z") {
+		t.Fatal("clone is not independent")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	g := diamond(t)
+	s := g.String()
+	if !strings.Contains(s, "s[s]") || !strings.Contains(s, "(a,t)") {
+		t.Fatalf("unexpected rendering: %s", s)
+	}
+	if s != g.String() {
+		t.Fatal("String not deterministic")
+	}
+}
+
+func TestFindHomomorphism(t *testing.T) {
+	spec := diamond(t)
+	run := New()
+	for _, n := range []struct{ id, label string }{
+		{"sa", "s"}, {"aa", "a"}, {"ab", "a"}, {"ta", "t"},
+	} {
+		run.MustAddNode(NodeID(n.id), n.label)
+	}
+	run.MustAddEdge("sa", "aa")
+	run.MustAddEdge("sa", "ab")
+	run.MustAddEdge("aa", "ta")
+	run.MustAddEdge("ab", "ta")
+	h, err := FindHomomorphism(run, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["aa"] != "a" || h["ab"] != "a" || h["sa"] != "s" {
+		t.Fatalf("homomorphism wrong: %v", h)
+	}
+}
+
+func TestFindHomomorphismRejectsBadEdge(t *testing.T) {
+	spec := diamond(t)
+	run := New()
+	run.MustAddNode("sa", "s")
+	run.MustAddNode("ba", "b")
+	run.MustAddNode("aa", "a")
+	run.MustAddNode("ta", "t")
+	run.MustAddEdge("sa", "ba")
+	run.MustAddEdge("ba", "aa") // (b,a) is not a specification edge
+	run.MustAddEdge("aa", "ta")
+	if _, err := FindHomomorphism(run, spec); err == nil {
+		t.Fatal("expected rejection of edge with no specification image")
+	}
+}
+
+func TestFindHomomorphismRejectsUnknownLabel(t *testing.T) {
+	spec := diamond(t)
+	run := New()
+	run.MustAddNode("sa", "s")
+	run.MustAddNode("xa", "x")
+	run.MustAddNode("ta", "t")
+	run.MustAddEdge("sa", "xa")
+	run.MustAddEdge("xa", "ta")
+	if _, err := FindHomomorphism(run, spec); err == nil {
+		t.Fatal("expected rejection of unknown label")
+	}
+}
+
+func TestElementaryPath(t *testing.T) {
+	g := New()
+	for _, n := range []string{"s", "x", "y", "t", "z"} {
+		g.MustAddNode(NodeID(n), n)
+	}
+	// Two parallel paths s->x->y->t and s->z->t make the internal
+	// nodes degree-1 and the terminals branch.
+	g.MustAddEdge("s", "x")
+	g.MustAddEdge("x", "y")
+	g.MustAddEdge("y", "t")
+	g.MustAddEdge("s", "z")
+	g.MustAddEdge("z", "t")
+	if err := ElementaryPath(g, []NodeID{"s", "x", "y", "t"}); err != nil {
+		t.Fatalf("valid elementary path rejected: %v", err)
+	}
+	if err := ElementaryPath(g, []NodeID{"s", "x"}); err == nil {
+		t.Fatal("path ending at degree-1 node x should be rejected")
+	}
+	if err := ElementaryPath(g, []NodeID{"s"}); err == nil {
+		t.Fatal("zero-edge path should be rejected")
+	}
+	if err := ElementaryPath(g, []NodeID{"s", "y", "t"}); err == nil {
+		t.Fatal("path with missing edge should be rejected")
+	}
+}

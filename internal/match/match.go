@@ -1,0 +1,190 @@
+// Package match provides the two matching primitives of the
+// differencing algorithm: minimum-cost bipartite matching with
+// insertion/deletion slack for F nodes (solved with the Hungarian
+// algorithm, Section V-C Case 4), and minimum-cost non-crossing
+// bipartite matching for the ordered children of L nodes (solved with
+// an edit-distance style dynamic program, Section VI).
+package match
+
+import "math"
+
+// Inf is the cost used to forbid a pairing.
+var Inf = math.Inf(1)
+
+// Result describes a matching between m left items and n right items.
+type Result struct {
+	// Cost is the total cost: matched pair costs plus deletion costs
+	// for unmatched left items plus insertion costs for unmatched
+	// right items.
+	Cost float64
+	// Pairs lists matched (left, right) index pairs.
+	Pairs [][2]int
+}
+
+// Matched reports, for convenience, whether left index i is matched
+// and to which right index.
+func (r *Result) Matched(i int) (int, bool) {
+	for _, p := range r.Pairs {
+		if p[0] == i {
+			return p[1], true
+		}
+	}
+	return 0, false
+}
+
+// Bipartite finds a minimum-cost matching between m left items and n
+// right items where pairing (i, j) costs pair(i, j), leaving left item
+// i unmatched costs del(i), and leaving right item j unmatched costs
+// ins(j). Every item may be matched at most once. This is the
+// bipartite graph of Fig. 9 with the special "−" and "+" nodes.
+//
+// It reduces to an (m+n) × (m+n) assignment problem: left items and n
+// insertion slots on one side, right items and m deletion slots on
+// the other; slot-to-slot cells cost zero.
+func Bipartite(m, n int, pair func(i, j int) float64, del func(i int) float64, ins func(j int) float64) Result {
+	size := m + n
+	if size == 0 {
+		return Result{}
+	}
+	cost := make([][]float64, size)
+	for i := 0; i < size; i++ {
+		cost[i] = make([]float64, size)
+		for j := 0; j < size; j++ {
+			switch {
+			case i < m && j < n:
+				cost[i][j] = pair(i, j)
+			case i < m && j >= n:
+				cost[i][j] = del(i)
+			case i >= m && j < n:
+				cost[i][j] = ins(j)
+			default:
+				cost[i][j] = 0
+			}
+		}
+	}
+	assign, total := hungarian(cost)
+	res := Result{Cost: total}
+	for i := 0; i < m; i++ {
+		if j := assign[i]; j < n {
+			res.Pairs = append(res.Pairs, [2]int{i, j})
+		}
+	}
+	return res
+}
+
+// hungarian solves the square assignment problem, returning for each
+// row the assigned column and the total cost. It is the O(n^3)
+// Jonker-style shortest augmenting path formulation of the Hungarian
+// method (Kuhn 1955), operating on potentials u, v.
+func hungarian(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row assigned to column j (1-based; 0 = none)
+	way := make([]int, n+1) // way[j] = previous column on the augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = Inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := Inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return assign, total
+}
+
+// NonCrossing finds a minimum-cost non-crossing matching between m
+// ordered left items and n ordered right items: if (i, j) and (i', j')
+// are both matched and i < i', then j < j'. Unmatched items pay del/ins
+// as in Bipartite. Solved by the classic O(mn) sequence-alignment
+// dynamic program.
+func NonCrossing(m, n int, pair func(i, j int) float64, del func(i int) float64, ins func(j int) float64) Result {
+	dp := make([][]float64, m+1)
+	for i := range dp {
+		dp[i] = make([]float64, n+1)
+	}
+	for i := 1; i <= m; i++ {
+		dp[i][0] = dp[i-1][0] + del(i-1)
+	}
+	for j := 1; j <= n; j++ {
+		dp[0][j] = dp[0][j-1] + ins(j-1)
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			best := dp[i-1][j] + del(i-1)
+			if c := dp[i][j-1] + ins(j-1); c < best {
+				best = c
+			}
+			if c := dp[i-1][j-1] + pair(i-1, j-1); c < best {
+				best = c
+			}
+			dp[i][j] = best
+		}
+	}
+	res := Result{Cost: dp[m][n]}
+	// Backtrack, preferring matches so ties yield maximal pairings.
+	const eps = 1e-9
+	i, j := m, n
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && dp[i][j] >= dp[i-1][j-1]+pair(i-1, j-1)-eps && dp[i][j] <= dp[i-1][j-1]+pair(i-1, j-1)+eps:
+			res.Pairs = append(res.Pairs, [2]int{i - 1, j - 1})
+			i, j = i-1, j-1
+		case i > 0 && dp[i][j] >= dp[i-1][j]+del(i-1)-eps && dp[i][j] <= dp[i-1][j]+del(i-1)+eps:
+			i--
+		default:
+			j--
+		}
+	}
+	// Reverse into increasing order.
+	for a, b := 0, len(res.Pairs)-1; a < b; a, b = a+1, b-1 {
+		res.Pairs[a], res.Pairs[b] = res.Pairs[b], res.Pairs[a]
+	}
+	return res
+}

@@ -1,0 +1,183 @@
+package naive
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// CliqueInstance is an undirected bipartite graph H = (X ∪ Y, E) with
+// |X| = |Y| = N, given by its adjacency matrix, plus the clique size
+// parameter l of Theorem 1.
+type CliqueInstance struct {
+	N   int
+	Adj [][]bool // Adj[x][y]: edge between X[x] and Y[y]
+	L   int
+}
+
+// NumEdges returns m = |E(H)|.
+func (ci *CliqueInstance) NumEdges() int {
+	m := 0
+	for _, row := range ci.Adj {
+		for _, v := range row {
+			if v {
+				m++
+			}
+		}
+	}
+	return m
+}
+
+// Reduction holds the workflow-difference instance encoding a
+// bipartite clique instance per the proof of Theorem 1.
+type Reduction struct {
+	// Spec is the 4-node forbidden-minor specification graph Gs.
+	Spec *graph.Graph
+	// R1 encodes H; R2 encodes the complete l × l bipartite graph.
+	R1, R2 *graph.Graph
+	// Gamma is the threshold (m − l²) + 4(n − l): an edit script of
+	// cost ≤ Gamma exists iff H contains an l × l bipartite clique.
+	Gamma int
+}
+
+// BuildCliqueReduction constructs the two runs of the Theorem 1 proof.
+func BuildCliqueReduction(ci *CliqueInstance) (*Reduction, error) {
+	if ci.L > ci.N || ci.L < 1 {
+		return nil, fmt.Errorf("naive: clique size %d out of range for n=%d", ci.L, ci.N)
+	}
+	spec := graph.New()
+	for _, n := range []string{"s", "v1", "v2", "t"} {
+		spec.MustAddNode(graph.NodeID(n), n)
+	}
+	spec.MustAddEdge("s", "v1")
+	spec.MustAddEdge("s", "v2")
+	spec.MustAddEdge("v1", "v2")
+	spec.MustAddEdge("v1", "t")
+	spec.MustAddEdge("v2", "t")
+
+	r1 := graph.New()
+	r1.MustAddNode("s1", "s")
+	r1.MustAddNode("t1", "t")
+	for i := 0; i < ci.N; i++ {
+		x := graph.NodeID(fmt.Sprintf("x%d", i))
+		y := graph.NodeID(fmt.Sprintf("y%d", i))
+		r1.MustAddNode(x, "v1")
+		r1.MustAddNode(y, "v2")
+	}
+	for i := 0; i < ci.N; i++ {
+		x := graph.NodeID(fmt.Sprintf("x%d", i))
+		y := graph.NodeID(fmt.Sprintf("y%d", i))
+		r1.MustAddEdge("s1", x)
+		r1.MustAddEdge("s1", y)
+		r1.MustAddEdge(x, "t1")
+		r1.MustAddEdge(y, "t1")
+	}
+	for x := 0; x < ci.N; x++ {
+		for y := 0; y < ci.N; y++ {
+			if ci.Adj[x][y] {
+				r1.MustAddEdge(graph.NodeID(fmt.Sprintf("x%d", x)), graph.NodeID(fmt.Sprintf("y%d", y)))
+			}
+		}
+	}
+
+	r2 := graph.New()
+	r2.MustAddNode("s2", "s")
+	r2.MustAddNode("t2", "t")
+	for i := 0; i < ci.L; i++ {
+		x := graph.NodeID(fmt.Sprintf("x%d", i))
+		y := graph.NodeID(fmt.Sprintf("y%d", i))
+		r2.MustAddNode(x, "v1")
+		r2.MustAddNode(y, "v2")
+		r2.MustAddEdge("s2", x)
+		r2.MustAddEdge("s2", y)
+		r2.MustAddEdge(x, "t2")
+		r2.MustAddEdge(y, "t2")
+	}
+	for x := 0; x < ci.L; x++ {
+		for y := 0; y < ci.L; y++ {
+			r2.MustAddEdge(graph.NodeID(fmt.Sprintf("x%d", x)), graph.NodeID(fmt.Sprintf("y%d", y)))
+		}
+	}
+
+	gamma := (ci.NumEdges() - ci.L*ci.L) + 4*(ci.N-ci.L)
+	return &Reduction{Spec: spec, R1: r1, R2: r2, Gamma: gamma}, nil
+}
+
+// HasClique decides by brute force whether H contains an l × l
+// bipartite clique. Exponential; for demonstration only.
+func (ci *CliqueInstance) HasClique() bool {
+	xs := combinations(ci.N, ci.L)
+	ys := combinations(ci.N, ci.L)
+	for _, xset := range xs {
+		for _, yset := range ys {
+			ok := true
+		check:
+			for _, x := range xset {
+				for _, y := range yset {
+					if !ci.Adj[x][y] {
+						ok = false
+						break check
+					}
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func combinations(n, k int) [][]int {
+	var out [][]int
+	var cur []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			cur = append(cur, i)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// CliqueEditCost computes, for a candidate clique (X1, Y1) of size l,
+// the cost of the canonical edit script of the Theorem 1 proof:
+// delete cross edges outside the clique, then delete the length-2
+// paths through unused X and Y nodes. It equals Gamma exactly when
+// (X1, Y1) is a clique.
+func (r *Reduction) CliqueEditCost(ci *CliqueInstance, x1, y1 []int) int {
+	inX := map[int]bool{}
+	for _, x := range x1 {
+		inX[x] = true
+	}
+	inY := map[int]bool{}
+	for _, y := range y1 {
+		inY[y] = true
+	}
+	cost := 0
+	for x := 0; x < ci.N; x++ {
+		for y := 0; y < ci.N; y++ {
+			if ci.Adj[x][y] && !(inX[x] && inY[y]) {
+				cost++ // delete edge (x, y)
+			}
+		}
+	}
+	// Missing clique edges must be inserted.
+	for _, x := range x1 {
+		for _, y := range y1 {
+			if !ci.Adj[x][y] {
+				cost += 2 // delete nothing, but insertion breaks the Gamma bound; count both directions
+			}
+		}
+	}
+	cost += 2 * (ci.N - ci.L) // paths s1 -> x -> t1 for x outside X1
+	cost += 2 * (ci.N - ci.L) // paths s1 -> y -> t1 for y outside Y1
+	return cost
+}

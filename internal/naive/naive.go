@@ -1,0 +1,273 @@
+// Package naive provides the baselines the paper positions its
+// algorithm against: the naive dataflow set-difference diff (which
+// suffices only when module names do not repeat, Section I), explicit
+// exponential-time oracles for the subtree-deletion cost and the
+// minimum-cost well-formed mapping (used to cross-validate the
+// polynomial algorithms on small instances), and the bipartite-clique
+// reduction of Theorem 1 demonstrating NP-hardness on general flow
+// networks.
+package naive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+)
+
+// DataflowDiff computes the naive difference of two runs as plain
+// node/edge set differences keyed by label. It is only meaningful for
+// dataflow executions where every module executes at most once; it
+// fails when a label repeats in either run.
+type DataflowDiffResult struct {
+	// OnlyIn1 and OnlyIn2 hold the label pairs of edges present in
+	// exactly one run.
+	OnlyIn1, OnlyIn2 [][2]string
+	// NodesOnlyIn1 and NodesOnlyIn2 hold labels of modules executed
+	// in exactly one run.
+	NodesOnlyIn1, NodesOnlyIn2 []string
+}
+
+// DataflowDiff performs the immediate label pairing possible for
+// dataflow runs.
+func DataflowDiff(r1, r2 *graph.Graph) (*DataflowDiffResult, error) {
+	if !r1.UniqueLabels() || !r2.UniqueLabels() {
+		return nil, fmt.Errorf("naive: dataflow diff requires unique labels; use the SP differencing algorithm for runs with repeated modules")
+	}
+	res := &DataflowDiffResult{}
+	labels1 := map[string]bool{}
+	labels2 := map[string]bool{}
+	for _, n := range r1.Nodes() {
+		labels1[r1.Label(n)] = true
+	}
+	for _, n := range r2.Nodes() {
+		labels2[r2.Label(n)] = true
+	}
+	for l := range labels1 {
+		if !labels2[l] {
+			res.NodesOnlyIn1 = append(res.NodesOnlyIn1, l)
+		}
+	}
+	for l := range labels2 {
+		if !labels1[l] {
+			res.NodesOnlyIn2 = append(res.NodesOnlyIn2, l)
+		}
+	}
+	edges1 := map[[2]string]bool{}
+	edges2 := map[[2]string]bool{}
+	for _, e := range r1.Edges() {
+		edges1[[2]string{r1.Label(e.From), r1.Label(e.To)}] = true
+	}
+	for _, e := range r2.Edges() {
+		edges2[[2]string{r2.Label(e.From), r2.Label(e.To)}] = true
+	}
+	for e := range edges1 {
+		if !edges2[e] {
+			res.OnlyIn1 = append(res.OnlyIn1, e)
+		}
+	}
+	for e := range edges2 {
+		if !edges1[e] {
+			res.OnlyIn2 = append(res.OnlyIn2, e)
+		}
+	}
+	return res, nil
+}
+
+// DeletionOracle computes the minimum cost of deleting a run subtree
+// by explicit enumeration of every reduction choice: which child each
+// true P/F/L node keeps, and every split of leaves across S children.
+// Exponential in the worst case; use only on small trees to
+// cross-check Algorithm 3.
+func DeletionOracle(v *sptree.Node, m cost.Model) float64 {
+	red := reductionSet(v, m)
+	best := math.Inf(1)
+	for l, c := range red {
+		if cand := c + m.PathCost(l, v.Src, v.Dst); cand < best {
+			best = cand
+		}
+	}
+	return best
+}
+
+// reductionSet maps achievable branch-free leaf counts of T[v] to the
+// minimum cost of reaching them.
+func reductionSet(v *sptree.Node, m cost.Model) map[int]float64 {
+	switch v.Type {
+	case sptree.Q:
+		return map[int]float64{1: 0}
+	case sptree.P, sptree.F, sptree.L:
+		out := map[int]float64{}
+		for i, keep := range v.Children {
+			others := 0.0
+			for j, c := range v.Children {
+				if j != i {
+					others += DeletionOracle(c, m)
+				}
+			}
+			for l, c := range reductionSet(keep, m) {
+				if cur, ok := out[l]; !ok || c+others < cur {
+					out[l] = c + others
+				}
+			}
+		}
+		return out
+	case sptree.S:
+		out := map[int]float64{0: 0}
+		for _, c := range v.Children {
+			next := map[int]float64{}
+			childSet := reductionSet(c, m)
+			for l0, c0 := range out {
+				for l1, c1 := range childSet {
+					if cur, ok := next[l0+l1]; !ok || c0+c1 < cur {
+						next[l0+l1] = c0 + c1
+					}
+				}
+			}
+			out = next
+		}
+		delete(out, 0)
+		return out
+	}
+	return nil
+}
+
+// MappingOracle computes the minimum cost γ(M) over all well-formed
+// mappings from T1[v1] to T2[v2] by explicit enumeration: every
+// partial matching of F children, every monotone matching of L
+// children, every keep/drop choice of P branch pairs. del supplies
+// X(·) for each side; w supplies W_TG for unstable P pairs.
+// Exponential; use only on small trees to cross-check Algorithm 4/6.
+func MappingOracle(v1, v2 *sptree.Node, del func(*sptree.Node) float64, w func(p, c *sptree.Node) float64) float64 {
+	if v1.Spec != v2.Spec {
+		panic("naive: mapping oracle on non-homologous nodes")
+	}
+	switch v1.Type {
+	case sptree.Q:
+		return 0
+
+	case sptree.S:
+		total := 0.0
+		for i := range v1.Children {
+			total += MappingOracle(v1.Children[i], v2.Children[i], del, w)
+		}
+		return total
+
+	case sptree.P:
+		if len(v1.Children) == 1 && len(v2.Children) == 1 &&
+			v1.Children[0].Spec == v2.Children[0].Spec {
+			c1, c2 := v1.Children[0], v2.Children[0]
+			mapped := MappingOracle(c1, c2, del, w)
+			swap := del(c1) + del(c2) + 2*w(v1.Spec, c1.Spec)
+			return math.Min(mapped, swap)
+		}
+		by1 := map[*sptree.Node]*sptree.Node{}
+		for _, c := range v1.Children {
+			by1[c.Spec] = c
+		}
+		total := 0.0
+		for _, c2 := range v2.Children {
+			if c1, ok := by1[c2.Spec]; ok {
+				total += math.Min(MappingOracle(c1, c2, del, w), del(c1)+del(c2))
+				delete(by1, c2.Spec)
+			} else {
+				total += del(c2)
+			}
+		}
+		for _, c1 := range by1 {
+			total += del(c1)
+		}
+		return total
+
+	case sptree.F:
+		return enumerateMatchings(v1.Children, v2.Children, nil, map[int]bool{}, del, w)
+
+	case sptree.L:
+		return enumerateMonotone(v1.Children, v2.Children, 0, 0, del, w)
+	}
+	panic("naive: unknown node type")
+}
+
+// enumerateMatchings tries every assignment of left children to right
+// children or deletion.
+func enumerateMatchings(left, right []*sptree.Node, assigned []int, used map[int]bool,
+	del func(*sptree.Node) float64, w func(p, c *sptree.Node) float64) float64 {
+	if len(assigned) == len(left) {
+		total := 0.0
+		for i, j := range assigned {
+			if j < 0 {
+				total += del(left[i])
+			} else {
+				total += MappingOracle(left[i], right[j], del, w)
+			}
+		}
+		for j := range right {
+			if !used[j] {
+				total += del(right[j])
+			}
+		}
+		return total
+	}
+	best := enumerateMatchings(left, right, append(assigned, -1), used, del, w)
+	for j := range right {
+		if used[j] {
+			continue
+		}
+		used[j] = true
+		if c := enumerateMatchings(left, right, append(assigned, j), used, del, w); c < best {
+			best = c
+		}
+		used[j] = false
+	}
+	return best
+}
+
+// enumerateMonotone tries every non-crossing matching.
+func enumerateMonotone(left, right []*sptree.Node, i, j int,
+	del func(*sptree.Node) float64, w func(p, c *sptree.Node) float64) float64 {
+	if i == len(left) {
+		total := 0.0
+		for ; j < len(right); j++ {
+			total += del(right[j])
+		}
+		return total
+	}
+	if j == len(right) {
+		total := 0.0
+		for ; i < len(left); i++ {
+			total += del(left[i])
+		}
+		return total
+	}
+	best := enumerateMonotone(left, right, i+1, j, del, w) + del(left[i])
+	if c := enumerateMonotone(left, right, i, j+1, del, w) + del(right[j]); c < best {
+		best = c
+	}
+	if c := enumerateMonotone(left, right, i+1, j+1, del, w) + MappingOracle(left[i], right[j], del, w); c < best {
+		best = c
+	}
+	return best
+}
+
+// WOracle computes W_TG(a, b) directly from the specification: the
+// minimum insertion cost over branch-free executions of the other
+// children of a.
+func WOracle(sp *spec.Spec, m cost.Model) func(a, b *sptree.Node) float64 {
+	return func(a, b *sptree.Node) float64 {
+		best := math.Inf(1)
+		for _, c := range a.Children {
+			if c == b {
+				continue
+			}
+			for _, l := range sp.AchievableLengths(c) {
+				if cand := m.PathCost(l, a.Src, a.Dst); cand < best {
+					best = cand
+				}
+			}
+		}
+		return best
+	}
+}

@@ -1,0 +1,183 @@
+package naive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fixtures"
+	"repro/internal/graph"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+func TestDataflowDiff(t *testing.T) {
+	r1 := graph.New()
+	for _, n := range []string{"a", "b", "c"} {
+		r1.MustAddNode(graph.NodeID(n), n)
+	}
+	r1.MustAddEdge("a", "b")
+	r1.MustAddEdge("b", "c")
+	r2 := graph.New()
+	for _, n := range []string{"a", "b", "d"} {
+		r2.MustAddNode(graph.NodeID(n), n)
+	}
+	r2.MustAddEdge("a", "b")
+	r2.MustAddEdge("b", "d")
+	res, err := DataflowDiff(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OnlyIn1) != 1 || res.OnlyIn1[0] != [2]string{"b", "c"} {
+		t.Fatalf("OnlyIn1 = %v", res.OnlyIn1)
+	}
+	if len(res.NodesOnlyIn2) != 1 || res.NodesOnlyIn2[0] != "d" {
+		t.Fatalf("NodesOnlyIn2 = %v", res.NodesOnlyIn2)
+	}
+}
+
+func TestDataflowDiffRejectsRepeatedModules(t *testing.T) {
+	r := graph.New()
+	r.MustAddNode("3a", "3")
+	r.MustAddNode("3b", "3")
+	r.MustAddEdge("3a", "3b")
+	if _, err := DataflowDiff(r, r); err == nil {
+		t.Fatal("repeated labels must be rejected; this is exactly where the naive approach breaks (Section I)")
+	}
+}
+
+type randomDecider struct{ rng *rand.Rand }
+
+func (d *randomDecider) ParallelSubset(p *sptree.Node) []int {
+	var subset []int
+	for i := range p.Children {
+		if d.rng.Intn(100) < 60 {
+			subset = append(subset, i)
+		}
+	}
+	if len(subset) == 0 {
+		subset = []int{d.rng.Intn(len(p.Children))}
+	}
+	return subset
+}
+func (d *randomDecider) ForkCopies(*sptree.Node) int     { return 1 + d.rng.Intn(3) }
+func (d *randomDecider) LoopIterations(*sptree.Node) int { return 1 + d.rng.Intn(3) }
+
+// TestDeletionOracleAgreesWithDP cross-validates Algorithm 3 against
+// explicit enumeration on small random runs.
+func TestDeletionOracleAgreesWithDP(t *testing.T) {
+	sp := fixtures.Fig2SpecWithLoop()
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []cost.Model{cost.Unit{}, cost.Length{}, cost.Power{Epsilon: 0.5}} {
+		for trial := 0; trial < 25; trial++ {
+			r, err := wfrun.Execute(sp, &randomDecider{rng: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := DeletionOracle(r.Tree, m)
+			got := core.DeletionCost(r.Tree, m)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%s trial %d: DP X = %g, oracle = %g\n%s", m.Name(), trial, got, want, r.Tree)
+			}
+		}
+	}
+}
+
+// TestMappingOracleAgreesWithDP cross-validates Algorithm 4/6 against
+// explicit enumeration of all well-formed mappings.
+func TestMappingOracleAgreesWithDP(t *testing.T) {
+	sp := fixtures.Fig2SpecWithLoop()
+	rng := rand.New(rand.NewSource(17))
+	w := WOracle(sp, cost.Unit{})
+	for _, m := range []cost.Model{cost.Unit{}, cost.Length{}} {
+		wm := WOracle(sp, m)
+		del := func(v *sptree.Node) float64 { return core.DeletionCost(v, m) }
+		for trial := 0; trial < 15; trial++ {
+			r1, err := wfrun.Execute(sp, &randomDecider{rng: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := wfrun.Execute(sp, &randomDecider{rng: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := MappingOracle(r1.Tree, r2.Tree, del, wm)
+			got, err := core.Distance(r1, r2, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%s trial %d: DP distance %g, oracle %g\nT1:\n%s\nT2:\n%s",
+					m.Name(), trial, got, want, r1.Tree, r2.Tree)
+			}
+		}
+	}
+	_ = w
+}
+
+func TestCliqueReduction(t *testing.T) {
+	// A 3x3 instance containing a 2x2 clique on {0,1}x{0,1}.
+	ci := &CliqueInstance{
+		N: 3,
+		Adj: [][]bool{
+			{true, true, false},
+			{true, true, true},
+			{false, false, false},
+		},
+		L: 2,
+	}
+	red, err := BuildCliqueReduction(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.HasClique() {
+		t.Fatal("instance should contain a 2x2 clique")
+	}
+	// Both runs must be valid under the general workflow model
+	// (label homomorphism into the non-SP specification).
+	if _, err := graph.FindHomomorphism(red.R1, red.Spec); err != nil {
+		t.Fatalf("R1 invalid: %v", err)
+	}
+	if _, err := graph.FindHomomorphism(red.R2, red.Spec); err != nil {
+		t.Fatalf("R2 invalid: %v", err)
+	}
+	wantGamma := (ci.NumEdges() - 4) + 4*(3-2)
+	if red.Gamma != wantGamma {
+		t.Fatalf("Gamma = %d, want %d", red.Gamma, wantGamma)
+	}
+	// The canonical script over the true clique costs exactly Gamma.
+	if got := red.CliqueEditCost(ci, []int{0, 1}, []int{0, 1}); got != red.Gamma {
+		t.Fatalf("clique edit cost = %d, want Gamma = %d", got, red.Gamma)
+	}
+	// A non-clique selection costs strictly more.
+	if got := red.CliqueEditCost(ci, []int{0, 2}, []int{0, 1}); got <= red.Gamma {
+		t.Fatalf("non-clique selection cost = %d, should exceed Gamma = %d", got, red.Gamma)
+	}
+}
+
+func TestHasCliqueNegative(t *testing.T) {
+	ci := &CliqueInstance{
+		N: 3,
+		Adj: [][]bool{
+			{true, false, false},
+			{false, true, false},
+			{false, false, true},
+		},
+		L: 2,
+	}
+	if ci.HasClique() {
+		t.Fatal("perfect matching has no 2x2 clique")
+	}
+	if !(&CliqueInstance{N: 3, Adj: ci.Adj, L: 1}).HasClique() {
+		t.Fatal("any edge is a 1x1 clique")
+	}
+}
+
+func TestBuildCliqueReductionValidation(t *testing.T) {
+	ci := &CliqueInstance{N: 2, Adj: [][]bool{{true, true}, {true, true}}, L: 3}
+	if _, err := BuildCliqueReduction(ci); err == nil {
+		t.Fatal("l > n must be rejected")
+	}
+}

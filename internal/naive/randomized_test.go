@@ -1,0 +1,138 @@
+package naive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// TestOraclesOnRandomSpecs widens the cross-validation of Algorithms 3
+// and 4/6 beyond the Fig. 2 fixture: random specifications with forks
+// and loops, random run pairs, three cost models. Sizes stay small so
+// the exponential oracles remain tractable.
+func TestOraclesOnRandomSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240612))
+	models := []cost.Model{cost.Unit{}, cost.Length{}, cost.Power{Epsilon: 0.5}}
+	params := gen.RunParams{ProbP: 0.7, ProbF: 0.6, MaxF: 2, ProbL: 0.6, MaxL: 2}
+	for trial := 0; trial < 30; trial++ {
+		sp, err := gen.RandomSpec(gen.SpecConfig{
+			Edges:       6 + rng.Intn(10),
+			SeriesRatio: []float64{3, 1, 1.0 / 3}[rng.Intn(3)],
+			Forks:       rng.Intn(3),
+			Loops:       rng.Intn(2),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.NumEdges() > 40 || r2.NumEdges() > 40 {
+			continue // keep the oracles fast
+		}
+		m := models[trial%len(models)]
+
+		// Algorithm 3 vs explicit enumeration, both runs.
+		for _, r := range []*wfrun.Run{r1, r2} {
+			want := DeletionOracle(r.Tree, m)
+			got := core.DeletionCost(r.Tree, m)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d %s: X mismatch: DP %g, oracle %g\nspec:\n%s\nrun:\n%s",
+					trial, m.Name(), got, want, sp.Tree, r.Tree)
+			}
+		}
+
+		// Algorithm 4/6 vs mapping enumeration.
+		del := func(v *sptree.Node) float64 { return core.DeletionCost(v, m) }
+		want := MappingOracle(r1.Tree, r2.Tree, del, WOracle(sp, m))
+		got, err := core.Distance(r1, r2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d %s: distance mismatch: DP %g, oracle %g\nT1:\n%s\nT2:\n%s",
+				trial, m.Name(), got, want, r1.Tree, r2.Tree)
+		}
+
+		// And the script must realize the distance on these random
+		// specifications too.
+		res, err := core.Diff(r1, r2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script, final, err := res.Script()
+		if err != nil {
+			t.Fatalf("trial %d %s: script failed: %v", trial, m.Name(), err)
+		}
+		if math.Abs(script.TotalCost()-res.Distance) > 1e-9 {
+			t.Fatalf("trial %d %s: script cost %g != distance %g",
+				trial, m.Name(), script.TotalCost(), res.Distance)
+		}
+		if !sptree.EquivalentRuns(final, r2.Tree) {
+			t.Fatalf("trial %d %s: script did not produce T2", trial, m.Name())
+		}
+	}
+}
+
+// TestDeriveRoundTripOnRandomSpecs checks f″ on random specifications:
+// materialize a random run, re-derive the tree from the bare graph
+// (with edge references for multigraphs), and compare sizes and
+// validity.
+func TestDeriveRoundTripOnRandomSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	params := gen.RunParams{ProbP: 0.7, ProbF: 0.6, MaxF: 3, ProbL: 0.6, MaxL: 3}
+	for trial := 0; trial < 40; trial++ {
+		sp, err := gen.RandomSpec(gen.SpecConfig{
+			Edges:       8 + rng.Intn(30),
+			SeriesRatio: 1,
+			Forks:       rng.Intn(4),
+			Loops:       rng.Intn(3),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := wfrun.Derive(sp, r.Graph, r.EdgeRefs())
+		if err != nil {
+			t.Fatalf("trial %d: derive failed: %v\nspec:\n%s\nrun graph: %s",
+				trial, err, sp.Tree, r.Graph)
+		}
+		if err := r2.Validate(); err != nil {
+			t.Fatalf("trial %d: derived run invalid: %v", trial, err)
+		}
+		if r2.Tree.CountLeaves() != r.Graph.NumEdges()-len(r2.ImplicitEdges) {
+			t.Fatalf("trial %d: leaf/edge mismatch", trial)
+		}
+		// The derived tree and the executed tree represent the same
+		// graph, so their distance must be 0 (they may differ in
+		// fork factoring, but f″ canonicalizes deterministically and
+		// distance-0 must hold between a run and itself re-derived
+		// whenever the factorizations coincide; at minimum the
+		// distance is well-defined and symmetric).
+		d12, err := core.Distance(r, r2, cost.Unit{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		d21, err := core.Distance(r2, r, cost.Unit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d12 != d21 {
+			t.Fatalf("trial %d: asymmetric distance %g vs %g", trial, d12, d21)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package params
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fixtures"
+	"repro/internal/graph"
+)
+
+func edgeByLabels(r interface {
+	Label(graph.NodeID) string
+	Edges() []graph.Edge
+}, from, to string) graph.Edge {
+	for _, e := range r.Edges() {
+		if r.Label(e.From) == from && r.Label(e.To) == to {
+			return e
+		}
+	}
+	panic("edge not found: " + from + "->" + to)
+}
+
+func TestDataDiffHighlightsParams(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	r2 := fixtures.Fig2R2(sp)
+	res, err := core.Diff(r1, r2, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := NewAnnotations()
+	a2 := NewAnnotations()
+	// Same module instance 1a in both runs, differing e-value.
+	a1.SetParam("1a", "evalue", "1e-5")
+	a2.SetParam("1a", "evalue", "1e-10")
+	a1.SetParam("1a", "db", "swissprot")
+	a2.SetParam("1a", "db", "swissprot") // identical: not reported
+	rep := DataDiff(res, a1, a2)
+	if rep.MatchedEdges == 0 || rep.MatchedNodes == 0 {
+		t.Fatal("mapping should align nodes and edges")
+	}
+	if len(rep.Params) != 1 {
+		t.Fatalf("param changes = %+v, want exactly the evalue change", rep.Params)
+	}
+	pc := rep.Params[0]
+	if pc.Key != "evalue" || pc.V1 != "1e-5" || pc.V2 != "1e-10" || pc.Label != "1" {
+		t.Fatalf("wrong change: %+v", pc)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "evalue") || !strings.Contains(out, "parameter differences") {
+		t.Fatalf("report rendering:\n%s", out)
+	}
+}
+
+func TestDataDiffHighlightsEdgeData(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	r2 := fixtures.Fig2R2(sp)
+	res, err := core.Diff(r1, r2, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := NewAnnotations()
+	a2 := NewAnnotations()
+	e1 := edgeByLabels(r1.Graph, "1", "2")
+	a1.SetData(e1, "sha:aaa")
+	// All (1,2) instances in r2 carry different data.
+	for _, e := range r2.Graph.Edges() {
+		if r2.Graph.Label(e.From) == "1" && r2.Graph.Label(e.To) == "2" {
+			a2.SetData(e, "sha:bbb")
+		}
+	}
+	rep := DataDiff(res, a1, a2)
+	if len(rep.Data) != 1 {
+		t.Fatalf("data changes = %+v, want 1", rep.Data)
+	}
+	if rep.Data[0].V1 != "sha:aaa" || rep.Data[0].V2 != "sha:bbb" {
+		t.Fatalf("wrong data change: %+v", rep.Data[0])
+	}
+	if !strings.Contains(rep.String(), "data differences") {
+		t.Fatal("report missing data section")
+	}
+}
+
+func TestCleanReport(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	res, err := core.Diff(r1, r1, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := DataDiff(res, NewAnnotations(), NewAnnotations())
+	if len(rep.Params) != 0 || len(rep.Data) != 0 {
+		t.Fatalf("unexpected changes: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "no parameter or data differences") {
+		t.Fatal("clean report text wrong")
+	}
+}
+
+// TestLeafPenaltySteersMatching builds a fork with two copies per run
+// where the control structure is symmetric but the data identifies
+// which copy is which; the penalty must flip the matching.
+func TestLeafPenaltySteersMatching(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	// R1 and R1b: same shape (two (2,3,6) copies), but data marks
+	// copies differently.
+	r1 := fixtures.Fig2R1(sp)
+	r1b := fixtures.Fig2R1(sp)
+
+	a1 := NewAnnotations()
+	a2 := NewAnnotations()
+	tag := func(a *Annotations, r interface {
+		Label(graph.NodeID) string
+		Edges() []graph.Edge
+	}, id string) {
+		for _, e := range r.Edges() {
+			a.SetData(e, id+e.String())
+		}
+	}
+	// Identical data: penalty adds nothing; distance stays 0.
+	tag(a1, r1.Graph, "x")
+	tag(a2, r1b.Graph, "x")
+	res0, err := core.Diff(r1, r1b, cost.Unit{}, core.WithLeafPenalty(LeafPenalty(a1, a2, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Distance != 0 {
+		t.Fatalf("identically-tagged runs should still be distance 0, got %g", res0.Distance)
+	}
+
+	// Now make every pairing mismatch: each matched leaf costs 5, so
+	// the penalized objective must exceed the control-flow distance.
+	a3 := NewAnnotations()
+	tag(a3, r1b.Graph, "y")
+	resP, err := core.Diff(r1, r1b, cost.Unit{}, core.WithLeafPenalty(LeafPenalty(a1, a3, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Distance(r1, r1b, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != 0 {
+		t.Fatalf("control-flow distance should be 0, got %g", plain)
+	}
+	if resP.Distance <= 0 {
+		t.Fatalf("penalized objective should be positive, got %g", resP.Distance)
+	}
+	// With mismatch cost 5 per leaf vs delete+insert cost 2 per leaf
+	// subtree, the optimum re-pairs nothing it can cheaply replace;
+	// the objective is bounded by full delete+insert of both runs.
+	if resP.Distance > 5*8*2 {
+		t.Fatalf("penalized objective implausibly large: %g", resP.Distance)
+	}
+}

@@ -1,0 +1,136 @@
+package sptree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// randomSPTree builds a random binary S/P tree with n leaves; edges
+// are synthesized so leaf identity is unique.
+func randomSPTree(rng *rand.Rand, n int, next *int) *Node {
+	if n <= 1 {
+		*next++
+		return NewQ(graph.Edge{From: graph.NodeID("u"), To: graph.NodeID("v"), Key: *next}, "u", "v")
+	}
+	left := 1 + rng.Intn(n-1)
+	a := randomSPTree(rng, left, next)
+	b := randomSPTree(rng, n-left, next)
+	if rng.Intn(2) == 0 {
+		return NewInternal(S, a, b)
+	}
+	return NewInternal(P, a, b)
+}
+
+// TestQuickCanonicalizeIdempotent: canonicalizing a canonical tree is
+// the identity (up to ≡).
+func TestQuickCanonicalizeIdempotent(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size%30) + 1
+		next := 0
+		tree := randomSPTree(rng, n, &next)
+		c1 := Canonicalize(tree)
+		c2 := Canonicalize(c1)
+		return Equivalent(c1, c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCanonicalizePreservesLeaves: canonicalization never gains
+// or loses leaves and keeps S-order intact.
+func TestQuickCanonicalizePreservesLeaves(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size%30) + 1
+		next := 0
+		tree := randomSPTree(rng, n, &next)
+		c := Canonicalize(tree)
+		if c.CountLeaves() != tree.CountLeaves() {
+			return false
+		}
+		// The canonical tree satisfies the spec invariants.
+		return ValidateSpecTree(c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneEquivalent: clones are equivalent and structurally
+// independent.
+func TestQuickCloneEquivalent(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size%20) + 1
+		next := 0
+		tree := Canonicalize(randomSPTree(rng, n, &next))
+		c := tree.Clone()
+		if !Equivalent(tree, c) {
+			return false
+		}
+		// Mutating the clone leaves the original intact.
+		if len(c.Children) > 0 {
+			c.RemoveChild(0)
+			return tree.CountLeaves() != c.CountLeaves()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSignatureInsensitiveToPShuffle: shuffling P children leaves
+// the signature unchanged; shuffling S children of distinguishable
+// subtrees changes it.
+func TestQuickSignatureInsensitiveToPShuffle(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size%20) + 2
+		next := 0
+		tree := Canonicalize(randomSPTree(rng, n, &next))
+		sig := tree.Signature()
+		var shuffle func(v *Node)
+		shuffle = func(v *Node) {
+			if v.Type == P || v.Type == F {
+				rng.Shuffle(len(v.Children), func(i, j int) {
+					v.Children[i], v.Children[j] = v.Children[j], v.Children[i]
+				})
+			}
+			for _, c := range v.Children {
+				shuffle(c)
+			}
+		}
+		shuffle(tree)
+		return tree.Signature() == sig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFinalizeCountsAgree: Finalize assigns exactly CountNodes
+// distinct IDs.
+func TestQuickFinalizeCountsAgree(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size%25) + 1
+		next := 0
+		tree := randomSPTree(rng, n, &next)
+		tree.Finalize()
+		ids := map[int]bool{}
+		tree.Walk(func(v *Node) bool {
+			ids[v.ID] = true
+			return true
+		})
+		return len(ids) == tree.CountNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

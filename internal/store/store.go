@@ -1,0 +1,230 @@
+// Package store is a small on-disk provenance repository: XML
+// specifications with their collected runs, addressable by name, plus
+// differencing and cohort analysis over stored runs. It provides the
+// persistence layer the PDiffView prototype keeps behind its
+// import/export menus ("view, store, generate and import/export
+// SP-specifications and their associated runs", Section VII).
+//
+// Layout:
+//
+//	<root>/<spec>/spec.xml
+//	<root>/<spec>/runs/<run>.xml
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/spec"
+	"repro/internal/wfrun"
+	"repro/internal/wfxml"
+)
+
+// Store is a directory-backed provenance repository. It is safe for
+// concurrent use; loaded specifications are cached so runs of the same
+// specification share one *spec.Spec (a requirement for differencing).
+type Store struct {
+	root string
+
+	mu    sync.Mutex
+	specs map[string]*spec.Spec
+}
+
+// Open opens (creating if needed) a repository rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{root: dir, specs: make(map[string]*spec.Spec)}, nil
+}
+
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("store: invalid name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) specDir(name string) string  { return filepath.Join(s.root, name) }
+func (s *Store) specPath(name string) string { return filepath.Join(s.root, name, "spec.xml") }
+func (s *Store) runPath(specName, runName string) string {
+	return filepath.Join(s.root, specName, "runs", runName+".xml")
+}
+
+// SaveSpec stores a specification under the given name. Saving over an
+// existing specification is rejected once runs exist (their trees
+// reference the stored specification).
+func (s *Store) SaveSpec(name string, sp *spec.Spec) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	runs, _ := s.ListRuns(name)
+	if len(runs) > 0 {
+		return fmt.Errorf("store: specification %q already has %d runs; refusing to overwrite", name, len(runs))
+	}
+	if err := os.MkdirAll(filepath.Join(s.specDir(name), "runs"), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.Create(s.specPath(name))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if err := wfxml.EncodeSpec(f, sp, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.specs[name] = sp
+	s.mu.Unlock()
+	return nil
+}
+
+// LoadSpec returns the named specification, cached after first load.
+func (s *Store) LoadSpec(name string) (*spec.Spec, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if sp, ok := s.specs[name]; ok {
+		s.mu.Unlock()
+		return sp, nil
+	}
+	s.mu.Unlock()
+	f, err := os.Open(s.specPath(name))
+	if err != nil {
+		return nil, fmt.Errorf("store: unknown specification %q: %w", name, err)
+	}
+	defer f.Close()
+	sp, err := wfxml.DecodeSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	// Another goroutine may have raced the load; keep the first.
+	if have, ok := s.specs[name]; ok {
+		sp = have
+	} else {
+		s.specs[name] = sp
+	}
+	s.mu.Unlock()
+	return sp, nil
+}
+
+// ListSpecs returns the stored specification names, sorted.
+func (s *Store) ListSpecs() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, err := os.Stat(s.specPath(e.Name())); err == nil {
+				out = append(out, e.Name())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SaveRun stores a run under the named specification. The run must
+// belong to the stored specification object (load it via LoadSpec
+// before executing or deriving runs).
+func (s *Store) SaveRun(specName, runName string, r *wfrun.Run) error {
+	if err := validName(specName); err != nil {
+		return err
+	}
+	if err := validName(runName); err != nil {
+		return err
+	}
+	sp, err := s.LoadSpec(specName)
+	if err != nil {
+		return err
+	}
+	if r.Spec != sp {
+		return fmt.Errorf("store: run does not belong to stored specification %q; build runs against LoadSpec(%q)", specName, specName)
+	}
+	f, err := os.Create(s.runPath(specName, runName))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return wfxml.EncodeRun(f, r, runName)
+}
+
+// LoadRun loads a stored run, deriving its annotated tree against the
+// cached specification.
+func (s *Store) LoadRun(specName, runName string) (*wfrun.Run, error) {
+	if err := validName(specName); err != nil {
+		return nil, err
+	}
+	if err := validName(runName); err != nil {
+		return nil, err
+	}
+	sp, err := s.LoadSpec(specName)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.runPath(specName, runName))
+	if err != nil {
+		return nil, fmt.Errorf("store: unknown run %q of %q: %w", runName, specName, err)
+	}
+	defer f.Close()
+	return wfxml.DecodeRun(f, sp)
+}
+
+// ListRuns returns the run names stored under a specification, sorted.
+func (s *Store) ListRuns(specName string) ([]string, error) {
+	if err := validName(specName); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(s.specDir(specName), "runs"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
+			out = append(out, strings.TrimSuffix(e.Name(), ".xml"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DeleteRun removes a stored run.
+func (s *Store) DeleteRun(specName, runName string) error {
+	if err := validName(specName); err != nil {
+		return err
+	}
+	if err := validName(runName); err != nil {
+		return err
+	}
+	if err := os.Remove(s.runPath(specName, runName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Diff loads two stored runs and differences them.
+func (s *Store) Diff(specName, runA, runB string, m cost.Model) (*core.Result, error) {
+	a, err := s.LoadRun(specName, runA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.LoadRun(specName, runB)
+	if err != nil {
+		return nil, err
+	}
+	return core.Diff(a, b, m)
+}

@@ -1,0 +1,90 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/edit"
+)
+
+// The paper's edit operations are deliberately atomic; Section III-C.1
+// notes that "more complex operations ... such as a path replacement
+// operation that replaces one path by another ... may be detected by
+// post-processing the output of our algorithm". CompactScript performs
+// that post-processing: a deletion and an insertion of elementary
+// paths between the same pair of node instances are folded into one
+// Replace entry.
+
+// CompactOp is either a single elementary operation or a detected
+// path replacement.
+type CompactOp struct {
+	// Replace pairs Del with Ins; when false only Op is set.
+	Replace bool
+	Op      edit.Op // single op (Replace == false)
+	Del     edit.Op // deleted path (Replace == true)
+	Ins     edit.Op // inserted path (Replace == true)
+}
+
+// String renders the compact operation.
+func (c CompactOp) String() string {
+	if !c.Replace {
+		return c.Op.String()
+	}
+	return fmt.Sprintf("(%s)→(%s) cost=%g [replace]",
+		strings.Join(c.Del.PathNodes, ","),
+		strings.Join(c.Ins.PathNodes, ","),
+		c.Del.Cost+c.Ins.Cost)
+}
+
+// CompactScript folds delete/insert pairs over the same terminals into
+// path replacements. Temporary scratch operations are never folded
+// (they are an artifact of unstable matches, not a semantic change),
+// and each operation participates in at most one replacement. The
+// total cost is unchanged: a replacement still accounts for both
+// underlying operations.
+func CompactScript(s *edit.Script) []CompactOp {
+	used := make([]bool, len(s.Ops))
+	var out []CompactOp
+	endpoints := func(op edit.Op) (string, string, bool) {
+		if len(op.PathNodes) < 2 {
+			return "", "", false
+		}
+		return op.PathNodes[0], op.PathNodes[len(op.PathNodes)-1], true
+	}
+	for i, op := range s.Ops {
+		if used[i] || op.Temporary || op.Kind != edit.Delete {
+			continue
+		}
+		from, to, ok := endpoints(op)
+		if !ok {
+			continue
+		}
+		for j, cand := range s.Ops {
+			if used[j] || j == i || cand.Temporary || cand.Kind != edit.Insert {
+				continue
+			}
+			cfrom, cto, ok := endpoints(cand)
+			if !ok || cfrom != from || cto != to {
+				continue
+			}
+			used[i], used[j] = true, true
+			out = append(out, CompactOp{Replace: true, Del: op, Ins: cand})
+			break
+		}
+	}
+	for i, op := range s.Ops {
+		if !used[i] {
+			out = append(out, CompactOp{Op: op})
+		}
+	}
+	return out
+}
+
+// RenderCompact renders the post-processed script, one entry per line.
+func RenderCompact(s *edit.Script) string {
+	var b strings.Builder
+	for i, c := range CompactScript(s) {
+		fmt.Fprintf(&b, "%3d. %s\n", i+1, c.String())
+	}
+	return b.String()
+}

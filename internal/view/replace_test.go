@@ -1,0 +1,123 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/edit"
+	"repro/internal/fixtures"
+	"repro/internal/wfrun"
+)
+
+// TestCompactScriptDetectsReplacement uses the paper's Fig. 3 script:
+// (2a,3b,6a)→Λ and Λ→(2a,4b,6a) share terminals 2a..6a and fold into
+// one replacement.
+func TestCompactScriptDetectsReplacement(t *testing.T) {
+	d := fig2Diff(t)
+	compact := CompactScript(d.Script)
+	if len(compact) >= len(d.Script.Ops) {
+		t.Fatalf("no folding happened: %d -> %d entries", len(d.Script.Ops), len(compact))
+	}
+	var found bool
+	totalCost := 0.0
+	for _, c := range compact {
+		if c.Replace {
+			found = true
+			if c.Del.Kind != edit.Delete || c.Ins.Kind != edit.Insert {
+				t.Fatalf("replacement has wrong kinds: %+v", c)
+			}
+			if c.Del.PathNodes[0] != c.Ins.PathNodes[0] {
+				t.Fatalf("replacement endpoints disagree: %+v", c)
+			}
+			totalCost += c.Del.Cost + c.Ins.Cost
+		} else {
+			totalCost += c.Op.Cost
+		}
+	}
+	if !found {
+		t.Fatal("expected a path replacement in the Fig. 3 script")
+	}
+	if totalCost != d.Script.TotalCost() {
+		t.Fatalf("compaction changed total cost: %g != %g", totalCost, d.Script.TotalCost())
+	}
+	out := RenderCompact(d.Script)
+	if !strings.Contains(out, "[replace]") {
+		t.Fatalf("rendering missing replacement tag:\n%s", out)
+	}
+}
+
+func TestCompactScriptSkipsTemporaries(t *testing.T) {
+	s := &edit.Script{Ops: []edit.Op{
+		{Kind: edit.Insert, Cost: 1, PathNodes: []string{"a", "x", "b"}, Temporary: true},
+		{Kind: edit.Delete, Cost: 1, PathNodes: []string{"a", "y", "b"}},
+		{Kind: edit.Insert, Cost: 1, PathNodes: []string{"a", "z", "b"}},
+		{Kind: edit.Delete, Cost: 1, PathNodes: []string{"a", "x", "b"}, Temporary: true},
+	}}
+	compact := CompactScript(s)
+	// Exactly one replacement (the non-temporary pair) plus two
+	// temporary singles.
+	reps, singles := 0, 0
+	for _, c := range compact {
+		if c.Replace {
+			reps++
+			if c.Del.Temporary || c.Ins.Temporary {
+				t.Fatal("temporaries must not fold")
+			}
+		} else {
+			singles++
+		}
+	}
+	if reps != 1 || singles != 2 {
+		t.Fatalf("reps=%d singles=%d, want 1/2", reps, singles)
+	}
+}
+
+func TestCompactScriptNoPairs(t *testing.T) {
+	s := &edit.Script{Ops: []edit.Op{
+		{Kind: edit.Delete, Cost: 1, PathNodes: []string{"a", "b"}},
+		{Kind: edit.Insert, Cost: 1, PathNodes: []string{"c", "d"}},
+	}}
+	compact := CompactScript(s)
+	if len(compact) != 2 {
+		t.Fatalf("nothing should fold: %v", compact)
+	}
+	for _, c := range compact {
+		if c.Replace {
+			t.Fatal("spurious replacement")
+		}
+	}
+}
+
+func TestCompactScriptPreservesCostOnLoopDiff(t *testing.T) {
+	// Property on a real diff with loops: compaction never changes
+	// the total cost and never consumes an op twice.
+	sp := fixtures.Fig2SpecWithLoop()
+	r3 := fixtures.Fig2R3(sp)
+	full, err := New(r3, fixtures.Fig2R3(sp), cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(CompactScript(full.Script)); n != 0 {
+		t.Fatalf("identical runs should compact to an empty script, got %d entries", n)
+	}
+	one, err := wfrun.Execute(sp, wfrun.FullDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(r3, one, cost.Length{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, c := range CompactScript(d.Script) {
+		if c.Replace {
+			total += c.Del.Cost + c.Ins.Cost
+		} else {
+			total += c.Op.Cost
+		}
+	}
+	if total != d.Script.TotalCost() {
+		t.Fatalf("compaction changed cost: %g != %g", total, d.Script.TotalCost())
+	}
+}

@@ -1,0 +1,252 @@
+// Package view implements the PDiffView prototype substrate
+// (Section VII): textual and SVG/HTML visualization of the difference
+// between two runs — deleted paths in red on the source run, inserted
+// paths in green on the target run — plus hierarchical clustering of
+// the specification into composite modules with per-cluster change
+// rollups, supporting the prototype's zoom-in/zoom-out workflow.
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/edit"
+	"repro/internal/graph"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// Status classifies a run edge with respect to the diff.
+type Status uint8
+
+// Edge statuses.
+const (
+	Kept     Status = iota // the edge's leaf is matched by the mapping
+	Deleted                // present only in the source run
+	Inserted               // present only in the target run
+	Implicit               // loop-chaining edge (context)
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Kept:
+		return "kept"
+	case Deleted:
+		return "deleted"
+	case Inserted:
+		return "inserted"
+	case Implicit:
+		return "implicit"
+	}
+	return "unknown"
+}
+
+// Diff bundles everything PDiffView shows for a pair of runs.
+type Diff struct {
+	R1, R2   *wfrun.Run
+	Model    cost.Model
+	Result   *core.Result
+	Script   *edit.Script
+	status1  map[graph.Edge]Status
+	status2  map[graph.Edge]Status
+	matched1 map[*sptree.Node]*sptree.Node
+}
+
+// New computes the diff, the edit script, and the edge classification
+// for the given pair of runs.
+func New(r1, r2 *wfrun.Run, m cost.Model) (*Diff, error) {
+	res, err := core.Diff(r1, r2, m)
+	if err != nil {
+		return nil, err
+	}
+	script, _, err := res.Script()
+	if err != nil {
+		return nil, err
+	}
+	d := &Diff{R1: r1, R2: r2, Model: m, Result: res, Script: script}
+	d.classify()
+	return d, nil
+}
+
+func (d *Diff) classify() {
+	d.matched1 = make(map[*sptree.Node]*sptree.Node)
+	matched2 := make(map[*sptree.Node]bool)
+	for _, p := range d.Result.Mapping() {
+		d.matched1[p[0]] = p[1]
+		matched2[p[1]] = true
+	}
+	d.status1 = make(map[graph.Edge]Status, d.R1.Graph.NumEdges())
+	d.status2 = make(map[graph.Edge]Status, d.R2.Graph.NumEdges())
+	d.R1.Tree.Walk(func(n *sptree.Node) bool {
+		if n.Type == sptree.Q {
+			if _, ok := d.matched1[n]; ok {
+				d.status1[n.Edge] = Kept
+			} else {
+				d.status1[n.Edge] = Deleted
+			}
+		}
+		return true
+	})
+	d.R2.Tree.Walk(func(n *sptree.Node) bool {
+		if n.Type == sptree.Q {
+			if matched2[n] {
+				d.status2[n.Edge] = Kept
+			} else {
+				d.status2[n.Edge] = Inserted
+			}
+		}
+		return true
+	})
+	for _, e := range d.R1.ImplicitEdges {
+		d.status1[e] = Implicit
+	}
+	for _, e := range d.R2.ImplicitEdges {
+		d.status2[e] = Implicit
+	}
+}
+
+// EdgeStatus1 classifies every edge of the source run.
+func (d *Diff) EdgeStatus1() map[graph.Edge]Status { return d.status1 }
+
+// EdgeStatus2 classifies every edge of the target run.
+func (d *Diff) EdgeStatus2() map[graph.Edge]Status { return d.status2 }
+
+func countStatus(m map[graph.Edge]Status, s Status) int {
+	n := 0
+	for _, v := range m {
+		if v == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary renders the statistics panel of the prototype: run sizes,
+// edit distance, operation counts and change counts.
+func (d *Diff) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "edit distance: %g (%s cost)\n", d.Result.Distance, d.Model.Name())
+	fmt.Fprintf(&b, "source run: %d nodes, %d edges (%d deleted, %d kept)\n",
+		d.R1.NumNodes(), d.R1.NumEdges(), countStatus(d.status1, Deleted), countStatus(d.status1, Kept))
+	fmt.Fprintf(&b, "target run: %d nodes, %d edges (%d inserted, %d kept)\n",
+		d.R2.NumNodes(), d.R2.NumEdges(), countStatus(d.status2, Inserted), countStatus(d.status2, Kept))
+	ins, del, loops, temps := 0, 0, 0, 0
+	for _, op := range d.Script.Ops {
+		switch op.Kind {
+		case edit.Insert:
+			ins++
+		case edit.Delete:
+			del++
+		}
+		if op.LoopOp {
+			loops++
+		}
+		if op.Temporary {
+			temps++
+		}
+	}
+	fmt.Fprintf(&b, "edit script: %d operations (%d insertions, %d deletions, %d loop expansions/contractions, %d scratch)\n",
+		len(d.Script.Ops), ins, del, loops, temps)
+	return b.String()
+}
+
+// ClusterChange summarizes one composite module (a specification
+// subtree at the chosen depth): how many of its edge executions were
+// kept, deleted and inserted across the two runs. Clusters with
+// Deleted+Inserted == 0 indicate no change and can be ignored when
+// zooming.
+type ClusterChange struct {
+	// Label names the composite module by its terminals and type.
+	Label string
+	// Kept counts matched edge executions (in either run).
+	Kept int
+	// Deleted and Inserted count unmatched edge executions in the
+	// source and target run respectively.
+	Deleted, Inserted int
+}
+
+// Changed reports whether the cluster contains any difference.
+func (c ClusterChange) Changed() bool { return c.Deleted+c.Inserted > 0 }
+
+// Clusters rolls the diff up to composite modules: specification
+// subtrees at the given depth (depth 0 is the whole workflow; larger
+// depths zoom in). This is the prototype's hierarchy view.
+func (d *Diff) Clusters(depth int) []ClusterChange {
+	// Map each specification Q node to its ancestor at the cut depth.
+	anc := make(map[*sptree.Node]*sptree.Node)
+	var walk func(n *sptree.Node, level int, cut *sptree.Node)
+	walk = func(n *sptree.Node, level int, cut *sptree.Node) {
+		if level <= depth || cut == nil {
+			cut = n
+		}
+		if n.Type == sptree.Q {
+			anc[n] = cut
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, level+1, cut)
+		}
+	}
+	walk(d.R1.Spec.Tree, 0, nil)
+
+	agg := make(map[*sptree.Node]*ClusterChange)
+	order := []*sptree.Node{}
+	get := func(spn *sptree.Node) *ClusterChange {
+		cl, ok := agg[spn]
+		if !ok {
+			label := fmt.Sprintf("%s[%s..%s]", spn.Type, spn.Src, spn.Dst)
+			if spn.Type == sptree.Q {
+				label = fmt.Sprintf("Q(%s,%s)", spn.Src, spn.Dst)
+			}
+			cl = &ClusterChange{Label: label}
+			agg[spn] = cl
+			order = append(order, spn)
+		}
+		return cl
+	}
+	tally := func(tree *sptree.Node, status map[graph.Edge]Status, insertedSide bool) {
+		tree.Walk(func(n *sptree.Node) bool {
+			if n.Type != sptree.Q || n.Spec == nil {
+				return true
+			}
+			cl := get(anc[n.Spec])
+			switch status[n.Edge] {
+			case Kept:
+				cl.Kept++
+			case Deleted:
+				cl.Deleted++
+			case Inserted:
+				cl.Inserted++
+			}
+			return true
+		})
+	}
+	tally(d.R1.Tree, d.status1, false)
+	tally(d.R2.Tree, d.status2, true)
+	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	out := make([]ClusterChange, 0, len(order))
+	for _, spn := range order {
+		out = append(out, *agg[spn])
+	}
+	return out
+}
+
+// ClusterReport renders the cluster rollup as text, marking changed
+// composite modules.
+func (d *Diff) ClusterReport(depth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "composite modules at depth %d:\n", depth)
+	for _, c := range d.Clusters(depth) {
+		marker := " "
+		if c.Changed() {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "%s %-24s kept=%-4d deleted=%-4d inserted=%-4d\n",
+			marker, c.Label, c.Kept, c.Deleted, c.Inserted)
+	}
+	return b.String()
+}

@@ -1,0 +1,367 @@
+package wfrun
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+)
+
+// Derive implements the deterministic tree execution function f″ of
+// Algorithms 2 and 5: given the specification and a run supplied as a
+// bare graph, it computes the annotated SP-tree of the run. The run
+// graph must be an acyclic SP flow network admitting the label
+// homomorphism into the specification (extended with loop back edges).
+//
+// For specifications whose graph has parallel edges between the same
+// pair of labels, edgeRef must map each run edge to its specification
+// edge; otherwise it may be nil and the mapping is inferred from
+// labels.
+//
+// Note that a bare graph does not always determine the fork structure
+// uniquely (two fork copies taking complementary parallel branches
+// yield the same graph as one copy taking both); f″ resolves the
+// ambiguity canonically by assigning each parallel component its own
+// fork copy, exactly as Algorithm 2 prescribes.
+func Derive(sp *spec.Spec, g *graph.Graph, edgeRef map[graph.Edge]graph.Edge) (*Run, error) {
+	if _, _, err := g.CheckFlowNetwork(); err != nil {
+		return nil, fmt.Errorf("wfrun: %w", err)
+	}
+	if !g.IsAcyclic() {
+		return nil, fmt.Errorf("wfrun: run graph has a cycle")
+	}
+	if err := checkHomomorphism(g, sp); err != nil {
+		return nil, err
+	}
+	d := &deriver{sp: sp, g: g, specOf: make(map[graph.Edge]graph.Edge), implicit: make(map[graph.Edge]bool)}
+	if err := d.classifyEdges(edgeRef); err != nil {
+		return nil, err
+	}
+	canon, err := decomposeRunGraph(g)
+	if err != nil {
+		return nil, fmt.Errorf("wfrun: run graph is not series-parallel: %w", err)
+	}
+	d.info = make(map[*sptree.Node]span)
+	d.scan(canon)
+	root, err := d.derive(sp.Tree, canon)
+	if err != nil {
+		return nil, err
+	}
+	root.Finalize()
+	if err := sptree.ValidateRunTree(root, sp.Tree); err != nil {
+		return nil, fmt.Errorf("wfrun: derived tree is invalid: %w", err)
+	}
+	run := &Run{Spec: sp, Tree: root, Graph: g}
+	for e := range d.implicit {
+		run.ImplicitEdges = append(run.ImplicitEdges, e)
+	}
+	return run, nil
+}
+
+// decomposeRunGraph is a seam for spgraph.Decompose, split out for
+// testability.
+func decomposeRunGraph(g *graph.Graph) (*sptree.Node, error) {
+	return decomposeFn(g)
+}
+
+type deriver struct {
+	sp       *spec.Spec
+	g        *graph.Graph
+	specOf   map[graph.Edge]graph.Edge // run edge -> specification edge
+	implicit map[graph.Edge]bool       // run edges that are loop back edges
+	info     map[*sptree.Node]span
+}
+
+// span summarizes the specification leaf indices covered by the real
+// (non-implicit) edges below a canonical run-tree node.
+type span struct {
+	lo, hi  int // half-open; valid only if hasReal
+	hasReal bool
+}
+
+// classifyEdges resolves every run edge to a specification edge or
+// marks it implicit.
+func (d *deriver) classifyEdges(edgeRef map[graph.Edge]graph.Edge) error {
+	byLabels := make(map[[2]string][]graph.Edge)
+	for _, e := range d.sp.G.Edges() {
+		k := [2]string{d.sp.G.Label(e.From), d.sp.G.Label(e.To)}
+		byLabels[k] = append(byLabels[k], e)
+	}
+	implicitPairs := make(map[[2]string]bool)
+	d.sp.Tree.Walk(func(n *sptree.Node) bool {
+		if n.Type == sptree.L {
+			implicitPairs[[2]string{n.Dst, n.Src}] = true
+		}
+		return true
+	})
+	for _, e := range d.g.Edges() {
+		k := [2]string{d.g.Label(e.From), d.g.Label(e.To)}
+		if ref, ok := edgeRef[e]; ok {
+			if _, valid := d.sp.LeafIndex(ref); !valid {
+				return fmt.Errorf("wfrun: edge reference %s -> %s names an unknown specification edge", e, ref)
+			}
+			d.specOf[e] = ref
+			continue
+		}
+		cands := byLabels[k]
+		switch {
+		case len(cands) == 1:
+			d.specOf[e] = cands[0]
+		case len(cands) > 1:
+			return fmt.Errorf("wfrun: run edge %s is ambiguous (parallel specification edges between %s and %s); supply an edge reference", e, k[0], k[1])
+		case implicitPairs[k]:
+			d.implicit[e] = true
+		default:
+			return fmt.Errorf("wfrun: run edge %s has no specification image (%s,%s)", e, k[0], k[1])
+		}
+	}
+	return nil
+}
+
+// scan computes span info bottom-up over the canonical run tree.
+func (d *deriver) scan(n *sptree.Node) span {
+	var s span
+	if n.Type == sptree.Q {
+		if d.implicit[n.Edge] {
+			d.info[n] = s
+			return s
+		}
+		i, ok := d.sp.LeafIndex(d.specOf[n.Edge])
+		if !ok {
+			// classifyEdges guarantees this cannot happen.
+			panic(fmt.Sprintf("wfrun: unclassified run edge %s", n.Edge))
+		}
+		s = span{lo: i, hi: i + 1, hasReal: true}
+		d.info[n] = s
+		return s
+	}
+	for _, c := range n.Children {
+		cs := d.scan(c)
+		if !cs.hasReal {
+			continue
+		}
+		if !s.hasReal {
+			s = cs
+			continue
+		}
+		if cs.lo < s.lo {
+			s.lo = cs.lo
+		}
+		if cs.hi > s.hi {
+			s.hi = cs.hi
+		}
+	}
+	d.info[n] = s
+	return s
+}
+
+// bundle packs a nonempty group of canonical children into a single
+// canonical node of the given type, reusing the sole element when the
+// group is a singleton.
+func (d *deriver) bundle(t sptree.Type, group []*sptree.Node) *sptree.Node {
+	if len(group) == 1 {
+		return group[0]
+	}
+	n := sptree.NewInternal(t, group...)
+	s := span{}
+	for _, c := range group {
+		cs := d.info[c]
+		if !cs.hasReal {
+			continue
+		}
+		if !s.hasReal {
+			s = cs
+			continue
+		}
+		if cs.lo < s.lo {
+			s.lo = cs.lo
+		}
+		if cs.hi > s.hi {
+			s.hi = cs.hi
+		}
+	}
+	d.info[n] = s
+	return n
+}
+
+// childFor returns the index of the unique specification child of tg
+// whose leaf interval contains sp, or an error.
+func (d *deriver) childFor(tg *sptree.Node, s span, what string) (int, error) {
+	for i, c := range tg.Children {
+		lo, hi := d.sp.Interval(c)
+		if lo <= s.lo && s.hi <= hi {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("wfrun: %s spans specification leaves [%d,%d) not contained in any child of %s node", what, s.lo, s.hi, tg.Type)
+}
+
+func (d *deriver) derive(tg, tr *sptree.Node) (*sptree.Node, error) {
+	switch tg.Type {
+	case sptree.Q:
+		if tr.Type != sptree.Q {
+			return nil, fmt.Errorf("wfrun: expected a single edge for specification edge %s, found %s subtree", tg.Edge, tr.Type)
+		}
+		if d.specOf[tr.Edge] != tg.Edge {
+			return nil, fmt.Errorf("wfrun: run edge %s does not instantiate specification edge %s", tr.Edge, tg.Edge)
+		}
+		n := sptree.NewQ(tr.Edge, tg.Src, tg.Dst)
+		n.Spec = tg
+		return n, nil
+
+	case sptree.S:
+		if tr.Type != sptree.S {
+			return nil, fmt.Errorf("wfrun: series region %s..%s does not decompose as a series composition", tg.Src, tg.Dst)
+		}
+		groups := make([][]*sptree.Node, len(tg.Children))
+		current := -1
+		for _, c := range tr.Children {
+			cs := d.info[c]
+			if !cs.hasReal {
+				// An implicit loop edge between iterations; both its
+				// neighbors belong to the same (loop) group.
+				if current < 0 {
+					return nil, fmt.Errorf("wfrun: implicit loop edge at the start of a series region")
+				}
+				groups[current] = append(groups[current], c)
+				continue
+			}
+			idx, err := d.childFor(tg, cs, "series component")
+			if err != nil {
+				return nil, err
+			}
+			if idx < current {
+				return nil, fmt.Errorf("wfrun: series components appear out of specification order")
+			}
+			current = idx
+			groups[idx] = append(groups[idx], c)
+		}
+		n := &sptree.Node{Type: sptree.S, Spec: tg, Src: tg.Src, Dst: tg.Dst}
+		for i, g := range groups {
+			if len(g) == 0 {
+				return nil, fmt.Errorf("wfrun: series child %d of %s..%s was not executed", i, tg.Src, tg.Dst)
+			}
+			child, err := d.derive(tg.Children[i], d.bundle(sptree.S, g))
+			if err != nil {
+				return nil, err
+			}
+			n.Adopt(child)
+		}
+		return n, nil
+
+	case sptree.P:
+		if tr.Type == sptree.P {
+			groups := make([][]*sptree.Node, len(tg.Children))
+			for _, c := range tr.Children {
+				cs := d.info[c]
+				if !cs.hasReal {
+					return nil, fmt.Errorf("wfrun: implicit loop edge cannot form a parallel branch")
+				}
+				idx, err := d.childFor(tg, cs, "parallel branch")
+				if err != nil {
+					return nil, err
+				}
+				groups[idx] = append(groups[idx], c)
+			}
+			n := &sptree.Node{Type: sptree.P, Spec: tg, Src: tg.Src, Dst: tg.Dst}
+			for i, g := range groups {
+				if len(g) == 0 {
+					continue
+				}
+				child, err := d.derive(tg.Children[i], d.bundle(sptree.P, g))
+				if err != nil {
+					return nil, err
+				}
+				n.Adopt(child)
+			}
+			if len(n.Children) == 0 {
+				return nil, fmt.Errorf("wfrun: parallel node %s..%s has no executed branch", tg.Src, tg.Dst)
+			}
+			return n, nil
+		}
+		// A single branch was taken (tr is S or Q).
+		cs := d.info[tr]
+		if !cs.hasReal {
+			return nil, fmt.Errorf("wfrun: implicit loop edge cannot form a parallel branch")
+		}
+		idx, err := d.childFor(tg, cs, "parallel branch")
+		if err != nil {
+			return nil, err
+		}
+		child, err := d.derive(tg.Children[idx], tr)
+		if err != nil {
+			return nil, err
+		}
+		n := &sptree.Node{Type: sptree.P, Spec: tg, Src: tg.Src, Dst: tg.Dst}
+		n.Adopt(child)
+		return n, nil
+
+	case sptree.F:
+		n := &sptree.Node{Type: sptree.F, Spec: tg, Src: tg.Src, Dst: tg.Dst}
+		if tr.Type == sptree.P {
+			for _, c := range tr.Children {
+				child, err := d.derive(tg.Children[0], c)
+				if err != nil {
+					return nil, err
+				}
+				n.Adopt(child)
+			}
+			return n, nil
+		}
+		child, err := d.derive(tg.Children[0], tr)
+		if err != nil {
+			return nil, err
+		}
+		n.Adopt(child)
+		return n, nil
+
+	case sptree.L:
+		n := &sptree.Node{Type: sptree.L, Spec: tg, Src: tg.Src, Dst: tg.Dst}
+		if tr.Type == sptree.S {
+			// Algorithm 5: children equal to the implicit edge
+			// (t(TG), s(TG)) separate consecutive iterations.
+			var groups [][]*sptree.Node
+			cur := []*sptree.Node{}
+			for _, c := range tr.Children {
+				if c.Type == sptree.Q && d.implicit[c.Edge] &&
+					d.g.Label(c.Edge.From) == tg.Dst && d.g.Label(c.Edge.To) == tg.Src {
+					groups = append(groups, cur)
+					cur = []*sptree.Node{}
+					continue
+				}
+				cur = append(cur, c)
+			}
+			groups = append(groups, cur)
+			if len(groups) == 1 {
+				// No separators: a single iteration whose body is
+				// this whole series composition.
+				child, err := d.derive(tg.Children[0], tr)
+				if err != nil {
+					return nil, err
+				}
+				n.Adopt(child)
+				return n, nil
+			}
+			for i, g := range groups {
+				if len(g) == 0 {
+					return nil, fmt.Errorf("wfrun: loop %s..%s has an empty iteration %d", tg.Src, tg.Dst, i)
+				}
+				child, err := d.derive(tg.Children[0], d.bundle(sptree.S, g))
+				if err != nil {
+					return nil, err
+				}
+				n.Adopt(child)
+			}
+			return n, nil
+		}
+		// A single iteration whose body is parallel or a single edge.
+		child, err := d.derive(tg.Children[0], tr)
+		if err != nil {
+			return nil, err
+		}
+		n.Adopt(child)
+		return n, nil
+	}
+	return nil, fmt.Errorf("wfrun: unknown specification node type %s", tg.Type)
+}

@@ -1,0 +1,162 @@
+package wfrun
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+)
+
+// nestedSpec builds a specification with a loop nested inside a fork:
+// chain 1->2, forked region 2..7 containing an inner loop over the
+// parallel block 3..6, then 7->8.
+//
+//	1 -> 2 -> 3 -> {4 | 5} -> 6 -> 7 -> 8
+//	          \____loop____/
+//	     \_________fork________/
+func nestedSpec(t *testing.T) *spec.Spec {
+	t.Helper()
+	g := graph.New()
+	for i := 1; i <= 8; i++ {
+		id := graph.NodeID(fmt.Sprint(i))
+		g.MustAddNode(id, fmt.Sprint(i))
+	}
+	var e23, e34, e46, e35, e56, e67 graph.Edge
+	e12 := g.MustAddEdge("1", "2")
+	e23 = g.MustAddEdge("2", "3")
+	e34 = g.MustAddEdge("3", "4")
+	e46 = g.MustAddEdge("4", "6")
+	e35 = g.MustAddEdge("3", "5")
+	e56 = g.MustAddEdge("5", "6")
+	e67 = g.MustAddEdge("6", "7")
+	g.MustAddEdge("7", "8")
+	_ = e12
+	loops := []spec.EdgeSet{{e34, e46, e35, e56}}           // loop over 3..6
+	forks := []spec.EdgeSet{{e23, e34, e46, e35, e56, e67}} // fork over 2..7
+	sp, err := spec.New(g, forks, loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// nestedDecider replicates the outer fork `copies` times; within copy
+// i the inner loop runs iters[i] times; every branch is taken.
+type nestedDecider struct {
+	iters []int
+	call  int
+}
+
+func (d *nestedDecider) ParallelSubset(p *sptree.Node) []int {
+	all := make([]int, len(p.Children))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+func (d *nestedDecider) ForkCopies(*sptree.Node) int { return len(d.iters) }
+func (d *nestedDecider) LoopIterations(*sptree.Node) int {
+	n := d.iters[d.call%len(d.iters)]
+	d.call++
+	return n
+}
+
+func TestLoopNestedInFork(t *testing.T) {
+	sp := nestedSpec(t)
+	// Structure check: F wraps a subtree containing an L.
+	var fnode *sptree.Node
+	sp.Tree.Walk(func(n *sptree.Node) bool {
+		if n.Type == sptree.F {
+			fnode = n
+		}
+		return true
+	})
+	if fnode == nil {
+		t.Fatalf("no fork node:\n%s", sp.Tree)
+	}
+	hasLoop := false
+	fnode.Walk(func(n *sptree.Node) bool {
+		if n.Type == sptree.L {
+			hasLoop = true
+		}
+		return true
+	})
+	if !hasLoop {
+		t.Fatalf("loop not nested inside fork:\n%s", sp.Tree)
+	}
+
+	// Two fork copies with 2 and 3 inner iterations.
+	r, err := Execute(sp, &nestedDecider{iters: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edges: per copy i: (2,3) + iters*4 + (iters-1 implicit) + (6,7),
+	// plus outer (1,2) and (7,8).
+	want := 2 + (1 + 2*4 + 1 + 1) + (1 + 3*4 + 2 + 1)
+	if r.NumEdges() != want {
+		t.Fatalf("NumEdges = %d, want %d\n%s", r.NumEdges(), want, r.Graph)
+	}
+	if len(r.ImplicitEdges) != 3 {
+		t.Fatalf("implicit edges = %d, want 3", len(r.ImplicitEdges))
+	}
+
+	// Round-trip the graph through f″.
+	r2, err := Derive(sp, r.Graph, nil)
+	if err != nil {
+		t.Fatalf("derive failed: %v\n%s", err, r.Graph)
+	}
+	if err := r2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sptree.EquivalentRuns(r.Tree, r2.Tree) {
+		// The fork copies here are distinguishable by iteration count,
+		// so f″ must reconstruct the identical structure.
+		t.Fatalf("derived tree differs:\n%s\nvs\n%s", r.Tree, r2.Tree)
+	}
+}
+
+func TestForkNestedInLoop(t *testing.T) {
+	// The dual nesting: a fork inside a loop body.
+	g := graph.New()
+	for i := 1; i <= 6; i++ {
+		id := graph.NodeID(fmt.Sprint(i))
+		g.MustAddNode(id, fmt.Sprint(i))
+	}
+	e12 := g.MustAddEdge("1", "2")
+	e23 := g.MustAddEdge("2", "3")
+	e34 := g.MustAddEdge("3", "4")
+	e45 := g.MustAddEdge("4", "5")
+	g.MustAddEdge("5", "6")
+	_ = e12
+	forks := []spec.EdgeSet{{e34}}           // fork over the single edge (3,4)
+	loops := []spec.EdgeSet{{e23, e34, e45}} // loop over 2..5
+	sp, err := spec.New(g, forks, loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &nestedDecider{iters: []int{2}}
+	r, err := Execute(sp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 iterations, each (2,3)+(3,4)+(4,5) with one fork copy, plus
+	// one implicit edge and the outer edges.
+	if r.NumEdges() != 2+2*3+1 {
+		t.Fatalf("NumEdges = %d, want 9", r.NumEdges())
+	}
+	r2, err := Derive(sp, r.Graph, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sptree.EquivalentRuns(r.Tree, r2.Tree) {
+		t.Fatalf("derived tree differs:\n%s\nvs\n%s", r.Tree, r2.Tree)
+	}
+}

@@ -1,0 +1,13 @@
+package wfrun
+
+import (
+	"repro/internal/graph"
+	"repro/internal/spgraph"
+	"repro/internal/sptree"
+)
+
+// decomposeFn produces the canonical SP-tree of a run graph; it is a
+// variable so tests can observe or stub the decomposition step.
+var decomposeFn = func(g *graph.Graph) (*sptree.Node, error) {
+	return spgraph.Decompose(g)
+}

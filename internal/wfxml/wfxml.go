@@ -1,0 +1,213 @@
+// Package wfxml serializes SP-workflow specifications and runs as XML,
+// mirroring the storage format of the PDiffView prototype
+// (Section VIII: "specifications and runs are stored as XML files").
+// Runs carry explicit specification-edge references so multigraph
+// specifications round-trip unambiguously.
+package wfxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+type xmlEdge struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+	Key  int    `xml:"key,attr,omitempty"`
+}
+
+type xmlModule struct {
+	ID    string `xml:"id,attr"`
+	Label string `xml:"label,attr"`
+}
+
+type xmlSubgraph struct {
+	Edges []xmlEdge `xml:"edge"`
+}
+
+type xmlSpec struct {
+	XMLName xml.Name      `xml:"specification"`
+	Name    string        `xml:"name,attr,omitempty"`
+	Modules []xmlModule   `xml:"module"`
+	Links   []xmlEdge     `xml:"link"`
+	Forks   []xmlSubgraph `xml:"fork"`
+	Loops   []xmlSubgraph `xml:"loop"`
+}
+
+type xmlRunNode struct {
+	ID    string `xml:"id,attr"`
+	Label string `xml:"label,attr"`
+}
+
+type xmlRunEdge struct {
+	From     string `xml:"from,attr"`
+	To       string `xml:"to,attr"`
+	SpecFrom string `xml:"specFrom,attr,omitempty"`
+	SpecTo   string `xml:"specTo,attr,omitempty"`
+	SpecKey  int    `xml:"specKey,attr,omitempty"`
+	Implicit bool   `xml:"implicit,attr,omitempty"`
+}
+
+type xmlRun struct {
+	XMLName xml.Name     `xml:"run"`
+	Name    string       `xml:"name,attr,omitempty"`
+	Nodes   []xmlRunNode `xml:"node"`
+	Edges   []xmlRunEdge `xml:"edge"`
+}
+
+// EncodeSpec writes sp as XML.
+func EncodeSpec(w io.Writer, sp *spec.Spec, name string) error {
+	x := xmlSpec{Name: name}
+	for _, n := range sp.G.Nodes() {
+		x.Modules = append(x.Modules, xmlModule{ID: string(n), Label: sp.G.Label(n)})
+	}
+	for _, e := range sp.G.Edges() {
+		x.Links = append(x.Links, xmlEdge{From: string(e.From), To: string(e.To), Key: e.Key})
+	}
+	for _, h := range sp.Forks {
+		x.Forks = append(x.Forks, toSubgraph(h))
+	}
+	for _, h := range sp.Loops {
+		x.Loops = append(x.Loops, toSubgraph(h))
+	}
+	return encode(w, x)
+}
+
+func toSubgraph(h spec.EdgeSet) xmlSubgraph {
+	var sg xmlSubgraph
+	for _, e := range h {
+		sg.Edges = append(sg.Edges, xmlEdge{From: string(e.From), To: string(e.To), Key: e.Key})
+	}
+	return sg
+}
+
+func encode(w io.Writer, v interface{}) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("wfxml: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// DecodeSpec parses a specification from XML and validates it through
+// spec.New.
+func DecodeSpec(r io.Reader) (*spec.Spec, error) {
+	var x xmlSpec
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("wfxml: %w", err)
+	}
+	g := graph.New()
+	for _, m := range x.Modules {
+		if err := g.AddNode(graph.NodeID(m.ID), m.Label); err != nil {
+			return nil, fmt.Errorf("wfxml: %w", err)
+		}
+	}
+	// Group parallel links so keys are assigned in document order.
+	for _, l := range x.Links {
+		e, err := g.AddEdge(graph.NodeID(l.From), graph.NodeID(l.To))
+		if err != nil {
+			return nil, fmt.Errorf("wfxml: %w", err)
+		}
+		if e.Key != l.Key {
+			return nil, fmt.Errorf("wfxml: link (%s,%s) key %d out of order (got %d); list parallel links in key order", l.From, l.To, l.Key, e.Key)
+		}
+	}
+	toSet := func(sg xmlSubgraph) spec.EdgeSet {
+		var out spec.EdgeSet
+		for _, e := range sg.Edges {
+			out = append(out, graph.Edge{From: graph.NodeID(e.From), To: graph.NodeID(e.To), Key: e.Key})
+		}
+		return out
+	}
+	var forks, loops []spec.EdgeSet
+	for _, sg := range x.Forks {
+		forks = append(forks, toSet(sg))
+	}
+	for _, sg := range x.Loops {
+		loops = append(loops, toSet(sg))
+	}
+	return spec.New(g, forks, loops)
+}
+
+// EncodeRun writes a run as XML, including the specification edge
+// reference of every non-implicit edge.
+func EncodeRun(w io.Writer, r *wfrun.Run, name string) error {
+	x := xmlRun{Name: name}
+	for _, n := range r.Graph.Nodes() {
+		x.Nodes = append(x.Nodes, xmlRunNode{ID: string(n), Label: r.Graph.Label(n)})
+	}
+	refs := r.EdgeRefs()
+	implicit := make(map[graph.Edge]bool, len(r.ImplicitEdges))
+	for _, e := range r.ImplicitEdges {
+		implicit[e] = true
+	}
+	edges := r.Graph.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Key < edges[j].Key
+	})
+	for _, e := range edges {
+		re := xmlRunEdge{From: string(e.From), To: string(e.To)}
+		if implicit[e] {
+			re.Implicit = true
+		} else if ref, ok := refs[e]; ok {
+			re.SpecFrom = string(ref.From)
+			re.SpecTo = string(ref.To)
+			re.SpecKey = ref.Key
+		}
+		x.Edges = append(x.Edges, re)
+	}
+	return encode(w, x)
+}
+
+// DecodeRun parses a run from XML and derives its annotated SP-tree
+// against sp (Algorithms 2 and 5).
+func DecodeRun(r io.Reader, sp *spec.Spec) (*wfrun.Run, error) {
+	var x xmlRun
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("wfxml: %w", err)
+	}
+	g := graph.New()
+	for _, n := range x.Nodes {
+		if err := g.AddNode(graph.NodeID(n.ID), n.Label); err != nil {
+			return nil, fmt.Errorf("wfxml: %w", err)
+		}
+	}
+	refs := make(map[graph.Edge]graph.Edge)
+	for _, re := range x.Edges {
+		e, err := g.AddEdge(graph.NodeID(re.From), graph.NodeID(re.To))
+		if err != nil {
+			return nil, fmt.Errorf("wfxml: %w", err)
+		}
+		if re.Implicit {
+			continue
+		}
+		if re.SpecFrom != "" {
+			refs[e] = graph.Edge{From: graph.NodeID(re.SpecFrom), To: graph.NodeID(re.SpecTo), Key: re.SpecKey}
+		}
+	}
+	return wfrun.Derive(sp, g, refs)
+}
+
+// ValidateRunTree re-exported check (round-trip convenience for
+// callers that already hold a tree).
+func ValidateRunTree(r *wfrun.Run) error {
+	return sptree.ValidateRunTree(r.Tree, r.Spec.Tree)
+}

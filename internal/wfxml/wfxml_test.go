@@ -1,0 +1,138 @@
+package wfxml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/gen"
+	"repro/internal/sptree"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	sp := fixtures.Fig2SpecWithLoop()
+	var buf bytes.Buffer
+	if err := EncodeSpec(&buf, sp, "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<specification") || !strings.Contains(out, "<loop>") {
+		t.Fatalf("unexpected XML:\n%s", out)
+	}
+	sp2, err := DecodeSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Stats() != sp.Stats() {
+		t.Fatalf("round-trip stats %+v != %+v", sp2.Stats(), sp.Stats())
+	}
+	if !sptree.Equivalent(sp.Tree, sp2.Tree) {
+		t.Fatal("round-trip changed the annotated tree")
+	}
+}
+
+func TestSpecRoundTripCatalog(t *testing.T) {
+	for _, name := range gen.CatalogNames {
+		sp, err := gen.Catalog(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSpec(&buf, sp, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sp2, err := DecodeSpec(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sp2.Stats() != sp.Stats() {
+			t.Fatalf("%s: stats changed in round trip", name)
+		}
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	sp := fixtures.Fig2SpecWithLoop()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10; i++ {
+		r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeRun(&buf, r, "test"); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := DecodeRun(&buf, sp)
+		if err != nil {
+			t.Fatalf("run %d: %v\n%s", i, err, r.Tree)
+		}
+		if err := ValidateRunTree(r2); err != nil {
+			t.Fatal(err)
+		}
+		if r2.Graph.String() != r.Graph.String() {
+			t.Fatalf("run %d: graph changed in round trip", i)
+		}
+		if len(r2.ImplicitEdges) != len(r.ImplicitEdges) {
+			t.Fatalf("run %d: implicit edges %d -> %d", i, len(r.ImplicitEdges), len(r2.ImplicitEdges))
+		}
+	}
+}
+
+func TestRunRoundTripMultigraphSpec(t *testing.T) {
+	// PGAQ contains parallel specification edges; the XML must carry
+	// the disambiguating references.
+	sp, err := gen.Catalog("PGAQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeRun(&buf, r, "pgaq-run"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "specFrom=") {
+		t.Fatal("run XML must carry specification edge references")
+	}
+	r2, err := DecodeRun(&buf, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Graph.NumEdges() != r.Graph.NumEdges() {
+		t.Fatal("edge count changed in round trip")
+	}
+}
+
+func TestDecodeSpecErrors(t *testing.T) {
+	if _, err := DecodeSpec(strings.NewReader("not xml")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	// Duplicate module id.
+	bad := `<specification><module id="a" label="x"/><module id="a" label="y"/></specification>`
+	if _, err := DecodeSpec(strings.NewReader(bad)); err == nil {
+		t.Fatal("duplicate module must fail")
+	}
+	// Link with unknown endpoint.
+	bad2 := `<specification><module id="a" label="x"/><link from="a" to="zzz"/></specification>`
+	if _, err := DecodeSpec(strings.NewReader(bad2)); err == nil {
+		t.Fatal("unknown endpoint must fail")
+	}
+}
+
+func TestDecodeRunErrors(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	if _, err := DecodeRun(strings.NewReader("<run"), sp); err == nil {
+		t.Fatal("truncated XML must fail")
+	}
+	// A structurally invalid run.
+	bad := `<run><node id="1a" label="1"/><node id="3a" label="3"/><edge from="1a" to="3a"/></run>`
+	if _, err := DecodeRun(strings.NewReader(bad), sp); err == nil {
+		t.Fatal("invalid run must fail derivation")
+	}
+}

@@ -1,0 +1,37 @@
+package provdiff
+
+import (
+	"repro/internal/graph"
+	"repro/internal/view"
+	"repro/internal/wfrun"
+)
+
+// Visualization (the PDiffView prototype, Section VII).
+type (
+	// DiffView bundles a diff with its script, edge classification,
+	// cluster rollups and HTML/SVG rendering.
+	DiffView = view.Diff
+	// EdgeStatus classifies run edges as kept/deleted/inserted.
+	EdgeStatus = view.Status
+	// ClusterChange is a per-composite-module change rollup.
+	ClusterChange = view.ClusterChange
+)
+
+// Edge status values.
+const (
+	EdgeKept     = view.Kept
+	EdgeDeleted  = view.Deleted
+	EdgeInserted = view.Inserted
+	EdgeImplicit = view.Implicit
+)
+
+// NewDiffView computes the diff, edit script and visualization data
+// for a pair of runs.
+func NewDiffView(r1, r2 *Run, m CostModel) (*DiffView, error) {
+	return view.New(r1, r2, m)
+}
+
+// RenderSVG draws a run graph with diff-status edge coloring.
+func RenderSVG(r *wfrun.Run, status map[graph.Edge]view.Status) string {
+	return view.RenderSVG(r, status)
+}
