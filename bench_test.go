@@ -263,13 +263,40 @@ func BenchmarkMatchingAblation(b *testing.B) {
 	del := func(i int) float64 { return 50 }
 	ins := func(j int) float64 { return 50 }
 	b.Run("hungarian", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			match.Bipartite(n, n, pair, del, ins)
 		}
 	})
 	b.Run("noncrossing", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			match.NonCrossing(n, n, pair, del, ins)
+		}
+	})
+	// Flat-row Scratch forms: what the diff Engine threads through
+	// every F/L node — same algorithms, zero steady-state allocation.
+	flat := make([]float64, n*n)
+	for i := range costs {
+		copy(flat[i*n:], costs[i])
+	}
+	dels := make([]float64, n)
+	inss := make([]float64, n)
+	for i := range dels {
+		dels[i], inss[i] = 50, 50
+	}
+	b.Run("hungarian_scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		var s match.Scratch
+		for i := 0; i < b.N; i++ {
+			s.Bipartite(n, n, flat, dels, inss)
+		}
+	})
+	b.Run("noncrossing_scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		var s match.Scratch
+		for i := 0; i < b.N; i++ {
+			s.NonCrossing(n, n, flat, dels, inss)
 		}
 	})
 }
@@ -308,10 +335,35 @@ func BenchmarkDistanceMatrix(b *testing.B) {
 		}
 		runs[i] = r
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := analysis.DistanceMatrix(runs, nil, cost.Unit{}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineReuse contrasts a fresh differ per call with one
+// reused Engine over the same pair: the engine amortizes every memo
+// table, matcher scratch and deletion DP buffer across the batch.
+func BenchmarkEngineReuse(b *testing.B) {
+	r1, r2 := fig11Pair(b, "PA", 400)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Distance(r1, r2, cost.Unit{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := core.NewEngine(cost.Unit{})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Distance(r1, r2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -19,7 +19,6 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/analysis"
 	"repro/internal/cli"
 	"repro/internal/gen"
 	"repro/internal/store"
@@ -205,15 +204,7 @@ func matrix(st *store.Store, args []string) {
 	if len(names) < 2 {
 		fatal(fmt.Errorf("need at least two stored runs, have %d", len(names)))
 	}
-	runs := make([]*wfrun.Run, len(names))
-	for i, n := range names {
-		r, err := st.LoadRun(args[0], n)
-		if err != nil {
-			fatal(err)
-		}
-		runs[i] = r
-	}
-	mx, err := analysis.DistanceMatrix(runs, names, model)
+	mx, err := st.Cohort(args[0], names, model)
 	if err != nil {
 		fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/sptree"
 	"repro/internal/wfrun"
 )
 
@@ -49,9 +50,20 @@ func DistanceMatrix(runs []*wfrun.Run, names []string, m cost.Model) (*Matrix, e
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
+	// Repair any stale tree IDs once, single-threaded: the per-worker
+	// engines index the shared trees concurrently, which is read-only
+	// exactly when IDs are already dense preorder.
+	var ti sptree.TreeIndex
+	for _, r := range runs {
+		if r.Tree != nil {
+			ti.Rebuild(r.Tree)
+		}
+	}
 	// The O(n²) pairs are independent differencing problems; fan them
-	// out over the available cores. Each worker writes disjoint
-	// cells, so only the error needs synchronization.
+	// out over the available cores, one reusable diff engine per
+	// worker so a whole cohort performs O(1) steady-state allocation.
+	// Each worker writes disjoint cells, so only the error needs
+	// synchronization.
 	type pair struct{ i, j int }
 	pairs := make(chan pair)
 	var wg sync.WaitGroup
@@ -65,8 +77,9 @@ func DistanceMatrix(runs []*wfrun.Run, names []string, m cost.Model) (*Matrix, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			eng := core.NewEngine(m)
 			for p := range pairs {
-				dist, err := core.Distance(runs[p.i], runs[p.j], m)
+				dist, err := eng.Distance(runs[p.i], runs[p.j])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -28,36 +28,80 @@ var inf = math.Inf(1)
 // (loops are handled exactly like forks, Section VI); S nodes split
 // the leaf budget over their children by the Z dynamic program.
 // Argmins are recorded so deletion plans can be reconstructed.
+//
+// All tables are flat slices indexed by node ID, so the tree must
+// carry unique preorder IDs (the state Finalize and Index leave
+// behind). reset marks every entry uncomputed while keeping the
+// backing arrays, so a reused deleter performs no steady-state
+// allocation; NaN in x is the "uncomputed" sentinel (legitimate
+// values are finite or +Inf).
 type deleter struct {
 	model cost.Model
 
-	x     map[*sptree.Node]float64
-	y     map[*sptree.Node][]float64 // y[v][l], l in [0, l(v)]; unreachable = +Inf
-	keep  map[*sptree.Node][]int     // P/F/L: child kept to reach l leaves
-	zarg  map[*sptree.Node][][]int   // S: leaves given to the first i-1 children
-	bestL map[*sptree.Node]int       // argmin_l Y(v)[l] + γ(l, s(v), t(v))
+	x     []float64   // X(v); NaN = uncomputed
+	y     [][]float64 // y[v][l], l in [0, l(v)]; unreachable = +Inf
+	keep  [][]int     // P/F/L: child kept to reach l leaves
+	zarg  [][][]int   // S: leaves given to the first i-1 children
+	bestL []int       // argmin_l Y(v)[l] + γ(l, s(v), t(v))
+
+	z, zprev []float64 // shared rows of the S-node Z DP
 }
 
 func newDeleter(m cost.Model) *deleter {
-	return &deleter{
-		model: m,
-		x:     make(map[*sptree.Node]float64),
-		y:     make(map[*sptree.Node][]float64),
-		keep:  make(map[*sptree.Node][]int),
-		zarg:  make(map[*sptree.Node][][]int),
-		bestL: make(map[*sptree.Node]int),
+	return &deleter{model: m}
+}
+
+// grow extends the tables to cover node IDs < n, marking new entries
+// uncomputed.
+func (d *deleter) grow(n int) {
+	if n <= len(d.x) {
+		return
+	}
+	for len(d.x) < n {
+		d.x = append(d.x, math.NaN())
+	}
+	for len(d.y) < n {
+		d.y = append(d.y, nil)
+	}
+	for len(d.keep) < n {
+		d.keep = append(d.keep, nil)
+	}
+	for len(d.zarg) < n {
+		d.zarg = append(d.zarg, nil)
+	}
+	for len(d.bestL) < n {
+		d.bestL = append(d.bestL, 0)
+	}
+}
+
+// reset marks every table entry uncomputed while keeping all backing
+// arrays, readying the deleter for a tree with n nodes.
+func (d *deleter) reset(n int) {
+	d.grow(n)
+	for i := range d.x {
+		d.x[i] = math.NaN()
 	}
 }
 
 // X returns the minimum cost of deleting T[v].
 func (d *deleter) X(v *sptree.Node) float64 {
 	d.ensure(v)
-	return d.x[v]
+	return d.x[v.ID]
+}
+
+// growRow returns a slice of length n, reusing s's backing array when
+// it is large enough; contents are unspecified.
+func growRow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // ensure computes the tables for v (and its descendants) once.
 func (d *deleter) ensure(v *sptree.Node) {
-	if _, ok := d.x[v]; ok {
+	d.grow(v.ID + 1)
+	if !math.IsNaN(d.x[v.ID]) {
 		return
 	}
 	for _, c := range v.Children {
@@ -65,53 +109,62 @@ func (d *deleter) ensure(v *sptree.Node) {
 	}
 	switch v.Type {
 	case sptree.Q:
-		d.y[v] = []float64{inf, 0}
+		y := growRow(d.y[v.ID], 2)
+		y[0], y[1] = inf, 0
+		d.y[v.ID] = y
 
 	case sptree.P, sptree.F, sptree.L:
 		maxL := 0
 		sumX := 0.0
 		for _, c := range v.Children {
-			if lc := len(d.y[c]) - 1; lc > maxL {
+			if lc := len(d.y[c.ID]) - 1; lc > maxL {
 				maxL = lc
 			}
-			sumX += d.x[c]
+			sumX += d.x[c.ID]
 		}
-		y := make([]float64, maxL+1)
-		keep := make([]int, maxL+1)
+		y := growRow(d.y[v.ID], maxL+1)
+		keep := growRow(d.keep[v.ID], maxL+1)
 		y[0] = inf
 		for l := 1; l <= maxL; l++ {
 			y[l] = inf
 			keep[l] = -1
 			for i, c := range v.Children {
-				yc := d.y[c]
+				yc := d.y[c.ID]
 				if l >= len(yc) || math.IsInf(yc[l], 1) {
 					continue
 				}
-				cand := yc[l] + sumX - d.x[c]
+				cand := yc[l] + sumX - d.x[c.ID]
 				if cand < y[l] {
 					y[l] = cand
 					keep[l] = i
 				}
 			}
 		}
-		d.y[v] = y
-		d.keep[v] = keep
+		d.y[v.ID] = y
+		d.keep[v.ID] = keep
 
 	case sptree.S:
 		maxL := 0
 		for _, c := range v.Children {
-			maxL += len(d.y[c]) - 1
+			maxL += len(d.y[c.ID]) - 1
 		}
-		z := make([]float64, maxL+1)
-		zprev := make([]float64, maxL+1)
-		arg := make([][]int, len(v.Children)+1)
+		// z and zprev are deleter-shared rows: safe because all child
+		// tables are already computed, so no recursion happens below.
+		z := growRow(d.z, maxL+1)
+		zprev := growRow(d.zprev, maxL+1)
+		arg := d.zarg[v.ID]
+		if cap(arg) < len(v.Children)+1 {
+			arg = make([][]int, len(v.Children)+1)
+		} else {
+			arg = arg[:len(v.Children)+1]
+		}
 		for i := range zprev {
 			zprev[i] = inf
 		}
 		zprev[0] = 0
 		for i, c := range v.Children {
-			arg[i+1] = make([]int, maxL+1)
-			yc := d.y[c]
+			arg[i+1] = growRow(arg[i+1], maxL+1)
+			yc := d.y[c.ID]
 			for l := 0; l <= maxL; l++ {
 				z[l] = inf
 				arg[i+1][l] = -1
@@ -131,15 +184,18 @@ func (d *deleter) ensure(v *sptree.Node) {
 			}
 			z, zprev = zprev, z
 		}
-		y := append([]float64(nil), zprev...)
+		y := growRow(d.y[v.ID], maxL+1)
+		copy(y, zprev[:maxL+1])
 		y[0] = inf // an S node always retains at least one leaf per child
-		d.y[v] = y
-		d.zarg[v] = arg
+		d.y[v.ID] = y
+		d.zarg[v.ID] = arg
+		d.z, d.zprev = z, zprev
+
 	}
 
 	// X(v) = min over l of Y(v)[l] + γ(l, s(v), t(v)): reduce to an
 	// elementary subtree with l leaves, then delete it in one step.
-	y := d.y[v]
+	y := d.y[v.ID]
 	best := inf
 	bestL := -1
 	for l := 1; l < len(y); l++ {
@@ -151,8 +207,8 @@ func (d *deleter) ensure(v *sptree.Node) {
 			bestL = l
 		}
 	}
-	d.x[v] = best
-	d.bestL[v] = bestL
+	d.x[v.ID] = best
+	d.bestL[v.ID] = bestL
 }
 
 // planReduce appends to plan the ordered elementary deletions that
@@ -165,7 +221,7 @@ func (d *deleter) planReduce(v *sptree.Node, l int, plan *[]*sptree.Node) {
 		// Already branch-free with one leaf.
 
 	case sptree.P, sptree.F, sptree.L:
-		i := d.keep[v][l]
+		i := d.keep[v.ID][l]
 		for j, c := range v.Children {
 			if j != i {
 				d.planDelete(c, plan)
@@ -174,7 +230,7 @@ func (d *deleter) planReduce(v *sptree.Node, l int, plan *[]*sptree.Node) {
 		d.planReduce(v.Children[i], l, plan)
 
 	case sptree.S:
-		arg := d.zarg[v]
+		arg := d.zarg[v.ID]
 		alloc := make([]int, len(v.Children))
 		rem := l
 		for i := len(v.Children); i >= 1; i-- {
@@ -194,6 +250,6 @@ func (d *deleter) planReduce(v *sptree.Node, l int, plan *[]*sptree.Node) {
 // a true P, F or L node at execution time).
 func (d *deleter) planDelete(v *sptree.Node, plan *[]*sptree.Node) {
 	d.ensure(v)
-	d.planReduce(v, d.bestL[v], plan)
+	d.planReduce(v, d.bestL[v.ID], plan)
 	*plan = append(*plan, v)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cost"
 	"repro/internal/match"
@@ -12,27 +13,53 @@ import (
 
 // decision records the outcome of the minimum-cost well-formed mapping
 // computation for one pair of homologous nodes (v1, v2): its cost
-// γ(M(v1, v2)) and which of their children are matched.
+// γ(M(v1, v2)) and which of their children are matched. Matched child
+// pairs live in the engine's pair arena as the span [off, off+n).
 type decision struct {
 	cost     float64
-	pairs    [][2]*sptree.Node // matched child pairs
-	unstable bool              // Definition 5.2: P pair whose single homologous children stay unmatched
+	off, n   int32
+	unstable bool // Definition 5.2: P pair whose single homologous children stay unmatched
 }
 
-type pairKey [2]*sptree.Node
-
-// differ carries the state of one Diff computation.
-type differ struct {
-	sp          *spec.Spec
+// Engine computes edit distances between valid runs of one (or many)
+// specifications, reusing all interior state between calls: the
+// memoization tables of Algorithms 3, 4 and 6 are flat slices indexed
+// by the dense preorder IDs of sptree.Index rather than pointer-keyed
+// maps, matched pairs are stored in a shared arena, and the matching
+// primitives run on a reusable match.Scratch. A batch of k diffs
+// therefore performs O(1) steady-state allocation instead of O(k·n²)
+// map churn; the W_TG memo even persists across calls that share a
+// specification.
+//
+// An Engine is NOT safe for concurrent use — give each goroutine its
+// own (analysis.DistanceMatrix creates one per worker). Results
+// returned by Diff borrow the engine's tables: their Distance is
+// always valid, but Mapping and Script must be extracted before the
+// same engine runs another Diff.
+type Engine struct {
 	model       cost.Model
-	del1, del2  *deleter
-	memo        map[pairKey]*decision
-	wMemo       map[pairKey]float64
 	leafPenalty func(q1, q2 *sptree.Node) float64
+
+	// Per-specification state, reset when the specification changes.
+	sp    *spec.Spec
+	specN int
+	wMemo []float64 // specN×specN flat W_TG memo; NaN = uncomputed
+
+	// Per-call scratch, reset by Diff.
+	gen        uint32
+	idx1, idx2 sptree.TreeIndex
+	blockOff   []int // per homology class: offset of its memo block
+	memo       []decision
+	memoGen    []uint32
+	pairArena  [][2]*sptree.Node
+	del1, del2 *deleter
+
+	rows, delCost, insCost []float64 // matchCase staging
+	ms                     match.Scratch
 }
 
-// Option configures Diff.
-type Option func(*differ)
+// Option configures an Engine (and thus Diff).
+type Option func(*Engine)
 
 // WithLeafPenalty makes data a factor in the matching (Section I:
 // "It is a factor in the matching between nodes in the executions"):
@@ -43,7 +70,17 @@ type Option func(*differ)
 // still realizes the chosen mapping, but its operation cost equals
 // Distance minus the penalties of matched leaves.
 func WithLeafPenalty(fn func(q1, q2 *sptree.Node) float64) Option {
-	return func(df *differ) { df.leafPenalty = fn }
+	return func(e *Engine) { e.leafPenalty = fn }
+}
+
+// NewEngine returns a reusable differencing engine for the given cost
+// model.
+func NewEngine(m cost.Model, opts ...Option) *Engine {
+	e := &Engine{model: m, del1: newDeleter(m), del2: newDeleter(m)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Result is the outcome of differencing two runs.
@@ -52,33 +89,18 @@ type Result struct {
 	Distance float64
 
 	r1, r2 *wfrun.Run
-	df     *differ
+	eng    *Engine
+	gen    uint32
 }
 
 // Diff computes the edit distance between two valid runs of the same
 // specification under the given cost model (Algorithms 3, 4 and 6).
 // The returned Result can additionally produce the minimum-cost edit
-// script and the underlying well-formed mapping.
+// script and the underlying well-formed mapping. Each call builds a
+// fresh Engine, so the Result stays valid indefinitely; batch callers
+// should construct one Engine and call its Diff instead.
 func Diff(r1, r2 *wfrun.Run, m cost.Model, opts ...Option) (*Result, error) {
-	if r1.Spec != r2.Spec {
-		return nil, fmt.Errorf("core: runs belong to different specifications")
-	}
-	if r1.Tree == nil || r2.Tree == nil {
-		return nil, fmt.Errorf("core: runs lack annotated SP-trees")
-	}
-	df := &differ{
-		sp:    r1.Spec,
-		model: m,
-		del1:  newDeleter(m),
-		del2:  newDeleter(m),
-		memo:  make(map[pairKey]*decision),
-		wMemo: make(map[pairKey]float64),
-	}
-	for _, opt := range opts {
-		opt(df)
-	}
-	dec := df.c(r1.Tree, r2.Tree)
-	return &Result{Distance: dec.cost, r1: r1, r2: r2, df: df}, nil
+	return NewEngine(m, opts...).Diff(r1, r2)
 }
 
 // Distance is a convenience wrapper returning only δ(R1, R2).
@@ -90,15 +112,110 @@ func Distance(r1, r2 *wfrun.Run, m cost.Model) (float64, error) {
 	return res.Distance, nil
 }
 
+// Diff computes the edit distance between two valid runs of the same
+// specification, reusing the engine's scratch tables. The previous
+// Result of this engine is invalidated for Mapping/Script extraction
+// (its Distance remains usable).
+func (e *Engine) Diff(r1, r2 *wfrun.Run) (*Result, error) {
+	if r1.Spec != r2.Spec {
+		return nil, fmt.Errorf("core: runs belong to different specifications")
+	}
+	if r1.Tree == nil || r2.Tree == nil {
+		return nil, fmt.Errorf("core: runs lack annotated SP-trees")
+	}
+	if e.sp != r1.Spec {
+		e.sp = r1.Spec
+		e.specN = e.sp.Tree.CountNodes()
+		e.wMemo = growRow(e.wMemo, e.specN*e.specN)
+		for i := range e.wMemo {
+			e.wMemo[i] = math.NaN()
+		}
+	}
+	e.gen++
+	if e.gen == 0 { // uint32 wrap: flush every stamp explicitly
+		for i := range e.memoGen {
+			e.memoGen[i] = 0
+		}
+		e.gen = 1
+	}
+	e.idx1.Rebuild(r1.Tree)
+	e.idx2.Rebuild(r2.Tree)
+	// Lay the memo out as one block per homology class: class s gets a
+	// k1(s)×k2(s) sub-matrix, so total size is the number of
+	// homologous pairs, not |T1|·|T2|.
+	e.blockOff = growRow(e.blockOff, e.specN)
+	total := 0
+	for s := 0; s < e.specN; s++ {
+		e.blockOff[s] = total
+		total += e.idx1.Class(s) * e.idx2.Class(s)
+	}
+	if cap(e.memo) < total {
+		e.memo = make([]decision, total)
+		e.memoGen = make([]uint32, total)
+	} else {
+		e.memo = e.memo[:total]
+		e.memoGen = e.memoGen[:total]
+	}
+	e.pairArena = e.pairArena[:0]
+	e.del1.reset(e.idx1.Len())
+	e.del2.reset(e.idx2.Len())
+	dec := e.c(r1.Tree, r2.Tree)
+	return &Result{Distance: dec.cost, r1: r1, r2: r2, eng: e, gen: e.gen}, nil
+}
+
+// Distance reuses the engine to return only δ(R1, R2).
+func (e *Engine) Distance(r1, r2 *wfrun.Run) (float64, error) {
+	res, err := e.Diff(r1, r2)
+	if err != nil {
+		return 0, err
+	}
+	return res.Distance, nil
+}
+
+// memoIndex maps a homologous pair to its memo slot: the pair's class
+// block plus (rank in T1) × (class size in T2) + (rank in T2).
+func (e *Engine) memoIndex(v1, v2 *sptree.Node) int {
+	s := int(e.idx1.SpecID[v1.ID])
+	return e.blockOff[s] + int(e.idx1.ClassRank[v1.ID])*e.idx2.Class(s) + int(e.idx2.ClassRank[v2.ID])
+}
+
+// pairsOf returns the matched child pairs of a decision from the
+// engine's arena.
+func (e *Engine) pairsOf(dec *decision) [][2]*sptree.Node {
+	return e.pairArena[dec.off : dec.off+dec.n]
+}
+
+// lookup returns the memoized decision for a pair, or nil if the last
+// Diff never computed it.
+func (e *Engine) lookup(v1, v2 *sptree.Node) *decision {
+	if v1.Spec == nil || v1.Spec != v2.Spec {
+		return nil
+	}
+	mi := e.memoIndex(v1, v2)
+	if e.memoGen[mi] != e.gen {
+		return nil
+	}
+	return &e.memo[mi]
+}
+
+// check panics unless the Result belongs to the engine's latest Diff.
+func (r *Result) check() {
+	if r.gen != r.eng.gen {
+		panic("core: Result used after its Engine ran another Diff; extract Mapping/Script before reusing the Engine")
+	}
+}
+
 // Mapping returns the minimum-cost well-formed mapping as pairs of
 // (T1 node, T2 node), including the root pair, in preorder of T1.
 func (r *Result) Mapping() [][2]*sptree.Node {
+	r.check()
+	e := r.eng
 	var out [][2]*sptree.Node
 	var rec func(v1, v2 *sptree.Node)
 	rec = func(v1, v2 *sptree.Node) {
 		out = append(out, [2]*sptree.Node{v1, v2})
-		dec := r.df.memo[pairKey{v1, v2}]
-		for _, p := range dec.pairs {
+		dec := e.lookup(v1, v2)
+		for _, p := range e.pairsOf(dec) {
 			rec(p[0], p[1])
 		}
 	}
@@ -108,44 +225,49 @@ func (r *Result) Mapping() [][2]*sptree.Node {
 
 // c computes γ(M(v1, v2)) for homologous nodes, memoized (Algorithm 4
 // plus the L case of Algorithm 6).
-func (df *differ) c(v1, v2 *sptree.Node) *decision {
-	key := pairKey{v1, v2}
-	if dec, ok := df.memo[key]; ok {
-		return dec
-	}
-	if v1.Spec != v2.Spec {
+func (e *Engine) c(v1, v2 *sptree.Node) *decision {
+	if v1.Spec == nil || v1.Spec != v2.Spec {
 		panic("core: c called on non-homologous nodes")
 	}
-	var dec *decision
+	mi := e.memoIndex(v1, v2)
+	dec := &e.memo[mi]
+	if e.memoGen[mi] == e.gen {
+		return dec
+	}
+	*dec = decision{}
 	switch v1.Type {
 	case sptree.Q:
-		dec = &decision{}
-		if df.leafPenalty != nil {
-			dec.cost = df.leafPenalty(v1, v2)
+		if e.leafPenalty != nil {
+			dec.cost = e.leafPenalty(v1, v2)
 		}
 
 	case sptree.S:
 		// Case 2: children of mapped S nodes are preserved pairwise.
-		dec = &decision{}
+		// Child decisions are forced first so the arena appends below
+		// form one contiguous span.
+		sum := 0.0
 		for i := range v1.Children {
-			c1, c2 := v1.Children[i], v2.Children[i]
-			dec.cost += df.c(c1, c2).cost
-			dec.pairs = append(dec.pairs, [2]*sptree.Node{c1, c2})
+			sum += e.c(v1.Children[i], v2.Children[i]).cost
 		}
+		off := int32(len(e.pairArena))
+		for i := range v1.Children {
+			e.pairArena = append(e.pairArena, [2]*sptree.Node{v1.Children[i], v2.Children[i]})
+		}
+		dec.cost, dec.off, dec.n = sum, off, int32(len(v1.Children))
 
 	case sptree.P:
-		dec = df.parallelCase(v1, v2)
+		e.parallelCase(v1, v2, dec)
 
 	case sptree.F:
-		dec = df.matchCase(v1, v2, false)
+		e.matchCase(v1, v2, false, dec)
 
 	case sptree.L:
-		dec = df.matchCase(v1, v2, true)
+		e.matchCase(v1, v2, true, dec)
 
 	default:
 		panic(fmt.Sprintf("core: unknown node type %s", v1.Type))
 	}
-	df.memo[key] = dec
+	e.memoGen[mi] = e.gen
 	return dec
 }
 
@@ -153,63 +275,109 @@ func (df *differ) c(v1, v2 *sptree.Node) *decision {
 // children, possibly unstably matched) and Case 3b (children paired by
 // specification branch, each pair kept only if cheaper than
 // delete+insert).
-func (df *differ) parallelCase(v1, v2 *sptree.Node) *decision {
+func (e *Engine) parallelCase(v1, v2 *sptree.Node, dec *decision) {
 	if len(v1.Children) == 1 && len(v2.Children) == 1 &&
 		v1.Children[0].Spec == v2.Children[0].Spec {
 		c1, c2 := v1.Children[0], v2.Children[0]
-		mapped := df.c(c1, c2).cost
-		swap := df.del1.X(c1) + df.del2.X(c2) + 2*df.w(v1.Spec, c1.Spec)
+		mapped := e.c(c1, c2).cost
+		swap := e.del1.X(c1) + e.del2.X(c2) + 2*e.w(v1.Spec, c1.Spec)
 		if mapped <= swap {
-			return &decision{cost: mapped, pairs: [][2]*sptree.Node{{c1, c2}}}
+			dec.cost = mapped
+			dec.off = int32(len(e.pairArena))
+			dec.n = 1
+			e.pairArena = append(e.pairArena, [2]*sptree.Node{c1, c2})
+			return
 		}
-		return &decision{cost: swap, unstable: true}
+		dec.cost = swap
+		dec.unstable = true
+		return
 	}
 	by1 := make(map[*sptree.Node]*sptree.Node, len(v1.Children))
 	for _, c := range v1.Children {
 		by1[c.Spec] = c
 	}
-	dec := &decision{}
+	// Force child decisions first: the decide loop below then appends
+	// matched pairs to the arena without interleaved recursion.
+	for _, c2 := range v2.Children {
+		if c1, ok := by1[c2.Spec]; ok {
+			e.c(c1, c2)
+		}
+	}
+	off := int32(len(e.pairArena))
 	for _, c2 := range v2.Children {
 		c1, ok := by1[c2.Spec]
 		if !ok {
-			dec.cost += df.del2.X(c2)
+			dec.cost += e.del2.X(c2)
 			continue
 		}
-		mapped := df.c(c1, c2).cost
-		apart := df.del1.X(c1) + df.del2.X(c2)
+		mapped := e.c(c1, c2).cost
+		apart := e.del1.X(c1) + e.del2.X(c2)
 		if mapped <= apart {
 			dec.cost += mapped
-			dec.pairs = append(dec.pairs, [2]*sptree.Node{c1, c2})
+			e.pairArena = append(e.pairArena, [2]*sptree.Node{c1, c2})
+			dec.n++
 		} else {
 			dec.cost += apart
 		}
 		delete(by1, c2.Spec)
 	}
-	for _, c1 := range by1 {
-		dec.cost += df.del1.X(c1)
+	dec.off = off
+	// Unpaired T1 branches, in deterministic child order (the old
+	// map-ordered iteration summed the same values nondeterministically).
+	for _, c1 := range v1.Children {
+		if by1[c1.Spec] == c1 {
+			dec.cost += e.del1.X(c1)
+		}
 	}
-	return dec
 }
 
 // matchCase handles F nodes (minimum-cost bipartite matching over
 // copies, Case 4 / Fig. 9) and L nodes (minimum-cost non-crossing
-// bipartite matching over ordered iterations, Algorithm 6).
-func (df *differ) matchCase(v1, v2 *sptree.Node, ordered bool) *decision {
+// bipartite matching over ordered iterations, Algorithm 6). Child
+// decisions are forced before the engine's shared staging rows are
+// touched, so the rows are never live across recursion.
+func (e *Engine) matchCase(v1, v2 *sptree.Node, ordered bool, dec *decision) {
 	m, n := len(v1.Children), len(v2.Children)
-	pair := func(i, j int) float64 { return df.c(v1.Children[i], v2.Children[j]).cost }
-	del := func(i int) float64 { return df.del1.X(v1.Children[i]) }
-	ins := func(j int) float64 { return df.del2.X(v2.Children[j]) }
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			e.c(v1.Children[i], v2.Children[j])
+		}
+	}
+	if cap(e.rows) < m*n {
+		e.rows = make([]float64, m*n)
+	}
+	rows := e.rows[:m*n]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			rows[i*n+j] = e.c(v1.Children[i], v2.Children[j]).cost
+		}
+	}
+	if cap(e.delCost) < m {
+		e.delCost = make([]float64, m)
+	}
+	dels := e.delCost[:m]
+	for i := 0; i < m; i++ {
+		dels[i] = e.del1.X(v1.Children[i])
+	}
+	if cap(e.insCost) < n {
+		e.insCost = make([]float64, n)
+	}
+	inss := e.insCost[:n]
+	for j := 0; j < n; j++ {
+		inss[j] = e.del2.X(v2.Children[j])
+	}
 	var res match.Result
 	if ordered {
-		res = match.NonCrossing(m, n, pair, del, ins)
+		res = e.ms.NonCrossing(m, n, rows, dels, inss)
 	} else {
-		res = match.Bipartite(m, n, pair, del, ins)
+		res = e.ms.Bipartite(m, n, rows, dels, inss)
 	}
-	dec := &decision{cost: res.Cost}
+	dec.cost = res.Cost
+	dec.off = int32(len(e.pairArena))
+	dec.n = int32(len(res.Pairs))
 	for _, p := range res.Pairs {
-		dec.pairs = append(dec.pairs, [2]*sptree.Node{v1.Children[p[0]], v2.Children[p[1]]})
+		e.pairArena = append(e.pairArena, [2]*sptree.Node{v1.Children[p[0]], v2.Children[p[1]]})
 	}
-	return dec
 }
 
 // w computes W_TG(a, b): the minimum cost of inserting (or deleting)
@@ -217,10 +385,11 @@ func (df *differ) matchCase(v1, v2 *sptree.Node, ordered bool) *decision {
 // is distinct from the subtree rooted at specification node b
 // (Section V-A, Eq. 2). a is the specification P node of an unstably
 // matched pair; candidate subtrees range over the branch-free
-// executions of a's other children.
-func (df *differ) w(a, b *sptree.Node) float64 {
-	key := pairKey{a, b}
-	if v, ok := df.wMemo[key]; ok {
+// executions of a's other children. The memo is keyed by specification
+// IDs and survives across Diff calls sharing a specification.
+func (e *Engine) w(a, b *sptree.Node) float64 {
+	wi := a.ID*e.specN + b.ID
+	if v := e.wMemo[wi]; !math.IsNaN(v) {
 		return v
 	}
 	best := inf
@@ -228,20 +397,20 @@ func (df *differ) w(a, b *sptree.Node) float64 {
 		if c == b {
 			continue
 		}
-		for _, l := range df.sp.AchievableLengths(c) {
-			if cand := df.model.PathCost(l, a.Src, a.Dst); cand < best {
+		for _, l := range e.sp.AchievableLengths(c) {
+			if cand := e.model.PathCost(l, a.Src, a.Dst); cand < best {
 				best = cand
 			}
 		}
 	}
-	df.wMemo[key] = best
+	e.wMemo[wi] = best
 	return best
 }
 
 // minSkeleton returns, for the unstable workaround, the specification
 // child of a (other than b) and the branch-free execution length
 // realizing W_TG(a, b).
-func (df *differ) minSkeleton(a, b *sptree.Node) (*sptree.Node, int) {
+func (e *Engine) minSkeleton(a, b *sptree.Node) (*sptree.Node, int) {
 	best := inf
 	var bestChild *sptree.Node
 	bestLen := 0
@@ -249,8 +418,8 @@ func (df *differ) minSkeleton(a, b *sptree.Node) (*sptree.Node, int) {
 		if c == b {
 			continue
 		}
-		for _, l := range df.sp.AchievableLengths(c) {
-			if cand := df.model.PathCost(l, a.Src, a.Dst); cand < best {
+		for _, l := range e.sp.AchievableLengths(c) {
+			if cand := e.model.PathCost(l, a.Src, a.Dst); cand < best {
 				best = cand
 				bestChild = c
 				bestLen = l

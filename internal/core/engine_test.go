@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/fixtures"
+	"repro/internal/gen"
+	"repro/internal/wfrun"
+)
+
+// engineCorpus builds a mixed corpus of run cohorts: the Fig. 2 worked
+// examples, the looped variant, and random runs of two catalog
+// workflows, exercising S/P/F/L cases, unstable matches and loops.
+func engineCorpus(t testing.TB) [][]*wfrun.Run {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	var corpus [][]*wfrun.Run
+
+	sp := fixtures.Fig2Spec()
+	corpus = append(corpus, []*wfrun.Run{fixtures.Fig2R1(sp), fixtures.Fig2R2(sp)})
+
+	spl := fixtures.Fig2SpecWithLoop()
+	var looped []*wfrun.Run
+	for i := 0; i < 4; i++ {
+		r, err := gen.RandomRun(spl, gen.RunParams{ProbP: 0.6, ProbF: 0.5, MaxF: 3, ProbL: 0.5, MaxL: 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		looped = append(looped, r)
+	}
+	corpus = append(corpus, looped)
+
+	for _, name := range []string{"PA", "EMBOSS"} {
+		csp, err := gen.Catalog(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var runs []*wfrun.Run
+		for i := 0; i < 4; i++ {
+			r, err := gen.RandomRun(csp, gen.DefaultRunParams(), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, r)
+		}
+		corpus = append(corpus, runs)
+	}
+	return corpus
+}
+
+// TestEngineMatchesFreshDiff asserts that one Engine reused across an
+// entire corpus (spanning several specifications) produces exactly the
+// same distances, mappings and edit scripts as fresh Diff calls.
+func TestEngineMatchesFreshDiff(t *testing.T) {
+	for _, m := range []cost.Model{cost.Unit{}, cost.Length{}, cost.Power{Epsilon: 0.5}} {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			eng := NewEngine(m)
+			for ci, cohort := range engineCorpus(t) {
+				for i := range cohort {
+					for j := range cohort {
+						fresh, err := Diff(cohort[i], cohort[j], m)
+						if err != nil {
+							t.Fatal(err)
+						}
+						batch, err := eng.Diff(cohort[i], cohort[j])
+						if err != nil {
+							t.Fatal(err)
+						}
+						if batch.Distance != fresh.Distance {
+							t.Fatalf("cohort %d pair (%d,%d): engine distance %g != fresh %g",
+								ci, i, j, batch.Distance, fresh.Distance)
+						}
+						fm, bm := fresh.Mapping(), batch.Mapping()
+						if len(fm) != len(bm) {
+							t.Fatalf("cohort %d pair (%d,%d): mapping sizes %d != %d", ci, i, j, len(bm), len(fm))
+						}
+						for k := range fm {
+							if fm[k] != bm[k] {
+								t.Fatalf("cohort %d pair (%d,%d): mapping entry %d differs", ci, i, j, k)
+							}
+						}
+						fs, _, err := fresh.Script()
+						if err != nil {
+							t.Fatal(err)
+						}
+						bs, _, err := batch.Script()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if fmt.Sprint(fs.Ops) != fmt.Sprint(bs.Ops) {
+							t.Fatalf("cohort %d pair (%d,%d): scripts differ:\n%v\nvs\n%v", ci, i, j, bs.Ops, fs.Ops)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineResultStaleness: a Result's Mapping/Script must refuse to
+// read the engine's tables after a subsequent Diff overwrote them.
+func TestEngineResultStaleness(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1, r2 := fixtures.Fig2R1(sp), fixtures.Fig2R2(sp)
+	eng := NewEngine(cost.Unit{})
+	res, err := eng.Diff(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Diff(r2, r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Script(); err == nil {
+		t.Fatal("Script on a stale engine Result must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mapping on a stale engine Result must panic")
+		}
+	}()
+	res.Mapping()
+}
+
+// TestEngineDistanceSelf: reused engine on identical runs is zero.
+func TestEngineDistanceSelf(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	r1 := fixtures.Fig2R1(sp)
+	eng := NewEngine(cost.Unit{})
+	for i := 0; i < 3; i++ {
+		d, err := eng.Distance(r1, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Fatalf("self distance = %g, want 0", d)
+		}
+	}
+}

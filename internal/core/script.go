@@ -20,8 +20,11 @@ import (
 // node-instance renaming). Every operation is validity-checked as it
 // is applied; the script's total cost equals the edit distance.
 func (r *Result) Script() (*edit.Script, *sptree.Node, error) {
+	if r.gen != r.eng.gen {
+		return nil, nil, fmt.Errorf("core: Result used after its Engine ran another Diff; extract the script before reusing the Engine")
+	}
 	b := &scriptBuilder{
-		df:     r.df,
+		eng:    r.eng,
 		script: &edit.Script{},
 		m1:     make(map[*sptree.Node]*sptree.Node),
 	}
@@ -34,7 +37,7 @@ func (r *Result) Script() (*edit.Script, *sptree.Node, error) {
 }
 
 type scriptBuilder struct {
-	df     *differ
+	eng    *Engine
 	script *edit.Script
 	work   *sptree.Node
 	m1     map[*sptree.Node]*sptree.Node // original T1 node -> working node
@@ -59,7 +62,7 @@ func (b *scriptBuilder) opFor(kind edit.Kind, w *sptree.Node, temporary bool) ed
 	loopOp := w.Parent != nil && w.Parent.Type == sptree.L
 	return edit.Op{
 		Kind:       kind,
-		Cost:       b.df.model.PathCost(length, w.Src, w.Dst),
+		Cost:       b.eng.model.PathCost(length, w.Src, w.Dst),
 		Length:     length,
 		SrcLabel:   w.Src,
 		DstLabel:   w.Dst,
@@ -74,7 +77,7 @@ func (b *scriptBuilder) opFor(kind edit.Kind, w *sptree.Node, temporary bool) ed
 // the working tree via its optimal elementary deletion sequence.
 func (b *scriptBuilder) deleteWhole(orig *sptree.Node) error {
 	var plan []*sptree.Node
-	b.df.del1.planDelete(orig, &plan)
+	b.eng.del1.planDelete(orig, &plan)
 	for _, n := range plan {
 		w, ok := b.m1[n]
 		if !ok {
@@ -104,7 +107,7 @@ func (b *scriptBuilder) insertWhole(parent *sptree.Node, pos int, orig2 *sptree.
 	m2 := make(map[*sptree.Node]*sptree.Node)
 	frag := cloneWithMap(orig2, m2)
 	var plan []*sptree.Node
-	b.df.del2.planDelete(orig2, &plan)
+	b.eng.del2.planDelete(orig2, &plan)
 	steps := make([]step, 0, len(plan))
 	for _, n := range plan {
 		w := m2[n]
@@ -140,7 +143,7 @@ func (b *scriptBuilder) insertWhole(parent *sptree.Node, pos int, orig2 *sptree.
 // emit walks a mapped pair and appends the edit operations
 // transforming the working subtree of v1 into the shape of T2[v2].
 func (b *scriptBuilder) emit(v1, v2 *sptree.Node) error {
-	dec := b.df.memo[pairKey{v1, v2}]
+	dec := b.eng.lookup(v1, v2)
 	if dec == nil {
 		return fmt.Errorf("core: no decision recorded for node pair")
 	}
@@ -149,7 +152,7 @@ func (b *scriptBuilder) emit(v1, v2 *sptree.Node) error {
 		return nil
 
 	case sptree.S:
-		for _, p := range dec.pairs {
+		for _, p := range b.eng.pairsOf(dec) {
 			if err := b.emit(p[0], p[1]); err != nil {
 				return err
 			}
@@ -177,9 +180,10 @@ func (b *scriptBuilder) emit(v1, v2 *sptree.Node) error {
 // matched pairs recurse afterwards.
 func (b *scriptBuilder) emitUnordered(v1, v2 *sptree.Node, dec *decision) error {
 	w1 := b.m1[v1]
-	matched1 := make(map[*sptree.Node]bool, len(dec.pairs))
-	matched2 := make(map[*sptree.Node]bool, len(dec.pairs))
-	for _, p := range dec.pairs {
+	pairs := b.eng.pairsOf(dec)
+	matched1 := make(map[*sptree.Node]bool, len(pairs))
+	matched2 := make(map[*sptree.Node]bool, len(pairs))
+	for _, p := range pairs {
 		matched1[p[0]] = true
 		matched2[p[1]] = true
 	}
@@ -231,7 +235,7 @@ func (b *scriptBuilder) emitUnordered(v1, v2 *sptree.Node, dec *decision) error 
 			return fmt.Errorf("core: stuck transforming %s node children (should be an unstable match)", v1.Type)
 		}
 	}
-	for _, p := range dec.pairs {
+	for _, p := range pairs {
 		if err := b.emit(p[0], p[1]); err != nil {
 			return err
 		}
@@ -245,15 +249,16 @@ func (b *scriptBuilder) emitUnordered(v1, v2 *sptree.Node, dec *decision) error 
 // matched iterations recurse.
 func (b *scriptBuilder) emitOrdered(v1, v2 *sptree.Node, dec *decision) error {
 	w1 := b.m1[v1]
+	pairs := b.eng.pairsOf(dec)
 	// anchor[j] = the working node matched to T2 child index j.
-	anchor := make(map[int]*sptree.Node, len(dec.pairs))
-	matched1 := make(map[*sptree.Node]bool, len(dec.pairs))
-	matched2 := make(map[*sptree.Node]bool, len(dec.pairs))
+	anchor := make(map[int]*sptree.Node, len(pairs))
+	matched1 := make(map[*sptree.Node]bool, len(pairs))
+	matched2 := make(map[*sptree.Node]bool, len(pairs))
 	idx2 := make(map[*sptree.Node]int, len(v2.Children))
 	for j, c := range v2.Children {
 		idx2[c] = j
 	}
-	for _, p := range dec.pairs {
+	for _, p := range pairs {
 		matched1[p[0]] = true
 		matched2[p[1]] = true
 		anchor[idx2[p[1]]] = b.m1[p[0]]
@@ -283,7 +288,7 @@ func (b *scriptBuilder) emitOrdered(v1, v2 *sptree.Node, dec *decision) error {
 			return err
 		}
 	}
-	for _, p := range dec.pairs {
+	for _, p := range pairs {
 		if err := b.emit(p[0], p[1]); err != nil {
 			return err
 		}
@@ -298,7 +303,7 @@ func (b *scriptBuilder) emitOrdered(v1, v2 *sptree.Node, dec *decision) error {
 func (b *scriptBuilder) emitUnstable(v1, v2 *sptree.Node) error {
 	w1 := b.m1[v1]
 	c1, c2 := v1.Children[0], v2.Children[0]
-	spc, length := b.df.minSkeleton(v1.Spec, c1.Spec)
+	spc, length := b.eng.minSkeleton(v1.Spec, c1.Spec)
 	if spc == nil {
 		return fmt.Errorf("core: no alternative specification branch for unstable match")
 	}
@@ -345,7 +350,7 @@ func (b *scriptBuilder) skeleton(spn *sptree.Node, l int, src, dst string) (*spt
 
 	case sptree.P:
 		for _, c := range spn.Children {
-			if containsLen(b.df.sp.AchievableLengths(c), l) {
+			if containsLen(b.eng.sp.AchievableLengths(c), l) {
 				child, err := b.skeleton(c, l, src, dst)
 				if err != nil {
 					return nil, err
@@ -369,13 +374,13 @@ func (b *scriptBuilder) skeleton(spn *sptree.Node, l int, src, dst string) (*spt
 	case sptree.S:
 		// suffix[i] = set of total lengths achievable by children i..
 		k := len(spn.Children)
-		maxL := b.df.sp.G.NumEdges()
+		maxL := b.eng.sp.G.NumEdges()
 		suffix := make([][]bool, k+1)
 		suffix[k] = make([]bool, maxL+1)
 		suffix[k][0] = true
 		for i := k - 1; i >= 0; i-- {
 			suffix[i] = make([]bool, maxL+1)
-			for _, li := range b.df.sp.AchievableLengths(spn.Children[i]) {
+			for _, li := range b.eng.sp.AchievableLengths(spn.Children[i]) {
 				for rest := 0; li+rest <= maxL; rest++ {
 					if suffix[i+1][rest] {
 						suffix[i][li+rest] = true
@@ -391,7 +396,7 @@ func (b *scriptBuilder) skeleton(spn *sptree.Node, l int, src, dst string) (*spt
 		remaining := l
 		for i, c := range spn.Children {
 			chosen := -1
-			for _, li := range b.df.sp.AchievableLengths(c) {
+			for _, li := range b.eng.sp.AchievableLengths(c) {
 				if li <= remaining && suffix[i+1][remaining-li] {
 					chosen = li
 					break

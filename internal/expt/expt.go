@@ -165,9 +165,12 @@ func Table1() (*Table, error) {
 
 // timeDiff measures the wall-clock time of one differencing call (the
 // paper omits XML parse time; we likewise measure only the algorithm).
-func timeDiff(r1, r2 *wfrun.Run, m cost.Model) (float64, float64, error) {
+// The caller threads one reusable engine through a whole sweep, so
+// measurements exclude repeated scratch allocation and mirror the
+// production batch path.
+func timeDiff(eng *core.Engine, r1, r2 *wfrun.Run) (float64, float64, error) {
 	start := time.Now()
-	res, err := core.Diff(r1, r2, m)
+	res, err := eng.Diff(r1, r2)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -190,6 +193,7 @@ func Fig11(o Options) (*Table, error) {
 		}
 		specs[i] = sp
 	}
+	eng := core.NewEngine(cost.Unit{})
 	for _, total := range o.Fig11Sizes {
 		row := []float64{float64(total)}
 		for _, sp := range specs {
@@ -203,7 +207,7 @@ func Fig11(o Options) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				secs, _, err := timeDiff(r1, r2, cost.Unit{})
+				secs, _, err := timeDiff(eng, r1, r2)
 				if err != nil {
 					return nil, err
 				}
@@ -217,7 +221,7 @@ func Fig11(o Options) (*Table, error) {
 }
 
 // seriesParallelPoint runs one (ratio, size) cell of Figs. 12/13.
-func seriesParallelPoint(ratio float64, edges, samples int, rng *rand.Rand) (secs, dist float64, err error) {
+func seriesParallelPoint(eng *core.Engine, ratio float64, edges, samples int, rng *rand.Rand) (secs, dist float64, err error) {
 	params := gen.RunParams{ProbP: 0.95, MaxF: 1, MaxL: 1}
 	for s := 0; s < samples; s++ {
 		sp, err := gen.RandomSpec(gen.SpecConfig{Edges: edges, SeriesRatio: ratio}, rng)
@@ -232,7 +236,7 @@ func seriesParallelPoint(ratio float64, edges, samples int, rng *rand.Rand) (sec
 		if err != nil {
 			return 0, 0, err
 		}
-		se, d, err := timeDiff(r1, r2, cost.Unit{})
+		se, d, err := timeDiff(eng, r1, r2)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -253,11 +257,12 @@ func Fig12and13(o Options) (timeT, distT *Table, err error) {
 	cols := []string{"spec_edges", "r=3", "r=1", "r=1/3"}
 	timeT = &Table{Name: "Fig. 12: series vs parallel (seconds)", Cols: cols}
 	distT = &Table{Name: "Fig. 13: series vs parallel (edit distance)", Cols: cols}
+	eng := core.NewEngine(cost.Unit{})
 	for _, edges := range o.Fig12Sizes {
 		trow := []float64{float64(edges)}
 		drow := []float64{float64(edges)}
 		for _, r := range ratios {
-			secs, dist, err := seriesParallelPoint(r, edges, o.Samples, rng)
+			secs, dist, err := seriesParallelPoint(eng, r, edges, o.Samples, rng)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -297,6 +302,7 @@ func Fig14and15(o Options) (timeT, distT *Table, err error) {
 	distT = &Table{Name: "Fig. 15: fork vs loop (edit distance)", Cols: cols}
 	type combo struct{ aFork, bFork bool }
 	combos := []combo{{true, true}, {true, false}, {false, false}}
+	eng := core.NewEngine(cost.Unit{})
 	for _, p := range o.Probs {
 		trow := []float64{p}
 		drow := []float64{p}
@@ -315,7 +321,7 @@ func Fig14and15(o Options) (timeT, distT *Table, err error) {
 				if err != nil {
 					return nil, nil, err
 				}
-				se, d, err := timeDiff(r1, r2, cost.Unit{})
+				se, d, err := timeDiff(eng, r1, r2)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -364,23 +370,28 @@ func Fig16(o Options) (*Table, error) {
 		}
 		pairs[i] = pair{a, b}
 	}
+	engU := core.NewEngine(unit)
+	engL := core.NewEngine(length)
 	for _, eps := range o.Epsilons {
 		model := cost.Power{Epsilon: eps}
+		eng := core.NewEngine(model)
 		sumU, worstU, sumL, worstL := 0.0, 0.0, 0.0, 0.0
 		for _, pr := range pairs {
-			res, err := core.Diff(pr.a, pr.b, model)
+			res, err := eng.Diff(pr.a, pr.b)
 			if err != nil {
 				return nil, err
 			}
+			// Extract the script before eng's next Diff reuses its
+			// scratch tables.
 			script, _, err := res.Script()
 			if err != nil {
 				return nil, err
 			}
-			optU, err := core.Distance(pr.a, pr.b, unit)
+			optU, err := engU.Distance(pr.a, pr.b)
 			if err != nil {
 				return nil, err
 			}
-			optL, err := core.Distance(pr.a, pr.b, length)
+			optL, err := engL.Distance(pr.a, pr.b)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,10 @@
 // import/export menus ("view, store, generate and import/export
 // SP-specifications and their associated runs", Section VII).
 //
+// Both specifications and parsed runs are cached under a read-write
+// lock, so repeated differencing of stored runs (the cohort paths)
+// parses each XML file once and then serves all readers concurrently.
+//
 // Layout:
 //
 //	<root>/<spec>/spec.xml
@@ -19,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/spec"
@@ -28,12 +33,16 @@ import (
 
 // Store is a directory-backed provenance repository. It is safe for
 // concurrent use; loaded specifications are cached so runs of the same
-// specification share one *spec.Spec (a requirement for differencing).
+// specification share one *spec.Spec (a requirement for differencing),
+// and parsed runs are cached so differencing the same stored runs
+// repeatedly does not re-parse their XML. Cached runs are shared:
+// treat them as immutable (differencing only reads them).
 type Store struct {
 	root string
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	specs map[string]*spec.Spec
+	runs  map[string]*wfrun.Run // "<spec>/<run>" → parsed run
 }
 
 // Open opens (creating if needed) a repository rooted at dir.
@@ -41,8 +50,14 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{root: dir, specs: make(map[string]*spec.Spec)}, nil
+	return &Store{
+		root:  dir,
+		specs: make(map[string]*spec.Spec),
+		runs:  make(map[string]*wfrun.Run),
+	}, nil
 }
+
+func runKey(specName, runName string) string { return specName + "/" + runName }
 
 func validName(name string) error {
 	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
@@ -90,12 +105,12 @@ func (s *Store) LoadSpec(name string) (*spec.Spec, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	if sp, ok := s.specs[name]; ok {
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		return sp, nil
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	f, err := os.Open(s.specPath(name))
 	if err != nil {
 		return nil, fmt.Errorf("store: unknown specification %q: %w", name, err)
@@ -156,11 +171,21 @@ func (s *Store) SaveRun(specName, runName string, r *wfrun.Run) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	return wfxml.EncodeRun(f, r, runName)
+	if err := wfxml.EncodeRun(f, r, runName); err != nil {
+		return err
+	}
+	// Evict rather than cache the caller's object: the cache must only
+	// ever serve what a fresh parse of the on-disk XML would produce.
+	s.mu.Lock()
+	delete(s.runs, runKey(specName, runName))
+	s.mu.Unlock()
+	return nil
 }
 
 // LoadRun loads a stored run, deriving its annotated tree against the
-// cached specification.
+// cached specification. Parsed runs are cached: repeated loads (and
+// every Diff/Cohort call) share one *wfrun.Run, which callers must
+// treat as read-only.
 func (s *Store) LoadRun(specName, runName string) (*wfrun.Run, error) {
 	if err := validName(specName); err != nil {
 		return nil, err
@@ -168,6 +193,13 @@ func (s *Store) LoadRun(specName, runName string) (*wfrun.Run, error) {
 	if err := validName(runName); err != nil {
 		return nil, err
 	}
+	key := runKey(specName, runName)
+	s.mu.RLock()
+	if r, ok := s.runs[key]; ok {
+		s.mu.RUnlock()
+		return r, nil
+	}
+	s.mu.RUnlock()
 	sp, err := s.LoadSpec(specName)
 	if err != nil {
 		return nil, err
@@ -177,7 +209,20 @@ func (s *Store) LoadRun(specName, runName string) (*wfrun.Run, error) {
 		return nil, fmt.Errorf("store: unknown run %q of %q: %w", runName, specName, err)
 	}
 	defer f.Close()
-	return wfxml.DecodeRun(f, sp)
+	r, err := wfxml.DecodeRun(f, sp)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	// Another goroutine may have raced the parse; keep the first so
+	// all readers share one tree.
+	if have, ok := s.runs[key]; ok {
+		r = have
+	} else {
+		s.runs[key] = r
+	}
+	s.mu.Unlock()
+	return r, nil
 }
 
 // ListRuns returns the run names stored under a specification, sorted.
@@ -202,7 +247,7 @@ func (s *Store) ListRuns(specName string) ([]string, error) {
 	return out, nil
 }
 
-// DeleteRun removes a stored run.
+// DeleteRun removes a stored run and evicts it from the cache.
 func (s *Store) DeleteRun(specName, runName string) error {
 	if err := validName(specName); err != nil {
 		return err
@@ -213,11 +258,26 @@ func (s *Store) DeleteRun(specName, runName string) error {
 	if err := os.Remove(s.runPath(specName, runName)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.mu.Lock()
+	delete(s.runs, runKey(specName, runName))
+	s.mu.Unlock()
 	return nil
 }
 
-// Diff loads two stored runs and differences them.
+// Diff loads two stored runs (cached after first parse) and
+// differences them. The Result owns a fresh engine, so its Mapping and
+// Script stay valid indefinitely; batch callers should prefer DiffWith
+// or Cohort.
 func (s *Store) Diff(specName, runA, runB string, m cost.Model) (*core.Result, error) {
+	return s.DiffWith(core.NewEngine(m), specName, runA, runB)
+}
+
+// DiffWith differences two stored runs with a caller-owned engine,
+// the allocation-free path for batch differencing over the repository.
+// The usual engine contract applies: extract Mapping/Script from the
+// Result before reusing the engine, and do not share one engine
+// across goroutines.
+func (s *Store) DiffWith(eng *core.Engine, specName, runA, runB string) (*core.Result, error) {
 	a, err := s.LoadRun(specName, runA)
 	if err != nil {
 		return nil, err
@@ -226,5 +286,27 @@ func (s *Store) Diff(specName, runA, runB string, m cost.Model) (*core.Result, e
 	if err != nil {
 		return nil, err
 	}
-	return core.Diff(a, b, m)
+	return eng.Diff(a, b)
+}
+
+// Cohort loads the named stored runs of a specification (all of them
+// when runNames is nil) and computes their pairwise edit-distance
+// matrix, fanning the differencing out with one engine per worker.
+func (s *Store) Cohort(specName string, runNames []string, m cost.Model) (*analysis.Matrix, error) {
+	if runNames == nil {
+		var err error
+		runNames, err = s.ListRuns(specName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	runs := make([]*wfrun.Run, len(runNames))
+	for i, name := range runNames {
+		r, err := s.LoadRun(specName, name)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = r
+	}
+	return analysis.DistanceMatrix(runs, runNames, m)
 }

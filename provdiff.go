@@ -22,6 +22,18 @@
 //	res, err := provdiff.Diff(r1, r2, provdiff.Unit{})
 //	script, _, err := res.Script()
 //
+// For batch workloads — distance matrices over run cohorts, repository
+// cohort analysis, many-pair sweeps — construct one Engine per
+// goroutine and reuse it: all memoization tables, matcher scratch and
+// deletion DP buffers are flat slices reset between calls, so k diffs
+// perform O(1) steady-state allocation:
+//
+//	eng := provdiff.NewEngine(provdiff.Unit{})
+//	for _, pair := range pairs {
+//		res, err := eng.Diff(pair.A, pair.B)   // res.Distance is always valid
+//		...                                    // extract res.Mapping()/res.Script()
+//	}                                          // before the next eng.Diff
+//
 // The cost model is pluggable: any metric γ(length, srcLabel,
 // dstLabel) satisfying the paper's quadrangle inequality works; the
 // built-in family is γ(l) = l^ε for ε ∈ [0, 1].
@@ -112,11 +124,21 @@ type (
 	// Result is a computed diff; it yields the distance, the
 	// well-formed mapping and the minimum-cost edit script.
 	Result = core.Result
+	// Engine is a reusable differencing engine for batch workloads:
+	// one engine per goroutine, scratch reused across Diff calls.
+	Engine = core.Engine
 	// Script is a sequence of applied edit operations.
 	Script = edit.Script
 	// Op is one elementary edit operation.
 	Op = edit.Op
 )
+
+// NewEngine returns a reusable differencing engine under the given
+// cost model. Results of Engine.Diff borrow the engine's tables:
+// extract Mapping/Script before the same engine runs another Diff
+// (Distance is always valid). Engines are not safe for concurrent
+// use; create one per goroutine.
+func NewEngine(m CostModel) *Engine { return core.NewEngine(m) }
 
 // Diff computes the edit distance between two valid runs of the same
 // specification (Algorithms 3, 4 and 6; O(|E|³)).
