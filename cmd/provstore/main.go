@@ -11,6 +11,10 @@
 // "matrix" prints the pairwise distance matrix over all stored runs of
 // a specification together with a UPGMA dendrogram — the cohort view a
 // scientist uses to see which executions behave alike.
+//
+// provstore is the one-shot CLI over the repository; its serving
+// counterpart is provserved, which keeps the same repository open
+// behind an HTTP API with pooled diff engines and result caching.
 package main
 
 import (

@@ -29,9 +29,29 @@ type Matrix struct {
 	D      [][]float64
 }
 
+// Options tunes DistanceMatrixWith. The zero value means "all cores,
+// no progress reporting".
+type Options struct {
+	// Workers caps the differencing fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after each pair is
+	// differenced with the number of completed pairs and the total
+	// pair count. Calls are serialized (never concurrent), but arrive
+	// from worker goroutines under the matrix lock: a callback that
+	// blocks throttles the whole fan-out, so consumers doing I/O here
+	// must bound it (the HTTP service uses per-write deadlines).
+	Progress func(done, total int)
+}
+
 // DistanceMatrix computes all pairwise edit distances under the given
 // cost model. Labels default to r0, r1, ... when names is nil.
 func DistanceMatrix(runs []*wfrun.Run, names []string, m cost.Model) (*Matrix, error) {
+	return DistanceMatrixWith(runs, names, m, Options{})
+}
+
+// DistanceMatrixWith is DistanceMatrix with explicit worker and
+// progress-reporting control.
+func DistanceMatrixWith(runs []*wfrun.Run, names []string, m cost.Model, opts Options) (*Matrix, error) {
 	n := len(runs)
 	if n == 0 {
 		return nil, fmt.Errorf("analysis: empty cohort")
@@ -62,16 +82,21 @@ func DistanceMatrix(runs []*wfrun.Run, names []string, m cost.Model) (*Matrix, e
 	// The O(n²) pairs are independent differencing problems; fan them
 	// out over the available cores, one reusable diff engine per
 	// worker so a whole cohort performs O(1) steady-state allocation.
-	// Each worker writes disjoint cells, so only the error needs
-	// synchronization.
+	// Each worker writes disjoint cells, so only the error and the
+	// progress counter need synchronization.
 	type pair struct{ i, j int }
+	total := n * (n - 1) / 2
 	pairs := make(chan pair)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n*(n-1)/2+1 {
-		workers = n*(n-1)/2 + 1
+	done := 0
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total+1 {
+		workers = total + 1
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -80,16 +105,20 @@ func DistanceMatrix(runs []*wfrun.Run, names []string, m cost.Model) (*Matrix, e
 			eng := core.NewEngine(m)
 			for p := range pairs {
 				dist, err := eng.Distance(runs[p.i], runs[p.j])
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("analysis: runs %d and %d: %w", p.i, p.j, err)
-					}
-					mu.Unlock()
-					continue
+				if err == nil {
+					// Each worker writes disjoint cells.
+					d[p.i][p.j] = dist
+					d[p.j][p.i] = dist
 				}
-				d[p.i][p.j] = dist
-				d[p.j][p.i] = dist
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("analysis: runs %d and %d: %w", p.i, p.j, err)
+				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, total)
+				}
+				mu.Unlock()
 			}
 		}()
 	}

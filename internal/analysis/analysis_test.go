@@ -152,3 +152,40 @@ func TestClusterSingleRun(t *testing.T) {
 		t.Fatalf("single-run dendrogram should be the leaf itself, got %+v", root)
 	}
 }
+
+// TestDistanceMatrixProgress checks the per-pair progress callback:
+// monotone completed counts, the right total, and a final done==total
+// event, with the matrix identical to the callback-free path.
+func TestDistanceMatrixProgress(t *testing.T) {
+	runs := cohort(t, 5, 3)
+	total := len(runs) * (len(runs) - 1) / 2
+	var events [][2]int
+	mx, err := DistanceMatrixWith(runs, nil, cost.Unit{}, Options{
+		Workers: 3,
+		Progress: func(done, tot int) {
+			events = append(events, [2]int{done, tot})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != total {
+		t.Fatalf("got %d progress events, want %d", len(events), total)
+	}
+	for i, ev := range events {
+		if ev[0] != i+1 || ev[1] != total {
+			t.Fatalf("event %d = %v, want {%d %d}", i, ev, i+1, total)
+		}
+	}
+	plain, err := DistanceMatrix(runs, nil, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.D {
+		for j := range plain.D[i] {
+			if mx.D[i][j] != plain.D[i][j] {
+				t.Fatalf("matrix differs at %d,%d", i, j)
+			}
+		}
+	}
+}

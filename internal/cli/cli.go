@@ -4,6 +4,7 @@ package cli
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -27,8 +28,12 @@ func ParseCost(name string) (cost.Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cli: bad power exponent: %w", err)
 		}
-		if eps > 1 {
-			return nil, fmt.Errorf("cli: power exponent %g > 1 violates the quadrangle inequality", eps)
+		// The paper evaluates ε ∈ [0, 1]; ε > 1 violates the
+		// quadrangle inequality and ε < 0 (or NaN) is not a metric at
+		// all. This is also the service's input validation — ?cost=
+		// reaches here from untrusted HTTP clients.
+		if math.IsNaN(eps) || eps < 0 || eps > 1 {
+			return nil, fmt.Errorf("cli: power exponent %g outside the metric range [0, 1]", eps)
 		}
 		return cost.Power{Epsilon: eps}, nil
 	}

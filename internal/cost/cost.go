@@ -71,8 +71,11 @@ func (p Power) PathCost(length int, _, _ string) float64 {
 	return math.Pow(float64(length), p.Epsilon)
 }
 
-// Name implements Model.
-func (p Power) Name() string { return fmt.Sprintf("power(%.2f)", p.Epsilon) }
+// Name implements Model. The full-precision epsilon matters: the
+// service layer keys engine pools and result caches by model name, so
+// two Power models must never share a name unless they price
+// identically.
+func (p Power) Name() string { return fmt.Sprintf("power(%g)", p.Epsilon) }
 
 // Weighted scales a base model by per-terminal-label weights,
 // demonstrating the label-dependent generality of the cost model. The

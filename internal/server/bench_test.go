@@ -1,0 +1,109 @@
+package server
+
+// Service-layer latency benchmarks. BenchmarkServeDiffCold measures a
+// full diff request through the handler with the result cache
+// disabled for that request (purged each iteration): engine checkout,
+// differencing, script extraction, JSON encoding. BenchmarkServeDiffCached
+// measures the same request served from the LRU. CI runs
+// TestWriteBenchArtifact with BENCH_SERVER_JSON set to persist both as
+// BENCH_server.json, so future PRs can track service-layer latency.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+)
+
+func benchRequest(b *testing.B, srv *Server, target string) {
+	b.Helper()
+	req := httptest.NewRequest("GET", target, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s = %d %q", target, rec.Code, rec.Body.String())
+	}
+}
+
+func BenchmarkServeDiffCached(b *testing.B) {
+	srv, _ := seedServer(b, 2, Options{CacheSize: 8})
+	benchRequest(b, srv, "/diff/pa/r0/r1") // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, srv, "/diff/pa/r0/r1")
+	}
+}
+
+func BenchmarkServeDiffCold(b *testing.B) {
+	srv, _ := seedServer(b, 2, Options{CacheSize: 8})
+	benchRequest(b, srv, "/diff/pa/r0/r1") // warm the engine pool and run cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.cache.purge()
+		benchRequest(b, srv, "/diff/pa/r0/r1")
+	}
+}
+
+func BenchmarkServeCohort(b *testing.B) {
+	srv, _ := seedServer(b, 6, Options{CacheSize: 8})
+	benchRequest(b, srv, "/cohort/pa")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, srv, "/cohort/pa")
+	}
+}
+
+// TestWriteBenchArtifact materializes the service benchmarks as a JSON
+// file (path in $BENCH_SERVER_JSON) for the CI benchmark artifact. It
+// is skipped in normal test runs.
+func TestWriteBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_SERVER_JSON")
+	if path == "" {
+		t.Skip("BENCH_SERVER_JSON not set")
+	}
+	type entry struct {
+		NsPerOp       int64   `json:"ns_per_op"`
+		AllocsPerOp   int64   `json:"allocs_per_op"`
+		BytesPerOp    int64   `json:"bytes_per_op"`
+		N             int     `json:"n"`
+		MsPerOp       float64 `json:"ms_per_op"`
+		SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
+	}
+	run := func(fn func(*testing.B)) entry {
+		r := testing.Benchmark(fn)
+		return entry{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+		}
+	}
+	cached := run(BenchmarkServeDiffCached)
+	cold := run(BenchmarkServeDiffCold)
+	cohort := run(BenchmarkServeCohort)
+	if cold.NsPerOp > 0 {
+		cached.SpeedupVsCold = float64(cold.NsPerOp) / float64(max(cached.NsPerOp, 1))
+	}
+	out := map[string]entry{
+		"serve_diff_cached": cached,
+		"serve_diff_cold":   cold,
+		"serve_cohort":      cohort,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: cached %.3fms vs cold %.3fms (%.1fx)", path,
+		cached.MsPerOp, cold.MsPerOp, cached.SpeedupVsCold)
+	if cached.NsPerOp >= cold.NsPerOp {
+		t.Errorf("cached path (%d ns/op) is not faster than cold path (%d ns/op)", cached.NsPerOp, cold.NsPerOp)
+	}
+}

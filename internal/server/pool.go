@@ -1,0 +1,87 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// enginePools hands out reusable differencing engines, one pool per
+// (specification, cost model) pair. core.Engine keeps its W_TG memo as
+// long as consecutive Diff calls share a specification, so pooling per
+// spec means a request almost always picks up an engine whose
+// spec-level tables are already warm; pooling per cost model is
+// required because an engine's model is fixed at construction. Engines
+// are checked out for the duration of one request (they are not safe
+// for concurrent use) and returned when the response is extracted.
+type enginePools struct {
+	mu    sync.Mutex
+	pools map[string]*sync.Pool
+
+	gets atomic.Int64 // engine checkouts
+	news atomic.Int64 // checkouts that had to construct a fresh engine
+}
+
+func newEnginePools() *enginePools {
+	return &enginePools{pools: make(map[string]*sync.Pool)}
+}
+
+// maxEnginePools bounds the pool map: its keys include the ?cost=
+// parameter, which untrusted clients control (every distinct power
+// epsilon is a distinct key). Past the cap, requests fall back to
+// one-off engines instead of growing the map.
+const maxEnginePools = 128
+
+// poolKey separates spec and model names with a byte neither can
+// contain (store.ValidateName rejects NUL).
+func poolKey(specName string, m cost.Model) string {
+	return specName + "\x00" + m.Name()
+}
+
+// pool returns the pool for (spec, model), creating it on first use;
+// it returns nil once the pool map is at capacity.
+func (p *enginePools) pool(specName string, m cost.Model) *sync.Pool {
+	key := poolKey(specName, m)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pool, ok := p.pools[key]
+	if !ok {
+		if len(p.pools) >= maxEnginePools {
+			return nil
+		}
+		pool = &sync.Pool{New: func() any {
+			p.news.Add(1)
+			return core.NewEngine(m)
+		}}
+		p.pools[key] = pool
+	}
+	return pool
+}
+
+// get checks an engine out for the calling goroutine.
+func (p *enginePools) get(specName string, m cost.Model) *core.Engine {
+	p.gets.Add(1)
+	if pool := p.pool(specName, m); pool != nil {
+		return pool.Get().(*core.Engine)
+	}
+	p.news.Add(1)
+	return core.NewEngine(m)
+}
+
+// put returns a checked-out engine. The caller must have extracted
+// everything it needs from the engine's last Result. Engines checked
+// out past the pool cap are simply dropped.
+func (p *enginePools) put(specName string, m cost.Model, eng *core.Engine) {
+	if pool := p.pool(specName, m); pool != nil {
+		pool.Put(eng)
+	}
+}
+
+// poolCount reports how many (spec, model) pools exist.
+func (p *enginePools) poolCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pools)
+}

@@ -1,0 +1,560 @@
+// Package server exposes a provenance repository over HTTP/JSON — the
+// long-running service counterpart of the provstore CLI. The paper
+// frames provenance differencing as an interactive tool a scientist
+// queries repeatedly against a growing repository of runs (Section
+// VII); this package is the serving layer that makes those repeated
+// queries cheap:
+//
+//   - engines are pooled per (specification, cost model), so the W_TG
+//     memo and all flat scratch tables of core.Engine persist across
+//     requests instead of being rebuilt per diff;
+//   - finished diff payloads (JSON and SVG) live in a bounded LRU
+//     keyed by (spec, runA, runB, cost), invalidated through
+//     store.OnRunChange when a run is re-imported or deleted;
+//   - cohort matrices fan out over a worker pool and can stream
+//     per-pair progress to the client as NDJSON.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET    /specs                        list specifications
+//	GET    /specs/{spec}/runs            list runs of a specification
+//	POST   /specs/{spec}/runs/{run}      import a run (XML body)
+//	DELETE /specs/{spec}/runs/{run}      delete a run
+//	GET    /diff/{spec}/{a}/{b}          distance + edit script (?cost=)
+//	GET    /diff/{spec}/{a}/{b}/svg      side-by-side SVG rendering
+//	GET    /cohort/{spec}                distance matrix + dendrogram
+//	                                     (?cost=, ?stream=1 for NDJSON progress)
+//	GET    /stats                        service counters
+//	GET    /healthz                      liveness probe
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cli"
+	"repro/internal/cost"
+	"repro/internal/edit"
+	"repro/internal/store"
+	"repro/internal/view"
+	"repro/internal/wfxml"
+)
+
+// maxImportBytes bounds a POSTed run XML document.
+const maxImportBytes = 32 << 20
+
+// progressWriteTimeout bounds each streamed NDJSON write; a client
+// that stops reading gets its connection failed instead of stalling
+// the cohort fan-out.
+const progressWriteTimeout = 15 * time.Second
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize bounds the diff-result LRU in entries; <= 0 disables
+	// result caching. DefaultCacheSize is a sensible service default.
+	CacheSize int
+	// CohortWorkers caps the cohort fan-out; <= 0 means GOMAXPROCS.
+	CohortWorkers int
+}
+
+// DefaultCacheSize is the diff-result LRU capacity used by provserved
+// unless overridden.
+const DefaultCacheSize = 512
+
+// Server serves a provenance repository over HTTP. It is safe for
+// concurrent use; create it with New and mount it as an http.Handler.
+type Server struct {
+	st      *store.Store
+	pools   *enginePools
+	cache   *resultCache
+	opts    Options
+	mux     *http.ServeMux
+	started time.Time
+
+	reqDiff, reqSVG, reqCohort, reqSpecs, reqRuns atomic.Int64
+	reqImport, reqDelete, reqStats                atomic.Int64
+	errCount                                      atomic.Int64
+}
+
+// New builds a Server over an open store and registers its routes.
+// The server subscribes to the store's run-change notifications, so
+// imports and deletions performed through any handle of the same
+// Store invalidate cached diffs immediately.
+func New(st *store.Store, opts Options) *Server {
+	s := &Server{
+		st:      st,
+		pools:   newEnginePools(),
+		cache:   newResultCache(opts.CacheSize),
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	st.OnRunChange(s.cache.invalidateRun)
+	s.mux.HandleFunc("GET /specs", s.count(&s.reqSpecs, s.handleSpecs))
+	s.mux.HandleFunc("GET /specs/{spec}/runs", s.count(&s.reqRuns, s.handleRuns))
+	s.mux.HandleFunc("POST /specs/{spec}/runs", s.count(&s.reqImport, s.handleImport))
+	s.mux.HandleFunc("POST /specs/{spec}/runs/{run}", s.count(&s.reqImport, s.handleImport))
+	s.mux.HandleFunc("DELETE /specs/{spec}/runs/{run}", s.count(&s.reqDelete, s.handleDelete))
+	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}", s.count(&s.reqDiff, s.handleDiff))
+	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}/svg", s.count(&s.reqSVG, s.handleDiffSVG))
+	s.mux.HandleFunc("GET /cohort/{spec}", s.count(&s.reqCohort, s.handleCohort))
+	s.mux.HandleFunc("GET /stats", s.count(&s.reqStats, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true}`+"\n")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) count(c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	}
+}
+
+// httpError maps service errors onto status codes: missing specs/runs
+// are 404, everything else a caller can fix is 400.
+func (s *Server) httpError(w http.ResponseWriter, err error, code int) {
+	s.errCount.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) storeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, fs.ErrNotExist) {
+		s.httpError(w, err, http.StatusNotFound)
+		return
+	}
+	s.httpError(w, err, http.StatusBadRequest)
+}
+
+// names extracts and validates the named path values; a validation
+// failure writes a 400 and returns false. Path values are decoded by
+// the mux, so an encoded %2e%2e%2f arrives here as "../" and is
+// rejected before it can reach the filesystem.
+func (s *Server) names(w http.ResponseWriter, r *http.Request, keys ...string) ([]string, bool) {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		v := r.PathValue(k)
+		if err := store.ValidateName(v); err != nil {
+			s.httpError(w, fmt.Errorf("%s: %w", k, err), http.StatusBadRequest)
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// costModel parses the ?cost= query parameter (default unit).
+func (s *Server) costModel(w http.ResponseWriter, r *http.Request) (cost.Model, bool) {
+	name := r.URL.Query().Get("cost")
+	if name == "" {
+		name = "unit"
+	}
+	m, err := cli.ParseCost(name)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return nil, false
+	}
+	return m, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// --- repository browsing -------------------------------------------
+
+type specInfo struct {
+	Name string `json:"name"`
+	Runs int    `json:"runs"`
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	names, err := s.st.ListSpecs()
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	out := make([]specInfo, 0, len(names))
+	for _, n := range names {
+		runs, err := s.st.ListRuns(n)
+		if err != nil {
+			s.httpError(w, err, http.StatusInternalServerError)
+			return
+		}
+		out = append(out, specInfo{Name: n, Runs: len(runs)})
+	}
+	writeJSON(w, map[string]any{"specs": out})
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec")
+	if !ok {
+		return
+	}
+	if _, err := s.st.LoadSpec(ns[0]); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	runs, err := s.st.ListRuns(ns[0])
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	if runs == nil {
+		runs = []string{}
+	}
+	writeJSON(w, map[string]any{"spec": ns[0], "runs": runs})
+}
+
+// handleImport stores the XML run in the request body under
+// /specs/{spec}/runs/{run} (or ?name= on the collection URL).
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec")
+	if !ok {
+		return
+	}
+	specName := ns[0]
+	runName := r.PathValue("run")
+	if runName == "" {
+		runName = r.URL.Query().Get("name")
+	}
+	if err := store.ValidateName(runName); err != nil {
+		s.httpError(w, fmt.Errorf("run: %w", err), http.StatusBadRequest)
+		return
+	}
+	sp, err := s.st.LoadSpec(specName)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	run, err := wfxml.DecodeRun(http.MaxBytesReader(w, r.Body, maxImportBytes), sp)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	if err := s.st.SaveRun(specName, runName, run); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{
+		"spec": specName, "run": runName,
+		"nodes": run.NumNodes(), "edges": run.NumEdges(),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec", "run")
+	if !ok {
+		return
+	}
+	if err := s.st.DeleteRun(ns[0], ns[1]); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"deleted": ns[0] + "/" + ns[1]})
+}
+
+// --- differencing ---------------------------------------------------
+
+type opJSON struct {
+	Kind      string   `json:"kind"`
+	Cost      float64  `json:"cost"`
+	Length    int      `json:"length"`
+	Path      []string `json:"path"`
+	Labels    []string `json:"labels"`
+	Loop      bool     `json:"loop,omitempty"`
+	Temporary bool     `json:"temporary,omitempty"`
+}
+
+type diffPayload struct {
+	Spec     string   `json:"spec"`
+	RunA     string   `json:"run_a"`
+	RunB     string   `json:"run_b"`
+	Cost     string   `json:"cost"`
+	Distance float64  `json:"distance"`
+	OpCount  int      `json:"op_count"`
+	Ops      []opJSON `json:"ops"`
+	Cached   bool     `json:"cached"`
+}
+
+func scriptJSON(sc *edit.Script) []opJSON {
+	out := make([]opJSON, len(sc.Ops))
+	for i, op := range sc.Ops {
+		out[i] = opJSON{
+			Kind:      op.Kind.String(),
+			Cost:      op.Cost,
+			Length:    op.Length,
+			Path:      op.PathNodes,
+			Labels:    op.PathLabels,
+			Loop:      op.LoopOp,
+			Temporary: op.Temporary,
+		}
+	}
+	return out
+}
+
+// diffPair produces the JSON payload for one pair, through the cache.
+// The engine is checked out only for the uncached computation and
+// everything the payload needs is extracted before it is returned, so
+// the pooled engine is immediately reusable.
+func (s *Server) diffPair(specName, runA, runB string, m cost.Model) (diffPayload, error) {
+	key := cacheKey{spec: specName, runA: runA, runB: runB, cost: m.Name(), kind: kindDiff}
+	if v, ok := s.cache.get(key); ok {
+		p := v.(diffPayload)
+		p.Cached = true
+		return p, nil
+	}
+	// Capture the invalidation generation before touching store state:
+	// if either run changes while we compute, the payload is discarded
+	// rather than cached stale.
+	gen := s.cache.generation()
+	eng := s.pools.get(specName, m)
+	res, err := s.st.DiffWith(eng, specName, runA, runB)
+	if err != nil {
+		s.pools.put(specName, m, eng)
+		return diffPayload{}, err
+	}
+	sc, _, err := res.Script()
+	if err != nil {
+		s.pools.put(specName, m, eng)
+		return diffPayload{}, err
+	}
+	p := diffPayload{
+		Spec:     specName,
+		RunA:     runA,
+		RunB:     runB,
+		Cost:     m.Name(),
+		Distance: res.Distance,
+		OpCount:  len(sc.Ops),
+		Ops:      scriptJSON(sc),
+	}
+	s.pools.put(specName, m, eng)
+	s.cache.addIfGen(key, p, gen)
+	return p, nil
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec", "a", "b")
+	if !ok {
+		return
+	}
+	m, ok := s.costModel(w, r)
+	if !ok {
+		return
+	}
+	p, err := s.diffPair(ns[0], ns[1], ns[2], m)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	writeJSON(w, p)
+}
+
+// handleDiffSVG serves the PDiffView rendering — source and target
+// runs side by side, deletions red, insertions green — as a
+// standalone SVG image.
+func (s *Server) handleDiffSVG(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec", "a", "b")
+	if !ok {
+		return
+	}
+	m, ok := s.costModel(w, r)
+	if !ok {
+		return
+	}
+	key := cacheKey{spec: ns[0], runA: ns[1], runB: ns[2], cost: m.Name(), kind: kindSVG}
+	if v, ok := s.cache.get(key); ok {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		io.WriteString(w, v.(string))
+		return
+	}
+	gen := s.cache.generation()
+	r1, err := s.st.LoadRun(ns[0], ns[1])
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	r2, err := s.st.LoadRun(ns[0], ns[2])
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	eng := s.pools.get(ns[0], m)
+	d, err := view.NewWith(eng, m, r1, r2)
+	if err != nil {
+		s.pools.put(ns[0], m, eng)
+		s.storeError(w, err)
+		return
+	}
+	svg := d.PairSVG(ns[1], ns[2])
+	s.pools.put(ns[0], m, eng)
+	s.cache.addIfGen(key, svg, gen)
+	w.Header().Set("Content-Type", "image/svg+xml")
+	io.WriteString(w, svg)
+}
+
+// --- cohort ---------------------------------------------------------
+
+type cohortPayload struct {
+	Spec       string      `json:"spec"`
+	Cost       string      `json:"cost"`
+	Labels     []string    `json:"labels"`
+	Matrix     [][]float64 `json:"matrix"`
+	Medoid     string      `json:"medoid"`
+	Outlier    string      `json:"outlier"`
+	Dendrogram string      `json:"dendrogram"`
+}
+
+// handleCohort computes the pairwise distance matrix over all stored
+// runs of a specification plus the UPGMA dendrogram. With ?stream=1
+// the response is NDJSON: progress objects as pairs complete, then the
+// final result object — the fan-out itself runs on a worker pool (one
+// engine per worker) either way.
+func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec")
+	if !ok {
+		return
+	}
+	m, ok := s.costModel(w, r)
+	if !ok {
+		return
+	}
+	if _, err := s.st.LoadSpec(ns[0]); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	runs, err := s.st.ListRuns(ns[0])
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	if len(runs) < 2 {
+		s.httpError(w, fmt.Errorf("cohort of %q needs at least two stored runs, have %d", ns[0], len(runs)), http.StatusBadRequest)
+		return
+	}
+	opts := analysis.Options{Workers: s.opts.CohortWorkers}
+	stream := r.URL.Query().Get("stream") != ""
+	var rc *http.ResponseController
+	if stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		rc = http.NewResponseController(w)
+		enc := json.NewEncoder(w)
+		total := len(runs) * (len(runs) - 1) / 2
+		// Emit at most ~100 progress lines however large the cohort.
+		step := max(1, total/100)
+		// Serialized by the analysis package; the handler goroutine is
+		// blocked in CohortWith while these fire. The per-write
+		// deadline keeps a stalled client from parking the cohort
+		// workers behind a full TCP buffer: the write errors out and
+		// the computation finishes on its own.
+		opts.Progress = func(done, tot int) {
+			if done%step != 0 && done != tot {
+				return
+			}
+			rc.SetWriteDeadline(time.Now().Add(progressWriteTimeout))
+			enc.Encode(map[string]any{"type": "progress", "done": done, "total": tot})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	mx, err := s.st.CohortWith(ns[0], runs, m, opts)
+	if err != nil {
+		if stream {
+			// Status is already committed; report in-band.
+			rc.SetWriteDeadline(time.Now().Add(progressWriteTimeout))
+			json.NewEncoder(w).Encode(map[string]any{"type": "error", "error": err.Error()})
+			return
+		}
+		s.storeError(w, err)
+		return
+	}
+	p := cohortPayload{
+		Spec:       ns[0],
+		Cost:       m.Name(),
+		Labels:     mx.Labels,
+		Matrix:     mx.D,
+		Medoid:     mx.Labels[mx.Medoid()],
+		Outlier:    mx.Labels[mx.Outlier()],
+		Dendrogram: mx.Cluster().Render(),
+	}
+	if stream {
+		rc.SetWriteDeadline(time.Now().Add(progressWriteTimeout))
+		json.NewEncoder(w).Encode(map[string]any{"type": "result", "cohort": p})
+		return
+	}
+	writeJSON(w, p)
+}
+
+// --- stats ----------------------------------------------------------
+
+type engineStats struct {
+	Pools     int     `json:"pools"`
+	Gets      int64   `json:"gets"`
+	News      int64   `json:"news"`
+	Reused    int64   `json:"reused"`
+	ReuseRate float64 `json:"reuse_rate"`
+}
+
+type statsPayload struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      map[string]int64 `json:"requests"`
+	Errors        int64            `json:"errors"`
+	Cache         cacheStats       `json:"cache"`
+	Engines       engineStats      `json:"engines"`
+}
+
+// Stats snapshots the service counters (also served at /stats).
+func (s *Server) Stats() statsPayload {
+	gets, news := s.pools.gets.Load(), s.pools.news.Load()
+	es := engineStats{
+		Pools:  s.pools.poolCount(),
+		Gets:   gets,
+		News:   news,
+		Reused: gets - news,
+	}
+	if gets > 0 {
+		es.ReuseRate = float64(es.Reused) / float64(gets)
+	}
+	return statsPayload{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests: map[string]int64{
+			"specs":  s.reqSpecs.Load(),
+			"runs":   s.reqRuns.Load(),
+			"import": s.reqImport.Load(),
+			"delete": s.reqDelete.Load(),
+			"diff":   s.reqDiff.Load(),
+			"svg":    s.reqSVG.Load(),
+			"cohort": s.reqCohort.Load(),
+			"stats":  s.reqStats.Load(),
+		},
+		Errors:  s.errCount.Load(),
+		Cache:   s.cache.snapshot(),
+		Engines: es,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}

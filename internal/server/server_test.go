@@ -1,0 +1,579 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/store"
+	"repro/internal/wfxml"
+)
+
+// seedServer builds a store with the PA catalog workflow under "pa"
+// and n generated runs named r0..r{n-1}, and returns a server over it.
+func seedServer(tb testing.TB, n int, opts Options) (*Server, *store.Store) {
+	tb.Helper()
+	st, err := store.Open(tb.TempDir())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pa, err := gen.Catalog("PA")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := st.SaveSpec("pa", pa); err != nil {
+		tb.Fatal(err)
+	}
+	sp, err := st.LoadSpec("pa")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := st.SaveRun("pa", fmt.Sprintf("r%d", i), r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return New(st, opts), st
+}
+
+// get performs a request against the handler directly and decodes a
+// JSON body when out is non-nil.
+func do(tb testing.TB, h http.Handler, method, target string, body []byte, out any) *httptest.ResponseRecorder {
+	tb.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code < 300 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			tb.Fatalf("%s %s: bad JSON %q: %v", method, target, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func TestBrowseEndpoints(t *testing.T) {
+	srv, _ := seedServer(t, 3, Options{CacheSize: 8})
+
+	var specs struct {
+		Specs []struct {
+			Name string `json:"name"`
+			Runs int    `json:"runs"`
+		} `json:"specs"`
+	}
+	rec := do(t, srv, "GET", "/specs", nil, &specs)
+	if rec.Code != 200 || len(specs.Specs) != 1 || specs.Specs[0].Name != "pa" || specs.Specs[0].Runs != 3 {
+		t.Fatalf("GET /specs = %d %q", rec.Code, rec.Body.String())
+	}
+
+	var runs struct {
+		Spec string   `json:"spec"`
+		Runs []string `json:"runs"`
+	}
+	rec = do(t, srv, "GET", "/specs/pa/runs", nil, &runs)
+	if rec.Code != 200 || len(runs.Runs) != 3 || runs.Runs[0] != "r0" {
+		t.Fatalf("GET /specs/pa/runs = %d %q", rec.Code, rec.Body.String())
+	}
+
+	if rec := do(t, srv, "GET", "/specs/nope/runs", nil, nil); rec.Code != 404 {
+		t.Fatalf("unknown spec: got %d, want 404", rec.Code)
+	}
+	if rec := do(t, srv, "GET", "/healthz", nil, nil); rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	srv, st := seedServer(t, 3, Options{CacheSize: 8})
+
+	var p diffPayload
+	rec := do(t, srv, "GET", "/diff/pa/r0/r1", nil, &p)
+	if rec.Code != 200 {
+		t.Fatalf("diff = %d %q", rec.Code, rec.Body.String())
+	}
+	if p.Cached {
+		t.Fatal("first diff should not be cached")
+	}
+	// Cross-check against the store's own differencing.
+	want, err := st.Diff("pa", "r0", "r1", cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Distance != want.Distance {
+		t.Fatalf("distance = %g, want %g", p.Distance, want.Distance)
+	}
+	if p.OpCount != len(p.Ops) {
+		t.Fatalf("op_count %d != len(ops) %d", p.OpCount, len(p.Ops))
+	}
+
+	// Second request must come from the cache with the same payload.
+	var p2 diffPayload
+	do(t, srv, "GET", "/diff/pa/r0/r1", nil, &p2)
+	if !p2.Cached {
+		t.Fatal("second diff should be cached")
+	}
+	if p2.Distance != p.Distance || p2.OpCount != p.OpCount {
+		t.Fatalf("cached payload drifted: %+v vs %+v", p2, p)
+	}
+
+	// Distinct cost models are distinct cache entries.
+	var pl diffPayload
+	do(t, srv, "GET", "/diff/pa/r0/r1?cost=length", nil, &pl)
+	if pl.Cached {
+		t.Fatal("length-cost diff must not hit the unit-cost entry")
+	}
+	if pl.Cost != "length" {
+		t.Fatalf("cost = %q", pl.Cost)
+	}
+	// Nearby power epsilons must not collide in the cache or the
+	// engine pools: Power.Name() carries full precision.
+	var pe diffPayload
+	do(t, srv, "GET", "/diff/pa/r0/r1?cost=power:0.121", nil, &pe)
+	if pe.Cached || pe.Cost != "power(0.121)" {
+		t.Fatalf("power:0.121 payload = %+v", pe)
+	}
+	do(t, srv, "GET", "/diff/pa/r0/r1?cost=power:0.124", nil, &pe)
+	if pe.Cached || pe.Cost != "power(0.124)" {
+		t.Fatalf("power:0.124 must be its own entry, got %+v", pe)
+	}
+
+	// Errors.
+	if rec := do(t, srv, "GET", "/diff/pa/r0/zz", nil, nil); rec.Code != 404 {
+		t.Fatalf("unknown run: got %d, want 404", rec.Code)
+	}
+	if rec := do(t, srv, "GET", "/diff/zz/r0/r1", nil, nil); rec.Code != 404 {
+		t.Fatalf("unknown spec: got %d, want 404", rec.Code)
+	}
+	if rec := do(t, srv, "GET", "/diff/pa/r0/r1?cost=bogus", nil, nil); rec.Code != 400 {
+		t.Fatalf("bad cost model: got %d, want 400", rec.Code)
+	}
+	if rec := do(t, srv, "GET", "/diff/pa/r0/r1?cost=power:2", nil, nil); rec.Code != 400 {
+		t.Fatalf("metric-violating cost model: got %d, want 400", rec.Code)
+	}
+	for _, bad := range []string{"power:nan", "power:-1", "power:inf"} {
+		if rec := do(t, srv, "GET", "/diff/pa/r0/r1?cost="+bad, nil, nil); rec.Code != 400 {
+			t.Fatalf("%s: got %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+func TestDiffSVG(t *testing.T) {
+	srv, _ := seedServer(t, 2, Options{CacheSize: 8})
+	rec := do(t, srv, "GET", "/diff/pa/r0/r1/svg", nil, nil)
+	if rec.Code != 200 {
+		t.Fatalf("svg = %d %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.HasPrefix(body, "<svg") || !strings.Contains(body, "edit distance") {
+		t.Fatalf("not a pair SVG: %.120s", body)
+	}
+	// Cached second hit serves identical bytes.
+	rec2 := do(t, srv, "GET", "/diff/pa/r0/r1/svg", nil, nil)
+	if rec2.Body.String() != body {
+		t.Fatal("cached SVG differs from computed SVG")
+	}
+}
+
+// TestPathTraversalRejected covers the HTTP boundary: names with
+// traversal components or separators — including URL-encoded ones the
+// mux decodes back into the path value — must be rejected before they
+// reach the filesystem, with a 400 (validation), never a 404 (probe).
+func TestPathTraversalRejected(t *testing.T) {
+	srv, st := seedServer(t, 2, Options{CacheSize: 8})
+	// A file outside the repository root that a traversal could reach.
+	for _, target := range []string{
+		"/diff/pa/%2e%2e/r1",
+		"/diff/pa/r0/%2e%2e%2fr1",
+		"/diff/%2e%2e%2fpa/r0/r1",
+		"/specs/%2e%2e/runs",
+		"/specs/pa/runs/%2e%2e%2fescape",
+		"/specs/pa/runs/a%2fb",
+		"/specs/pa/runs/a%5cb", // backslash
+		"/cohort/%2e%2e",
+	} {
+		method := "GET"
+		if strings.Count(target, "/") >= 4 && strings.HasPrefix(target, "/specs/") {
+			method = "POST"
+		}
+		rec := do(t, srv, method, target, []byte("<run/>"), nil)
+		if rec.Code != 400 {
+			t.Errorf("%s %s: got %d, want 400 (%q)", method, target, rec.Code, rec.Body.String())
+		}
+	}
+	// The POST ?name= channel is validated too.
+	rec := do(t, srv, "POST", "/specs/pa/runs?name=..", []byte("<run/>"), nil)
+	if rec.Code != 400 {
+		t.Fatalf("POST ?name=..: got %d, want 400", rec.Code)
+	}
+	// And the store itself refuses traversal names outright.
+	if _, err := st.LoadRun("pa", "../escape"); err == nil {
+		t.Fatal("store.LoadRun accepted a separator name")
+	}
+}
+
+func TestImportAndDelete(t *testing.T) {
+	srv, st := seedServer(t, 2, Options{CacheSize: 8})
+	sp, err := st.LoadSpec("pa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wfxml.EncodeRun(&buf, r, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := do(t, srv, "POST", "/specs/pa/runs/fresh", buf.Bytes(), nil)
+	if rec.Code != 201 {
+		t.Fatalf("import = %d %q", rec.Code, rec.Body.String())
+	}
+	var p diffPayload
+	if rec := do(t, srv, "GET", "/diff/pa/r0/fresh", nil, &p); rec.Code != 200 {
+		t.Fatalf("diff of imported run = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Garbage XML is a 400, unknown spec a 404.
+	if rec := do(t, srv, "POST", "/specs/pa/runs/bad", []byte("not xml"), nil); rec.Code != 400 {
+		t.Fatalf("bad XML import = %d", rec.Code)
+	}
+	if rec := do(t, srv, "POST", "/specs/zz/runs/x", buf.Bytes(), nil); rec.Code != 404 {
+		t.Fatalf("import into unknown spec = %d", rec.Code)
+	}
+
+	if rec := do(t, srv, "DELETE", "/specs/pa/runs/fresh", nil, nil); rec.Code != 200 {
+		t.Fatalf("delete = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, srv, "GET", "/diff/pa/r0/fresh", nil, nil); rec.Code != 404 {
+		t.Fatalf("diff of deleted run = %d, want 404", rec.Code)
+	}
+	if rec := do(t, srv, "DELETE", "/specs/pa/runs/fresh", nil, nil); rec.Code != 404 {
+		t.Fatalf("double delete = %d, want 404", rec.Code)
+	}
+}
+
+// TestCacheInvalidation proves the LRU drops entries for a run when it
+// is overwritten or deleted, and keeps unrelated entries.
+func TestCacheInvalidation(t *testing.T) {
+	srv, st := seedServer(t, 3, Options{CacheSize: 8})
+
+	warm := func(a, b string) diffPayload {
+		var p diffPayload
+		rec := do(t, srv, "GET", "/diff/pa/"+a+"/"+b, nil, &p)
+		if rec.Code != 200 {
+			t.Fatalf("diff %s %s = %d", a, b, rec.Code)
+		}
+		return p
+	}
+	warm("r0", "r1")
+	warm("r1", "r2")
+	warm("r0", "r2")
+	if !warm("r0", "r1").Cached || !warm("r0", "r2").Cached {
+		t.Fatal("cache should be warm")
+	}
+
+	// Overwrite r1 with a different run; entries touching r1 must go.
+	sp, err := st.LoadSpec("pa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1234))
+	r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wfxml.EncodeRun(&buf, r, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, srv, "POST", "/specs/pa/runs/r1", buf.Bytes(), nil); rec.Code != 201 {
+		t.Fatalf("overwrite = %d %q", rec.Code, rec.Body.String())
+	}
+	if warm("r0", "r1").Cached {
+		t.Fatal("diff r0/r1 must be recomputed after r1 was overwritten")
+	}
+	if warm("r1", "r2").Cached {
+		t.Fatal("diff r1/r2 must be recomputed after r1 was overwritten")
+	}
+	if !warm("r0", "r2").Cached {
+		t.Fatal("diff r0/r2 does not involve r1 and must stay cached")
+	}
+
+	// Deleting through the store API (not HTTP) invalidates too: the
+	// hook is on the store, so any writer is covered.
+	if err := st.DeleteRun("pa", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, srv, "GET", "/diff/pa/r0/r2", nil, nil); rec.Code != 404 {
+		t.Fatalf("diff of store-deleted run = %d, want 404", rec.Code)
+	}
+	if srv.cache.snapshot().Invalidations == 0 {
+		t.Fatal("expected cache invalidations to be recorded")
+	}
+}
+
+// TestLRUEviction exercises the bound directly.
+func TestLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	k := func(a, b string) cacheKey { return cacheKey{spec: "s", runA: a, runB: b, cost: "unit", kind: kindDiff} }
+	c.add(k("a", "b"), 1)
+	c.add(k("b", "c"), 2)
+	if _, ok := c.get(k("a", "b")); !ok {
+		t.Fatal("a/b should be cached")
+	}
+	c.add(k("c", "d"), 3) // evicts b/c (LRU, since a/b was just touched)
+	if _, ok := c.get(k("b", "c")); ok {
+		t.Fatal("b/c should have been evicted")
+	}
+	if _, ok := c.get(k("a", "b")); !ok {
+		t.Fatal("a/b should have survived eviction")
+	}
+	s := c.snapshot()
+	if s.Evictions != 1 || s.Size != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Disabled cache never stores.
+	off := newResultCache(0)
+	off.add(k("a", "b"), 1)
+	if _, ok := off.get(k("a", "b")); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+}
+
+// TestAddIfGenRace covers the compute/invalidate window: a payload
+// computed before an invalidation must not enter the cache after it.
+func TestAddIfGenRace(t *testing.T) {
+	c := newResultCache(4)
+	k := cacheKey{spec: "s", runA: "a", runB: "b", cost: "unit", kind: kindDiff}
+	gen := c.generation()
+	c.invalidateRun("s", "b") // run changed while "computing"
+	c.addIfGen(k, "stale", gen)
+	if _, ok := c.get(k); ok {
+		t.Fatal("stale payload cached across an invalidation")
+	}
+	// With no intervening invalidation the add goes through.
+	gen = c.generation()
+	c.addIfGen(k, "fresh", gen)
+	if v, ok := c.get(k); !ok || v != "fresh" {
+		t.Fatalf("fresh payload not cached: %v %v", v, ok)
+	}
+}
+
+// TestEnginePoolCap: past the cap the pool map stops growing and get
+// falls back to one-off engines instead of failing.
+func TestEnginePoolCap(t *testing.T) {
+	p := newEnginePools()
+	for i := 0; i < maxEnginePools+10; i++ {
+		m := cost.Power{Epsilon: float64(i) / float64(2*(maxEnginePools+10))}
+		eng := p.get("spec", m)
+		if eng == nil {
+			t.Fatalf("get %d returned nil engine", i)
+		}
+		p.put("spec", m, eng)
+	}
+	if n := p.poolCount(); n != maxEnginePools {
+		t.Fatalf("pool map grew to %d, cap is %d", n, maxEnginePools)
+	}
+}
+
+// TestConcurrentDiffs hammers the diff endpoint from many goroutines
+// (run under -race in CI): every response must be consistent with the
+// sequentially computed distances, whether it was served cold, from a
+// pooled engine, or from the cache.
+func TestConcurrentDiffs(t *testing.T) {
+	srv, st := seedServer(t, 4, Options{CacheSize: 4})
+
+	type pair struct{ a, b string }
+	pairs := []pair{{"r0", "r1"}, {"r0", "r2"}, {"r0", "r3"}, {"r1", "r2"}, {"r1", "r3"}, {"r2", "r3"}}
+	want := make(map[pair]float64)
+	for _, p := range pairs {
+		res, err := st.Diff("pa", p.a, p.b, cost.Unit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p] = res.Distance
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				p := pairs[(g+i)%len(pairs)]
+				var got diffPayload
+				rec := do(t, srv, "GET", "/diff/pa/"+p.a+"/"+p.b, nil, &got)
+				if rec.Code != 200 {
+					errs <- fmt.Errorf("%v: status %d", p, rec.Code)
+					return
+				}
+				if got.Distance != want[p] {
+					errs <- fmt.Errorf("%v: distance %g, want %g", p, got.Distance, want[p])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st2 := srv.Stats()
+	if st2.Engines.Gets == 0 {
+		t.Fatal("no engine checkouts recorded")
+	}
+	if st2.Engines.Reused == 0 {
+		t.Fatal("expected at least one pooled-engine reuse under concurrency")
+	}
+}
+
+func TestCohortEndpoint(t *testing.T) {
+	srv, st := seedServer(t, 4, Options{CacheSize: 8})
+
+	var p cohortPayload
+	rec := do(t, srv, "GET", "/cohort/pa", nil, &p)
+	if rec.Code != 200 {
+		t.Fatalf("cohort = %d %q", rec.Code, rec.Body.String())
+	}
+	if len(p.Labels) != 4 || len(p.Matrix) != 4 || len(p.Matrix[0]) != 4 {
+		t.Fatalf("cohort shape: %d labels, %dx%d matrix", len(p.Labels), len(p.Matrix), len(p.Matrix[0]))
+	}
+	mx, err := st.Cohort("pa", nil, cost.Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mx.D {
+		for j := range mx.D[i] {
+			if p.Matrix[i][j] != mx.D[i][j] {
+				t.Fatalf("matrix[%d][%d] = %g, want %g", i, j, p.Matrix[i][j], mx.D[i][j])
+			}
+		}
+	}
+	if p.Dendrogram == "" || p.Medoid == "" || p.Outlier == "" {
+		t.Fatalf("cohort payload incomplete: %+v", p)
+	}
+
+	if rec := do(t, srv, "GET", "/cohort/zz", nil, nil); rec.Code != 404 {
+		t.Fatalf("cohort of unknown spec = %d, want 404", rec.Code)
+	}
+}
+
+// TestCohortStream checks the NDJSON streaming mode: progress lines
+// followed by a final result object.
+func TestCohortStream(t *testing.T) {
+	srv, _ := seedServer(t, 4, Options{CacheSize: 8})
+	rec := do(t, srv, "GET", "/cohort/pa?stream=1", nil, nil)
+	if rec.Code != 200 {
+		t.Fatalf("stream cohort = %d %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want progress + result lines, got %d: %q", len(lines), rec.Body.String())
+	}
+	sawProgress := false
+	for _, ln := range lines[:len(lines)-1] {
+		var ev struct {
+			Type  string `json:"type"`
+			Done  int    `json:"done"`
+			Total int    `json:"total"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		if ev.Type != "progress" || ev.Total != 6 || ev.Done < 1 || ev.Done > 6 {
+			t.Fatalf("bad progress event: %q", ln)
+		}
+		sawProgress = true
+	}
+	if !sawProgress {
+		t.Fatal("no progress events before the result")
+	}
+	var final struct {
+		Type   string        `json:"type"`
+		Cohort cohortPayload `json:"cohort"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Type != "result" || len(final.Cohort.Labels) != 4 {
+		t.Fatalf("bad final event: %q", lines[len(lines)-1])
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := seedServer(t, 2, Options{CacheSize: 8})
+	do(t, srv, "GET", "/diff/pa/r0/r1", nil, nil)
+	do(t, srv, "GET", "/diff/pa/r0/r1", nil, nil)
+
+	var st struct {
+		Requests map[string]int64 `json:"requests"`
+		Cache    cacheStats       `json:"cache"`
+		Engines  engineStats      `json:"engines"`
+	}
+	rec := do(t, srv, "GET", "/stats", nil, &st)
+	if rec.Code != 200 {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	if st.Requests["diff"] != 2 {
+		t.Fatalf("diff count = %d, want 2", st.Requests["diff"])
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", st.Cache.Hits, st.Cache.Misses)
+	}
+	if st.Engines.Gets != 1 || st.Engines.News != 1 {
+		t.Fatalf("engine gets/news = %d/%d, want 1/1", st.Engines.Gets, st.Engines.News)
+	}
+}
+
+// TestGracefulUse exercises the handler through a real HTTP server —
+// the transport the CI smoke test uses.
+func TestOverRealTransport(t *testing.T) {
+	srv, _ := seedServer(t, 2, Options{CacheSize: 8})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/diff/pa/r0/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var p diffPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Spec != "pa" || p.RunA != "r0" {
+		t.Fatalf("payload = %+v", p)
+	}
+}

@@ -43,6 +43,9 @@ type Store struct {
 	mu    sync.RWMutex
 	specs map[string]*spec.Spec
 	runs  map[string]*wfrun.Run // "<spec>/<run>" → parsed run
+
+	hookMu sync.RWMutex
+	hooks  []func(specName, runName string)
 }
 
 // Open opens (creating if needed) a repository rooted at dir.
@@ -59,11 +62,47 @@ func Open(dir string) (*Store, error) {
 
 func runKey(specName, runName string) string { return specName + "/" + runName }
 
-func validName(name string) error {
-	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+// ValidateName reports whether a spec or run name is safe to join into
+// the repository root. Every boundary that accepts untrusted names
+// (the CLI, the HTTP service) must call it before the name reaches the
+// filesystem: path separators, traversal components, NUL bytes and
+// hidden/dot names are all rejected, so a stored object can never
+// escape <root>/<spec>/runs/.
+func ValidateName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("store: empty name")
+	case len(name) > 255:
+		return fmt.Errorf("store: name longer than 255 bytes")
+	case strings.ContainsAny(name, "/\\"):
+		return fmt.Errorf("store: name %q contains a path separator", name)
+	case strings.ContainsRune(name, 0):
+		return fmt.Errorf("store: name contains a NUL byte")
+	case name == "." || name == ".." || strings.HasPrefix(name, "."):
 		return fmt.Errorf("store: invalid name %q", name)
 	}
 	return nil
+}
+
+func validName(name string) error { return ValidateName(name) }
+
+// OnRunChange registers fn to be called after a run is imported,
+// overwritten or deleted, with the spec and run names. Hooks fire
+// after the store's own caches are updated, outside the store lock;
+// the HTTP service uses this to invalidate its diff-result cache.
+func (s *Store) OnRunChange(fn func(specName, runName string)) {
+	s.hookMu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.hookMu.Unlock()
+}
+
+func (s *Store) notifyRunChange(specName, runName string) {
+	s.hookMu.RLock()
+	hooks := s.hooks
+	s.hookMu.RUnlock()
+	for _, fn := range hooks {
+		fn(specName, runName)
+	}
 }
 
 func (s *Store) specDir(name string) string  { return filepath.Join(s.root, name) }
@@ -179,6 +218,7 @@ func (s *Store) SaveRun(specName, runName string, r *wfrun.Run) error {
 	s.mu.Lock()
 	delete(s.runs, runKey(specName, runName))
 	s.mu.Unlock()
+	s.notifyRunChange(specName, runName)
 	return nil
 }
 
@@ -261,6 +301,7 @@ func (s *Store) DeleteRun(specName, runName string) error {
 	s.mu.Lock()
 	delete(s.runs, runKey(specName, runName))
 	s.mu.Unlock()
+	s.notifyRunChange(specName, runName)
 	return nil
 }
 
@@ -293,6 +334,13 @@ func (s *Store) DiffWith(eng *core.Engine, specName, runA, runB string) (*core.R
 // when runNames is nil) and computes their pairwise edit-distance
 // matrix, fanning the differencing out with one engine per worker.
 func (s *Store) Cohort(specName string, runNames []string, m cost.Model) (*analysis.Matrix, error) {
+	return s.CohortWith(specName, runNames, m, analysis.Options{})
+}
+
+// CohortWith is Cohort with explicit analysis options — worker count
+// and a per-pair progress callback, which the HTTP service streams to
+// clients watching a long cohort computation.
+func (s *Store) CohortWith(specName string, runNames []string, m cost.Model, opts analysis.Options) (*analysis.Matrix, error) {
 	if runNames == nil {
 		var err error
 		runNames, err = s.ListRuns(specName)
@@ -308,5 +356,5 @@ func (s *Store) Cohort(specName string, runNames []string, m cost.Model) (*analy
 		}
 		runs[i] = r
 	}
-	return analysis.DistanceMatrix(runs, runNames, m)
+	return analysis.DistanceMatrixWith(runs, runNames, m, opts)
 }

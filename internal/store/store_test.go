@@ -173,6 +173,86 @@ func TestNameValidation(t *testing.T) {
 	}
 }
 
+// TestPathTraversalNames locks down the name hardening ValidateName
+// provides to every boundary (CLI flags, HTTP path values): traversal
+// components and separator-containing names must never be joined into
+// the repository root.
+func TestPathTraversalNames(t *testing.T) {
+	s := openStore(t)
+	pa, _ := gen.Catalog("PA")
+	if err := s.SaveSpec("pa", pa); err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := s.LoadSpec("pa")
+	r, err := wfrun.Execute(sp, wfrun.FullDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"..", ".", "", "a/b", `a\b`, "../escape", "..\\escape",
+		"runs/../../../etc", "a\x00b", ".hidden",
+	}
+	for _, name := range bad {
+		if err := ValidateName(name); err == nil {
+			t.Errorf("ValidateName(%q) accepted a traversal-capable name", name)
+		}
+		if _, err := s.LoadRun("pa", name); err == nil {
+			t.Errorf("LoadRun run=%q must be rejected", name)
+		}
+		if _, err := s.LoadRun(name, "r"); err == nil {
+			t.Errorf("LoadRun spec=%q must be rejected", name)
+		}
+		if err := s.SaveRun(name, "r", r); err == nil {
+			t.Errorf("SaveRun spec=%q must be rejected", name)
+		}
+		if err := s.SaveRun("pa", name, r); err == nil {
+			t.Errorf("SaveRun run=%q must be rejected", name)
+		}
+		if err := s.DeleteRun("pa", name); err == nil {
+			t.Errorf("DeleteRun run=%q must be rejected", name)
+		}
+		if _, err := s.ListRuns(name); err == nil {
+			t.Errorf("ListRuns spec=%q must be rejected", name)
+		}
+	}
+	for _, ok := range []string{"pa", "run-1", "run_2", "Run3", "2024-07-28T12:00"} {
+		if err := ValidateName(ok); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", ok, err)
+		}
+	}
+}
+
+// TestRunChangeHooks verifies OnRunChange fires on both import and
+// delete with the right names.
+func TestRunChangeHooks(t *testing.T) {
+	s := openStore(t)
+	pa, _ := gen.Catalog("PA")
+	if err := s.SaveSpec("pa", pa); err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := s.LoadSpec("pa")
+	r, err := wfrun.Execute(sp, wfrun.FullDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []string
+	s.OnRunChange(func(spec, run string) {
+		mu.Lock()
+		events = append(events, spec+"/"+run)
+		mu.Unlock()
+	})
+	if err := s.SaveRun("pa", "x", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteRun("pa", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "pa/x" || events[1] != "pa/x" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
 func TestConcurrentLoads(t *testing.T) {
 	s := openStore(t)
 	pa, _ := gen.Catalog("PA")

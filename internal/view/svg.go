@@ -72,16 +72,27 @@ func statusColor(s Status) string {
 	return "#999999"
 }
 
+// runCanvas computes the layered layout of a run graph and the canvas
+// it needs — the single source of the SVG dimension arithmetic.
+func runCanvas(g *graph.Graph) (l layout, width, height int) {
+	l = layoutRun(g)
+	width = margin*2 + (l.layers-1)*cellW + 2*radius
+	height = margin*2 + (l.tall-1)*cellH + 2*radius
+	if l.tall == 0 {
+		height = margin * 2
+	}
+	return l, width, height
+}
+
 // RenderSVG draws a run graph with edges colored by diff status
 // (red = deleted, green = inserted, gray = kept, blue dashed =
 // implicit loop edges), in the style of the prototype's run panes.
 func RenderSVG(r *wfrun.Run, status map[graph.Edge]Status) string {
-	l := layoutRun(r.Graph)
-	width := margin*2 + (l.layers-1)*cellW + 2*radius
-	height := margin*2 + (l.tall-1)*cellH + 2*radius
-	if l.tall == 0 {
-		height = margin * 2
-	}
+	l, width, height := runCanvas(r.Graph)
+	return renderSVG(r, status, l, width, height)
+}
+
+func renderSVG(r *wfrun.Run, status map[graph.Edge]Status, l layout, width, height int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
 		width, height, width, height)
@@ -123,6 +134,31 @@ func RenderSVG(r *wfrun.Run, status map[graph.Edge]Status) string {
 		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" dominant-baseline="middle" font-size="10" font-family="monospace">%s</text>`,
 			x, y, html.EscapeString(string(n)))
 	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// PairSVG renders the prototype's two run panes — source with deleted
+// paths in red, target with inserted paths in green — side by side in
+// one standalone SVG document, captioned with the edit distance. This
+// is the image the diff service ships for `GET .../svg`.
+func (d *Diff) PairSVG(srcTitle, dstTitle string) string {
+	l1, w1, h1 := runCanvas(d.R1.Graph)
+	l2, w2, h2 := runCanvas(d.R2.Graph)
+	const gap, caption = 24, 22
+	width := w1 + gap + w2
+	height := max(h1, h2) + caption
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="15" text-anchor="middle" font-size="13" font-family="sans-serif">%s (deleted in red)</text>`,
+		w1/2, html.EscapeString(srcTitle))
+	fmt.Fprintf(&b, `<text x="%d" y="15" text-anchor="middle" font-size="13" font-family="sans-serif">%s (inserted in green)</text>`,
+		w1+gap+w2/2, html.EscapeString(dstTitle))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="12" font-family="sans-serif" fill="#555555">edit distance %g (%s cost)</text>`,
+		width/2, height-6, d.Result.Distance, html.EscapeString(d.Model.Name()))
+	fmt.Fprintf(&b, `<g transform="translate(0,%d)">%s</g>`, caption, renderSVG(d.R1, d.status1, l1, w1, h1))
+	fmt.Fprintf(&b, `<g transform="translate(%d,%d)">%s</g>`, w1+gap, caption, renderSVG(d.R2, d.status2, l2, w2, h2))
 	b.WriteString(`</svg>`)
 	return b.String()
 }

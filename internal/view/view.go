@@ -59,7 +59,17 @@ type Diff struct {
 // New computes the diff, the edit script, and the edge classification
 // for the given pair of runs.
 func New(r1, r2 *wfrun.Run, m cost.Model) (*Diff, error) {
-	res, err := core.Diff(r1, r2, m)
+	return NewWith(core.NewEngine(m), m, r1, r2)
+}
+
+// NewWith is New with a caller-owned engine, for batch and service
+// callers that pool engines. m must be the engine's own cost model.
+// Everything the Diff serves (status maps, script, summary, clusters)
+// is extracted before NewWith returns, so the engine may run another
+// Diff immediately afterwards; only the embedded Result's
+// Mapping/Script accessors are invalidated by such reuse.
+func NewWith(eng *core.Engine, m cost.Model, r1, r2 *wfrun.Run) (*Diff, error) {
+	res, err := eng.Diff(r1, r2)
 	if err != nil {
 		return nil, err
 	}

@@ -42,13 +42,17 @@ package provdiff
 import (
 	"io"
 	"math/rand"
+	"net/http"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/edit"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/server"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/wfrun"
 	"repro/internal/wfxml"
 )
@@ -149,6 +153,28 @@ func Distance(r1, r2 *Run, m CostModel) (float64, error) { return core.Distance(
 
 // EvaluateScript re-prices a script under another cost model.
 func EvaluateScript(s *Script, m CostModel) float64 { return core.EvaluateScript(s, m) }
+
+// Serving (the provserved HTTP layer over a Store — see extensions.go
+// for the Store itself).
+type (
+	// AnalysisOptions tunes cohort fan-out and progress reporting.
+	AnalysisOptions = analysis.Options
+	// ServerOptions configures the HTTP service handler.
+	ServerOptions = server.Options
+)
+
+// ValidateName reports whether a spec or run name is safe to store:
+// every boundary accepting untrusted names (CLI, HTTP) rejects path
+// separators, traversal components and NUL bytes through it.
+func ValidateName(name string) error { return store.ValidateName(name) }
+
+// NewServerHandler returns the provserved HTTP handler over an open
+// repository: REST browsing/import, cached differencing with pooled
+// engines, cohort matrices with streamed progress, SVG diff renderings
+// and service stats. Mount it on any http.Server.
+func NewServerHandler(st *Store, opts ServerOptions) http.Handler {
+	return server.New(st, opts)
+}
 
 // Generation.
 type (
