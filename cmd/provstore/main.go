@@ -7,10 +7,17 @@
 //	provstore -dir DIR ls [NAME]
 //	provstore -dir DIR diff NAME RUN1 RUN2 [-cost unit] [-script]
 //	provstore -dir DIR matrix NAME [-cost unit]
+//	provstore -dir DIR cluster NAME [-k 2] [-seed 1] [-cost unit]
+//	provstore -dir DIR outliers NAME [-k 3] [-cost unit]
+//	provstore -dir DIR nearest NAME RUN [-k 5] [-cost unit]
 //
 // "matrix" prints the pairwise distance matrix over all stored runs of
 // a specification together with a UPGMA dendrogram — the cohort view a
-// scientist uses to see which executions behave alike.
+// scientist uses to see which executions behave alike. "cluster",
+// "outliers" and "nearest" are the cohort analytics over the same
+// matrix: k-medoids partitioning (each cluster reported through its
+// medoid, the most representative execution), knn-distance outlier
+// scores, and nearest-neighbor lookup for one run.
 //
 // provstore is the one-shot CLI over the repository; its serving
 // counterpart is provserved, which keeps the same repository open
@@ -23,7 +30,9 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/gen"
 	"repro/internal/store"
 	"repro/internal/view"
@@ -55,13 +64,19 @@ func main() {
 		diff(st, args[1:])
 	case "matrix":
 		matrix(st, args[1:])
+	case "cluster":
+		clusterCmd(st, args[1:])
+	case "outliers":
+		outliersCmd(st, args[1:])
+	case "nearest":
+		nearestCmd(st, args[1:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|gen-run|ls|diff|matrix ...")
+	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|gen-run|ls|diff|matrix|cluster|outliers|nearest ...")
 	os.Exit(2)
 }
 
@@ -217,4 +232,107 @@ func matrix(st *store.Store, args []string) {
 	fmt.Printf("outlier: %s\n\n", names[mx.Outlier()])
 	fmt.Println("clustering:")
 	fmt.Print(mx.Cluster().Render())
+}
+
+// cohortMatrix computes the distance matrix over all stored runs,
+// shared by the analytics subcommands.
+func cohortMatrix(st *store.Store, specName, costName string, minRuns int) *analysis.Matrix {
+	model, err := cli.ParseCost(costName)
+	if err != nil {
+		fatal(err)
+	}
+	names, err := st.ListRuns(specName)
+	if err != nil {
+		fatal(err)
+	}
+	if len(names) < minRuns {
+		fatal(fmt.Errorf("need at least %d stored runs, have %d", minRuns, len(names)))
+	}
+	mx, err := st.Cohort(specName, names, model)
+	if err != nil {
+		fatal(err)
+	}
+	return mx
+}
+
+func clusterCmd(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	costName := fs.String("cost", "unit", "cost model")
+	k := fs.Int("k", 2, "number of clusters")
+	seed := fs.Int64("seed", 1, "initialization seed")
+	if len(args) < 1 {
+		fatal(fmt.Errorf("cluster SPEC [flags]"))
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		fatal(err)
+	}
+	mx := cohortMatrix(st, args[0], *costName, 2)
+	cl, err := cluster.KMedoids(mx.D, *k, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("k-medoids over %d runs (k=%d, total distance %g, silhouette %.3f):\n",
+		len(mx.Labels), cl.K, cl.Cost, cl.Silhouette)
+	for c := 0; c < cl.K; c++ {
+		fmt.Printf("  cluster %d  medoid %s\n", c, mx.Labels[cl.Medoids[c]])
+		for _, i := range cl.Members(c) {
+			marker := " "
+			if i == cl.Medoids[c] {
+				marker = "*"
+			}
+			fmt.Printf("    %s %s\n", marker, mx.Labels[i])
+		}
+	}
+}
+
+func outliersCmd(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("outliers", flag.ExitOnError)
+	costName := fs.String("cost", "unit", "cost model")
+	k := fs.Int("k", 3, "neighbors per score")
+	if len(args) < 1 {
+		fatal(fmt.Errorf("outliers SPEC [flags]"))
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		fatal(err)
+	}
+	mx := cohortMatrix(st, args[0], *costName, 2)
+	scores, err := cluster.Outliers(mx.D, *k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-20s %10s %10s\n", "run", "knn-score", "mean-all")
+	for _, s := range scores {
+		fmt.Printf("%-20s %10.3f %10.3f\n", mx.Labels[s.Index], s.Score, s.MeanAll)
+	}
+}
+
+func nearestCmd(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("nearest", flag.ExitOnError)
+	costName := fs.String("cost", "unit", "cost model")
+	k := fs.Int("k", 5, "neighbors to report")
+	if len(args) < 2 {
+		fatal(fmt.Errorf("nearest SPEC RUN [flags]"))
+	}
+	if err := fs.Parse(args[2:]); err != nil {
+		fatal(err)
+	}
+	mx := cohortMatrix(st, args[0], *costName, 2)
+	idx := -1
+	for i, l := range mx.Labels {
+		if l == args[1] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		fatal(fmt.Errorf("unknown run %q of %q", args[1], args[0]))
+	}
+	nn, err := cluster.Nearest(mx.D, idx, *k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nearest neighbors of %s/%s:\n", args[0], args[1])
+	for _, n := range nn {
+		fmt.Printf("  %-20s %g\n", mx.Labels[n.Index], n.Distance)
+	}
 }

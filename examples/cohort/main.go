@@ -61,6 +61,31 @@ func main() {
 	fmt.Println("hierarchical clustering (UPGMA):")
 	fmt.Print(root.Render())
 
+	// k-medoids recovers the two protocols as flat clusters, each
+	// summarized by its medoid — the most representative execution.
+	cl, err := provdiff.KMedoids(mx.D, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nk-medoids (k=2, silhouette %.2f):\n", cl.Silhouette)
+	for c := 0; c < cl.K; c++ {
+		fmt.Printf("  cluster around %s:", names[cl.Medoids[c]])
+		for i, a := range cl.Assign {
+			if a == c {
+				fmt.Printf(" %s", names[i])
+			}
+		}
+		fmt.Println()
+	}
+
+	// knn outlier scores: which execution behaves least like any
+	// neighborhood of the cohort?
+	scores, err := provdiff.Outliers(mx.D, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmost anomalous run: %s (knn score %.2f)\n", names[scores[0].Index], scores[0].Score)
+
 	// A data-level difference between the two most similar runs.
 	i := mx.Medoid()
 	j, d := mx.Nearest(i)

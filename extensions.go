@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/params"
@@ -20,11 +21,48 @@ type (
 	DistanceMatrixResult = analysis.Matrix
 	// Dendrogram is a UPGMA hierarchical clustering tree.
 	Dendrogram = analysis.Dendrogram
+	// CohortMatrix is a shared distance matrix maintained
+	// incrementally: adding a run differences only the new row, with
+	// per-shard engines (and their W_TG memos) reused across imports.
+	CohortMatrix = analysis.CohortMatrix
 )
 
 // DistanceMatrix computes all pairwise edit distances of a cohort.
 func DistanceMatrix(runs []*Run, names []string, m CostModel) (*DistanceMatrixResult, error) {
 	return analysis.DistanceMatrix(runs, names, m)
+}
+
+// NewCohortMatrix returns an empty incrementally-updatable cohort
+// matrix; workers caps the differencing fan-out (<= 0 for all cores).
+func NewCohortMatrix(m CostModel, workers int) *CohortMatrix {
+	return analysis.NewCohortMatrix(m, workers)
+}
+
+// Cohort analytics over a distance matrix (internal/cluster): which
+// executions behave alike, which are anomalous, which resemble a
+// given run.
+type (
+	// Clustering is a k-medoids (PAM) partition of a cohort.
+	Clustering = cluster.Clustering
+	// OutlierScore ranks one run by its knn-distance outlier score.
+	OutlierScore = cluster.OutlierScore
+	// Neighbor is one nearest-neighbor answer entry.
+	Neighbor = cluster.Neighbor
+)
+
+// KMedoids partitions a cohort into k clusters by PAM over its
+// distance matrix; deterministic for a fixed seed.
+func KMedoids(d [][]float64, k int, seed int64) (*Clustering, error) {
+	return cluster.KMedoids(d, k, seed)
+}
+
+// Outliers scores every cohort member by mean distance to its k
+// nearest neighbors, most anomalous first.
+func Outliers(d [][]float64, k int) ([]OutlierScore, error) { return cluster.Outliers(d, k) }
+
+// NearestNeighbors returns the k cohort members closest to item i.
+func NearestNeighbors(d [][]float64, i, k int) ([]Neighbor, error) {
+	return cluster.Nearest(d, i, k)
 }
 
 // Data and parameter differencing (Section I's data dimension).

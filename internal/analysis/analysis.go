@@ -9,6 +9,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -21,6 +22,10 @@ import (
 	"repro/internal/sptree"
 	"repro/internal/wfrun"
 )
+
+// defaultWorkers is the differencing fan-out used when Options.Workers
+// is unset.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Matrix is a symmetric pairwise edit-distance matrix over a cohort of
 // runs of the same specification.
@@ -41,6 +46,13 @@ type Options struct {
 	// blocks throttles the whole fan-out, so consumers doing I/O here
 	// must bound it (the HTTP service uses per-write deadlines).
 	Progress func(done, total int)
+	// Context, when non-nil, aborts the fan-out early: once it is
+	// cancelled no further pairs are dispatched or differenced and
+	// DistanceMatrixWith returns the context error. The HTTP service
+	// passes the request context so a client that disconnects (or a
+	// repository wiped mid-stream) stops burning workers instead of
+	// finishing a matrix nobody will read.
+	Context context.Context
 }
 
 // DistanceMatrix computes all pairwise edit distances under the given
@@ -93,10 +105,17 @@ func DistanceMatrixWith(runs []*wfrun.Run, names []string, m cost.Model, opts Op
 	done := 0
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultWorkers()
 	}
 	if workers > total+1 {
 		workers = total + 1
+	}
+	// A nil context means no cancellation: selecting on a nil channel
+	// blocks forever, so the send/cancel selects below degrade to
+	// plain sends.
+	var cancelled <-chan struct{}
+	if opts.Context != nil {
+		cancelled = opts.Context.Done()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -104,6 +123,13 @@ func DistanceMatrixWith(runs []*wfrun.Run, names []string, m cost.Model, opts Op
 			defer wg.Done()
 			eng := core.NewEngine(m)
 			for p := range pairs {
+				select {
+				case <-cancelled:
+					// Drain without differencing so the producer can
+					// finish promptly even if it already queued pairs.
+					continue
+				default:
+				}
 				dist, err := eng.Distance(runs[p.i], runs[p.j])
 				if err == nil {
 					// Each worker writes disjoint cells.
@@ -122,13 +148,31 @@ func DistanceMatrixWith(runs []*wfrun.Run, names []string, m cost.Model, opts Op
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			pairs <- pair{i, j}
+			select {
+			case pairs <- pair{i, j}:
+			case <-cancelled:
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("analysis: cohort aborted: %w", opts.Context.Err())
+				}
+				mu.Unlock()
+				break dispatch
+			}
 		}
 	}
 	close(pairs)
 	wg.Wait()
+	if opts.Context != nil && firstErr == nil {
+		// The last dispatched pairs may have raced a late
+		// cancellation; report it so callers never mistake a
+		// fully-computed matrix for an aborted one and vice versa.
+		if err := opts.Context.Err(); err != nil {
+			firstErr = fmt.Errorf("analysis: cohort aborted: %w", err)
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

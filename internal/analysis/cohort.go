@@ -1,0 +1,362 @@
+package analysis
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// CohortMatrix is a shared, incrementally maintained pairwise
+// edit-distance matrix over a growing cohort of runs. Where
+// DistanceMatrix recomputes all O(n²) pairs from scratch, a
+// CohortMatrix differences only the new row when a run is added — the
+// O(n) pairs that did not exist before — and keeps one reusable
+// differencing engine per worker shard across calls, so the per-spec
+// W_TG memo and all flat scratch tables stay warm for the lifetime of
+// the cohort.
+//
+// Reads (Snapshot, Labels, Len) are safe for arbitrary concurrency
+// with mutations; mutations (Reset, Add, Remove) serialize among
+// themselves. The published matrix is immutable — every mutation
+// builds fresh rows and swaps them in under the write lock — so a
+// Snapshot taken at any moment is internally consistent.
+type CohortMatrix struct {
+	model   cost.Model
+	workers int
+
+	// computeMu serializes mutations; the engines are owned by
+	// whichever mutation holds it.
+	computeMu sync.Mutex
+	engines   []*core.Engine
+
+	mu      sync.RWMutex
+	labels  []string
+	index   map[string]int
+	runs    []*wfrun.Run
+	d       [][]float64
+	version int64
+
+	diffCalls atomic.Int64
+}
+
+// NewCohortMatrix returns an empty cohort matrix for the given cost
+// model. workers caps the differencing fan-out of Reset and Add;
+// <= 0 means one worker per pair up to GOMAXPROCS (the
+// DistanceMatrixWith default).
+func NewCohortMatrix(m cost.Model, workers int) *CohortMatrix {
+	return &CohortMatrix{
+		model:   m,
+		workers: workers,
+		index:   map[string]int{},
+	}
+}
+
+// Len returns the current cohort size.
+func (c *CohortMatrix) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.labels)
+}
+
+// Version returns a counter bumped by every successful mutation;
+// consumers caching derived artifacts (clusterings, outlier rankings)
+// can key them by it.
+func (c *CohortMatrix) Version() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// DiffCalls reports how many engine differencing calls the matrix has
+// performed since creation — the incremental-maintenance tests and
+// benchmarks assert on it.
+func (c *CohortMatrix) DiffCalls() int64 { return c.diffCalls.Load() }
+
+// Labels returns a copy of the cohort's run names in matrix order.
+func (c *CohortMatrix) Labels() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.labels...)
+}
+
+// Has reports whether a run name is in the cohort.
+func (c *CohortMatrix) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.index[name]
+	return ok
+}
+
+// Snapshot returns a deep copy of the current matrix, or nil when the
+// cohort is empty. The copy is the caller's to keep: later mutations
+// never touch it.
+func (c *CohortMatrix) Snapshot() *Matrix {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.labels) == 0 {
+		return nil
+	}
+	mx := &Matrix{
+		Labels: append([]string(nil), c.labels...),
+		D:      make([][]float64, len(c.d)),
+	}
+	for i, row := range c.d {
+		mx.D[i] = append([]float64(nil), row...)
+	}
+	return mx
+}
+
+// growEngines ensures at least n reusable engines exist, one per
+// worker shard. Caller must hold computeMu; workers then index the
+// slice read-only.
+func (c *CohortMatrix) growEngines(n int) {
+	for len(c.engines) < n {
+		c.engines = append(c.engines, core.NewEngine(c.model))
+	}
+}
+
+func (c *CohortMatrix) workerCount(pairs int) int {
+	w := c.workers
+	if w <= 0 {
+		w = defaultWorkers()
+	}
+	if w > pairs {
+		w = pairs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Reset replaces the whole cohort and recomputes every pairwise
+// distance with a sharded symmetric-half fan-out: worker w owns the
+// rows i ≡ w (mod workers) of the upper triangle and differences them
+// with its own engine. Rows shrink linearly with i, so round-robin row
+// ownership balances the shards to within one row's work.
+func (c *CohortMatrix) Reset(names []string, runs []*wfrun.Run) error {
+	if len(names) != len(runs) {
+		return fmt.Errorf("analysis: %d names for %d runs", len(names), len(runs))
+	}
+	if err := uniqueNames(names); err != nil {
+		return err
+	}
+	c.computeMu.Lock()
+	defer c.computeMu.Unlock()
+	n := len(runs)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	// Repair stale tree IDs once, single-threaded, exactly like
+	// DistanceMatrixWith: afterwards the per-shard engines index the
+	// shared trees concurrently but read-only.
+	var ti sptree.TreeIndex
+	for _, r := range runs {
+		if r != nil && r.Tree != nil {
+			ti.Rebuild(r.Tree)
+		}
+	}
+	workers := c.workerCount(n * (n - 1) / 2)
+	c.growEngines(workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng := c.engines[w]
+			for i := w; i < n; i += workers {
+				for j := i + 1; j < n; j++ {
+					dist, err := eng.Distance(runs[i], runs[j])
+					if err != nil {
+						errs[w] = fmt.Errorf("analysis: runs %q and %q: %w", names[i], names[j], err)
+						return
+					}
+					c.diffCalls.Add(1)
+					d[i][j] = dist
+					d[j][i] = dist
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	index := make(map[string]int, n)
+	for i, name := range names {
+		index[name] = i
+	}
+	c.mu.Lock()
+	c.labels = append([]string(nil), names...)
+	c.runs = append([]*wfrun.Run(nil), runs...)
+	c.index = index
+	c.d = d
+	c.version++
+	c.mu.Unlock()
+	return nil
+}
+
+// Add appends a run to the cohort, differencing only the n new pairs
+// (new run versus each existing member) across the worker shards. If
+// the name is already present the old row is replaced — the
+// re-imported-run path — which still costs only O(n) diffs.
+func (c *CohortMatrix) Add(name string, run *wfrun.Run) error {
+	if run == nil || run.Tree == nil {
+		return fmt.Errorf("analysis: nil run %q", name)
+	}
+	c.computeMu.Lock()
+	defer c.computeMu.Unlock()
+
+	// Work on private copies of the member list: the published state
+	// is only swapped at the end, under the write lock.
+	c.mu.RLock()
+	labels := append([]string(nil), c.labels...)
+	runs := append([]*wfrun.Run(nil), c.runs...)
+	oldD := c.d
+	replaced := -1
+	if i, ok := c.index[name]; ok {
+		replaced = i
+	}
+	c.mu.RUnlock()
+
+	if replaced >= 0 {
+		labels = append(labels[:replaced], labels[replaced+1:]...)
+		runs = append(runs[:replaced], runs[replaced+1:]...)
+	}
+	n := len(runs)
+
+	var ti sptree.TreeIndex
+	ti.Rebuild(run.Tree)
+	for _, r := range runs {
+		if r.Tree != nil {
+			ti.Rebuild(r.Tree)
+		}
+	}
+	row := make([]float64, n)
+	workers := c.workerCount(n)
+	c.growEngines(workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng := c.engines[w]
+			for j := w; j < n; j += workers {
+				dist, err := eng.Distance(run, runs[j])
+				if err != nil {
+					errs[w] = fmt.Errorf("analysis: runs %q and %q: %w", name, labels[j], err)
+					return
+				}
+				c.diffCalls.Add(1)
+				row[j] = dist
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Assemble the (n+1)×(n+1) matrix from the surviving rows of the
+	// published matrix plus the new row/column.
+	d := make([][]float64, n+1)
+	for i := 0; i < n; i++ {
+		d[i] = make([]float64, n+1)
+		srcRow := i
+		if replaced >= 0 && i >= replaced {
+			srcRow++
+		}
+		for j := 0; j < n; j++ {
+			srcCol := j
+			if replaced >= 0 && j >= replaced {
+				srcCol++
+			}
+			d[i][j] = oldD[srcRow][srcCol]
+		}
+		d[i][n] = row[i]
+	}
+	d[n] = append(append([]float64(nil), row...), 0)
+
+	labels = append(labels, name)
+	runs = append(runs, run)
+	index := make(map[string]int, len(labels))
+	for i, l := range labels {
+		index[l] = i
+	}
+	c.mu.Lock()
+	c.labels = labels
+	c.runs = runs
+	c.index = index
+	c.d = d
+	c.version++
+	c.mu.Unlock()
+	return nil
+}
+
+// Remove drops a run from the cohort (no differencing at all) and
+// reports whether it was present.
+func (c *CohortMatrix) Remove(name string) bool {
+	c.computeMu.Lock()
+	defer c.computeMu.Unlock()
+	c.mu.RLock()
+	i, ok := c.index[name]
+	oldD := c.d
+	oldLabels := c.labels
+	oldRuns := c.runs
+	c.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	n := len(oldLabels) - 1
+	labels := make([]string, 0, n)
+	labels = append(labels, oldLabels[:i]...)
+	labels = append(labels, oldLabels[i+1:]...)
+	runs := make([]*wfrun.Run, 0, n)
+	runs = append(runs, oldRuns[:i]...)
+	runs = append(runs, oldRuns[i+1:]...)
+	d := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		src := r
+		if r >= i {
+			src++
+		}
+		d[r] = make([]float64, 0, n)
+		d[r] = append(d[r], oldD[src][:i]...)
+		d[r] = append(d[r], oldD[src][i+1:]...)
+	}
+	index := make(map[string]int, n)
+	for j, l := range labels {
+		index[l] = j
+	}
+	c.mu.Lock()
+	c.labels = labels
+	c.runs = runs
+	c.index = index
+	c.d = d
+	c.version++
+	c.mu.Unlock()
+	return true
+}
+
+func uniqueNames(names []string) error {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return fmt.Errorf("analysis: duplicate run name %q in cohort", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}

@@ -3,11 +3,7 @@
 package cli
 
 import (
-	"fmt"
-	"math"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/spec"
@@ -16,28 +12,10 @@ import (
 )
 
 // ParseCost parses a -cost flag value: "unit", "length" or
-// "power:EPS" with EPS ≤ 1.
+// "power:EPS" with EPS ≤ 1. It delegates to cost.Parse, which owns
+// the validation (and its fuzz target) for every untrusted boundary.
 func ParseCost(name string) (cost.Model, error) {
-	switch {
-	case name == "unit":
-		return cost.Unit{}, nil
-	case name == "length":
-		return cost.Length{}, nil
-	case strings.HasPrefix(name, "power:"):
-		eps, err := strconv.ParseFloat(strings.TrimPrefix(name, "power:"), 64)
-		if err != nil {
-			return nil, fmt.Errorf("cli: bad power exponent: %w", err)
-		}
-		// The paper evaluates ε ∈ [0, 1]; ε > 1 violates the
-		// quadrangle inequality and ε < 0 (or NaN) is not a metric at
-		// all. This is also the service's input validation — ?cost=
-		// reaches here from untrusted HTTP clients.
-		if math.IsNaN(eps) || eps < 0 || eps > 1 {
-			return nil, fmt.Errorf("cli: power exponent %g outside the metric range [0, 1]", eps)
-		}
-		return cost.Power{Epsilon: eps}, nil
-	}
-	return nil, fmt.Errorf("cli: unknown cost model %q (want unit, length or power:EPS)", name)
+	return cost.Parse(name)
 }
 
 // LoadSpec reads a specification XML file.

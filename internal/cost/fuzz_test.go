@@ -1,0 +1,94 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	if m, err := Parse("unit"); err != nil || m.Name() != "unit" {
+		t.Fatalf("unit: %v %v", m, err)
+	}
+	if m, err := Parse("length"); err != nil || m.Name() != "length" {
+		t.Fatalf("length: %v %v", m, err)
+	}
+	for _, spelling := range []string{"power:0.5", "power(0.5)"} {
+		m, err := Parse(spelling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, ok := m.(Power); !ok || p.Epsilon != 0.5 {
+			t.Fatalf("%s parsed as %#v", spelling, m)
+		}
+	}
+	for _, bad := range []string{"power:2", "power:-0.1", "power:x", "power:NaN", "power()", "manhattan", "", "power(0.5", "weighted(unit)"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+// FuzzParseCost: whatever the input, Parse never panics; when it
+// accepts a name the model must be priced sanely (finite, positive on
+// real paths, zero on empty ones) and its Name must round-trip through
+// Parse to an identically-pricing model — the property the service
+// relies on when it keys engine pools and caches by Name.
+func FuzzParseCost(f *testing.F) {
+	for _, seed := range []string{
+		"unit", "length", "power:0", "power:1", "power:0.5",
+		"power(0.25)", "power:5e-1", "power:2", "power:-1",
+		"power:NaN", "power:Inf", "power:", "power", "", "bogus",
+		"power(0.5)", "power()", "power()", "unitx", "\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		m, err := Parse(name)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("Parse(%q) returned both a model and %v", name, err)
+			}
+			return
+		}
+		if m.Name() == "" {
+			t.Fatalf("Parse(%q): empty model name", name)
+		}
+		for l := 0; l <= 4; l++ {
+			c := m.PathCost(l, "a", "b")
+			if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+				t.Fatalf("Parse(%q): PathCost(%d) = %g", name, l, c)
+			}
+			if l == 0 && c != 0 {
+				t.Fatalf("Parse(%q): empty path costs %g", name, c)
+			}
+			if l > 0 && c == 0 {
+				t.Fatalf("Parse(%q): real path of length %d is free", name, l)
+			}
+		}
+		// Name round-trip: the canonical name parses back to a model
+		// with identical pricing.
+		m2, err := Parse(m.Name())
+		if err != nil {
+			t.Fatalf("Parse(%q).Name() = %q does not re-parse: %v", name, m.Name(), err)
+		}
+		if m2.Name() != m.Name() {
+			t.Fatalf("name drift: %q -> %q", m.Name(), m2.Name())
+		}
+		for l := 1; l <= 4; l++ {
+			if a, b := m.PathCost(l, "x", "y"), m2.PathCost(l, "x", "y"); a != b {
+				t.Fatalf("Parse(%q): re-parsed model prices %g vs %g at l=%d", name, b, a, l)
+			}
+		}
+		// Accepted models must satisfy the paper's metric conditions
+		// on small instances (quadrangle inequality included).
+		if err := CheckMetric(m, 5, nil); err != nil {
+			t.Fatalf("Parse(%q) accepted a non-metric: %v", name, err)
+		}
+		// Strings with interior NUL or newlines must never produce a
+		// model whose name contains them (cache keys join on NUL).
+		if strings.ContainsAny(m.Name(), "\x00\n") {
+			t.Fatalf("Parse(%q): model name %q contains a separator byte", name, m.Name())
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse resolves a cost-model name to a Model: "unit", "length", or
+// the sublinear power family as "power:EPS" (the CLI flag spelling) or
+// "power(EPS)" (the Model.Name spelling, so every built-in model's
+// Name round-trips through Parse). The exponent is confined to the
+// metric range [0, 1] of the paper: ε > 1 violates the quadrangle
+// inequality and ε < 0 (or NaN) is not a metric at all. This is the
+// input validation for every untrusted boundary — the -cost flag and
+// the service's ?cost= parameter both land here.
+func Parse(name string) (Model, error) {
+	switch {
+	case name == "unit":
+		return Unit{}, nil
+	case name == "length":
+		return Length{}, nil
+	case strings.HasPrefix(name, "power:"):
+		return parsePower(strings.TrimPrefix(name, "power:"))
+	case strings.HasPrefix(name, "power(") && strings.HasSuffix(name, ")"):
+		return parsePower(name[len("power(") : len(name)-1])
+	}
+	return nil, fmt.Errorf("cost: unknown cost model %q (want unit, length or power:EPS)", name)
+}
+
+func parsePower(arg string) (Model, error) {
+	eps, err := strconv.ParseFloat(arg, 64)
+	if err != nil {
+		return nil, fmt.Errorf("cost: bad power exponent: %w", err)
+	}
+	if math.IsNaN(eps) || eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("cost: power exponent %g outside the metric range [0, 1]", eps)
+	}
+	return Power{Epsilon: eps}, nil
+}

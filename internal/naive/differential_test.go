@@ -1,0 +1,256 @@
+package naive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// The differential oracle suite: thousands of randomized
+// Engine-vs-reference comparisons per CI run, plus metric-property
+// checks (identity, symmetry, triangle inequality) for every built-in
+// cost model. The reference implementation (Distance in reference.go)
+// shares no code with the arena engine, so any divergence pinpoints a
+// bug in the engine's flat memo layout, scratch reuse or W_TG
+// persistence rather than in the recurrences themselves.
+
+var differentialModels = []cost.Model{
+	cost.Unit{},
+	cost.Length{},
+	cost.Power{Epsilon: 0.5},
+	cost.Power{Epsilon: 0.25},
+}
+
+// differentialConfig is one row of the table: a spec shape plus run
+// replication parameters. Node counts grow with Edges and MaxF/MaxL.
+type differentialConfig struct {
+	name        string
+	edges       int
+	seriesRatio float64
+	forks       int
+	loops       int
+	params      gen.RunParams
+	trials      int
+}
+
+func differentialTable() []differentialConfig {
+	return []differentialConfig{
+		{"tiny-series", 4, 3, 0, 0, gen.RunParams{ProbP: 0.8, ProbF: 0.5, MaxF: 2, ProbL: 0.5, MaxL: 2}, 30},
+		{"tiny-parallel", 5, 1.0 / 3, 1, 0, gen.RunParams{ProbP: 0.6, ProbF: 0.5, MaxF: 2, ProbL: 0.5, MaxL: 2}, 30},
+		{"small-mixed", 8, 1, 1, 1, gen.RunParams{ProbP: 0.7, ProbF: 0.6, MaxF: 2, ProbL: 0.6, MaxL: 2}, 50},
+		{"small-forks", 10, 1, 3, 0, gen.RunParams{ProbP: 0.8, ProbF: 0.6, MaxF: 3, ProbL: 0.5, MaxL: 2}, 40},
+		{"small-loops", 10, 1, 0, 3, gen.RunParams{ProbP: 0.8, ProbF: 0.5, MaxF: 2, ProbL: 0.6, MaxL: 3}, 40},
+		{"medium-mixed", 16, 1, 2, 2, gen.RunParams{ProbP: 0.85, ProbF: 0.5, MaxF: 3, ProbL: 0.5, MaxL: 3}, 50},
+		{"medium-parallel", 18, 0.5, 2, 1, gen.RunParams{ProbP: 0.7, ProbF: 0.5, MaxF: 2, ProbL: 0.5, MaxL: 2}, 30},
+		{"large-series", 28, 3, 3, 2, gen.RunParams{ProbP: 0.9, ProbF: 0.6, MaxF: 3, ProbL: 0.6, MaxL: 3}, 25},
+		{"large-mixed", 36, 1, 4, 3, gen.RunParams{ProbP: 0.9, ProbF: 0.6, MaxF: 3, ProbL: 0.6, MaxL: 3}, 25},
+		{"huge-replication", 24, 1, 5, 4, gen.RunParams{ProbP: 0.95, ProbF: 0.8, MaxF: 3, ProbL: 0.8, MaxL: 3}, 20},
+	}
+}
+
+// TestEngineMatchesReference is the main differential property: for
+// random series-parallel specifications across the size table, the
+// optimized arena Engine and the naive map-based reference agree on
+// δ(R1, R2) under every built-in cost model. Engines are reused across
+// all trials of a configuration, so W_TG memo persistence across
+// specification changes is exercised too. Well over 1000 comparisons
+// run per invocation; the exact count is logged.
+func TestEngineMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	engines := make([]*core.Engine, len(differentialModels))
+	for i, m := range differentialModels {
+		engines[i] = core.NewEngine(m)
+	}
+	comparisons := 0
+	maxNodes := 0
+	for _, cfg := range differentialTable() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			for trial := 0; trial < cfg.trials; trial++ {
+				sp, err := gen.RandomSpec(gen.SpecConfig{
+					Edges:       cfg.edges,
+					SeriesRatio: cfg.seriesRatio,
+					Forks:       cfg.forks,
+					Loops:       cfg.loops,
+				}, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r1, err := gen.RandomRun(sp, cfg.params, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := gen.RandomRun(sp, cfg.params, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n := r1.Tree.CountNodes(); n > maxNodes {
+					maxNodes = n
+				}
+				mi := trial % len(differentialModels)
+				m := differentialModels[mi]
+				want, err := Distance(r1, r2, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := engines[mi].Distance(r1, r2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comparisons++
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d %s: engine %g, reference %g\nT1:\n%s\nT2:\n%s",
+						trial, m.Name(), got, want, r1.Tree, r2.Tree)
+				}
+				// A second diff of the same pair on the warm engine must
+				// not drift (memo generation bugs would show here).
+				again, err := engines[mi].Distance(r1, r2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comparisons++
+				if again != got {
+					t.Fatalf("trial %d %s: warm re-diff drifted: %g then %g", trial, m.Name(), got, again)
+				}
+				// Symmetry, cross-checked against the reference too.
+				rev, err := engines[mi].Distance(r2, r1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comparisons++
+				if math.Abs(rev-want) > 1e-9 {
+					t.Fatalf("trial %d %s: asymmetric: d(a,b)=%g d(b,a)=%g", trial, m.Name(), got, rev)
+				}
+			}
+		})
+	}
+	t.Logf("differential suite: %d engine-vs-reference comparisons, largest tree %d nodes", comparisons, maxNodes)
+	if comparisons < 1000 {
+		t.Errorf("differential suite ran only %d comparisons; want >= 1000 per invocation", comparisons)
+	}
+}
+
+// TestReferenceMatchesExponentialOracle anchors the polynomial
+// reference itself against the explicit exponential enumeration on
+// small instances, closing the loop: oracle == reference == engine.
+func TestReferenceMatchesExponentialOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	params := gen.RunParams{ProbP: 0.7, ProbF: 0.6, MaxF: 2, ProbL: 0.6, MaxL: 2}
+	for trial := 0; trial < 25; trial++ {
+		sp, err := gen.RandomSpec(gen.SpecConfig{
+			Edges:       5 + rng.Intn(8),
+			SeriesRatio: 1,
+			Forks:       rng.Intn(3),
+			Loops:       rng.Intn(2),
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.NumEdges() > 30 || r2.NumEdges() > 30 {
+			continue // keep the exponential oracle fast
+		}
+		m := differentialModels[trial%len(differentialModels)]
+		del := func(v *sptree.Node) float64 { return core.DeletionCost(v, m) }
+		want := MappingOracle(r1.Tree, r2.Tree, del, WOracle(sp, m))
+		got, err := Distance(r1, r2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d %s: reference %g, oracle %g\nT1:\n%s\nT2:\n%s",
+				trial, m.Name(), got, want, r1.Tree, r2.Tree)
+		}
+	}
+}
+
+// TestMetricProperties checks the distance is a metric in practice for
+// every built-in cost model: identity on identical runs, symmetry, and
+// the triangle inequality over sampled triples of cohort members.
+func TestMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	params := gen.RunParams{ProbP: 0.85, ProbF: 0.6, MaxF: 3, ProbL: 0.6, MaxL: 3}
+	for _, m := range differentialModels {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			eng := core.NewEngine(m)
+			for trial := 0; trial < 6; trial++ {
+				sp, err := gen.RandomSpec(gen.SpecConfig{
+					Edges:       10 + rng.Intn(16),
+					SeriesRatio: 1,
+					Forks:       rng.Intn(4),
+					Loops:       rng.Intn(3),
+				}, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const cohort = 5
+				runs := make([]*wfrun.Run, cohort)
+				for i := range runs {
+					if runs[i], err = gen.RandomRun(sp, params, rng); err != nil {
+						t.Fatal(err)
+					}
+				}
+				d := make([][]float64, cohort)
+				for i := range d {
+					d[i] = make([]float64, cohort)
+				}
+				for i := 0; i < cohort; i++ {
+					// Identity: d(a, a) = 0.
+					self, err := eng.Distance(runs[i], runs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if self != 0 {
+						t.Fatalf("trial %d: d(r%d, r%d) = %g, want 0", trial, i, i, self)
+					}
+					for j := i + 1; j < cohort; j++ {
+						dij, err := eng.Distance(runs[i], runs[j])
+						if err != nil {
+							t.Fatal(err)
+						}
+						dji, err := eng.Distance(runs[j], runs[i])
+						if err != nil {
+							t.Fatal(err)
+						}
+						// Symmetry.
+						if math.Abs(dij-dji) > 1e-9 {
+							t.Fatalf("trial %d: d(r%d,r%d)=%g but d(r%d,r%d)=%g", trial, i, j, dij, j, i, dji)
+						}
+						if dij < 0 {
+							t.Fatalf("trial %d: negative distance %g", trial, dij)
+						}
+						d[i][j], d[j][i] = dij, dij
+					}
+				}
+				// Triangle inequality over every triple of the cohort.
+				for a := 0; a < cohort; a++ {
+					for b := a + 1; b < cohort; b++ {
+						for c := 0; c < cohort; c++ {
+							if c == a || c == b {
+								continue
+							}
+							if d[a][b] > d[a][c]+d[c][b]+1e-9 {
+								t.Fatalf("trial %d %s: triangle violated: d(%d,%d)=%g > d(%d,%d)+d(%d,%d)=%g",
+									trial, m.Name(), a, b, d[a][b], a, c, c, b, d[a][c]+d[c][b])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

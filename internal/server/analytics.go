@@ -1,0 +1,263 @@
+package server
+
+// Cohort analytics handlers: k-medoids clustering, knn outlier
+// scoring and nearest-neighbor queries over the incrementally
+// maintained per-spec distance matrix (cohortcache.go). The matrix is
+// the expensive part — O(n) engine diffs per import, O(n²) only on
+// first touch — while the analytics themselves are polynomial in the
+// cohort size, so these handlers stay interactive even for large runs.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/store"
+)
+
+// intParam parses an optional integer query parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: want an integer", name, v)
+	}
+	return n, nil
+}
+
+// cohortMatrixFor resolves the synced distance matrix for an analytics
+// request, writing the error response itself on failure. minRuns
+// guards the degenerate cohorts each endpoint cannot answer on.
+func (s *Server) cohortMatrixFor(w http.ResponseWriter, r *http.Request, specName string, m cost.Model, minRuns int) (*analysis.Matrix, bool) {
+	if _, err := s.st.LoadSpec(specName); err != nil {
+		s.storeError(w, err)
+		return nil, false
+	}
+	mx, err := s.cohortSnapshot(specName, m)
+	if err != nil {
+		s.storeError(w, err)
+		return nil, false
+	}
+	have := 0
+	if mx != nil {
+		have = len(mx.Labels)
+	}
+	if have < minRuns {
+		s.httpError(w, fmt.Errorf("cohort analytics on %q needs at least %d stored runs, have %d", specName, minRuns, have), http.StatusBadRequest)
+		return nil, false
+	}
+	return mx, true
+}
+
+type clusterGroup struct {
+	Medoid string   `json:"medoid"`
+	Runs   []string `json:"runs"`
+}
+
+type clusterPayload struct {
+	Spec       string         `json:"spec"`
+	Cost       string         `json:"cost"`
+	K          int            `json:"k"`
+	Seed       int64          `json:"seed"`
+	Clusters   []clusterGroup `json:"clusters"`
+	Cost_      float64        `json:"total_distance"`
+	Silhouette float64        `json:"silhouette"`
+	Iterations int            `json:"iterations"`
+	Cached     bool           `json:"cached"`
+}
+
+// handleCluster partitions the spec's stored runs into k clusters by
+// PAM over the edit-distance matrix. The medoid of each cluster is its
+// most representative execution — the paper's notion of a "typical"
+// run generalized from the whole cohort to each behavioral group.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec")
+	if !ok {
+		return
+	}
+	m, ok := s.costModel(w, r)
+	if !ok {
+		return
+	}
+	k, err := intParam(r, "k", 2)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	seed64, err := intParam(r, "seed", 1)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	seed := int64(seed64)
+	key := cacheKey{spec: ns[0], runA: fmt.Sprintf("k=%d", k), runB: fmt.Sprintf("seed=%d", seed), cost: m.Name(), kind: kindCluster}
+	if v, ok := s.cache.get(key); ok {
+		p := v.(clusterPayload)
+		p.Cached = true
+		writeJSON(w, p)
+		return
+	}
+	gen := s.cache.generation()
+	mx, ok := s.cohortMatrixFor(w, r, ns[0], m, 2)
+	if !ok {
+		return
+	}
+	cl, err := cluster.KMedoids(mx.D, k, seed)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	groups := make([]clusterGroup, cl.K)
+	for c := 0; c < cl.K; c++ {
+		groups[c].Medoid = mx.Labels[cl.Medoids[c]]
+		for _, i := range cl.Members(c) {
+			groups[c].Runs = append(groups[c].Runs, mx.Labels[i])
+		}
+	}
+	p := clusterPayload{
+		Spec:       ns[0],
+		Cost:       m.Name(),
+		K:          cl.K,
+		Seed:       seed,
+		Clusters:   groups,
+		Cost_:      cl.Cost,
+		Silhouette: cl.Silhouette,
+		Iterations: cl.Iterations,
+	}
+	s.cache.addIfGen(key, p, gen)
+	writeJSON(w, p)
+}
+
+type outlierJSON struct {
+	Run     string  `json:"run"`
+	Score   float64 `json:"score"`
+	MeanAll float64 `json:"mean_all"`
+}
+
+type outliersPayload struct {
+	Spec      string        `json:"spec"`
+	Cost      string        `json:"cost"`
+	Neighbors int           `json:"neighbors"`
+	Outliers  []outlierJSON `json:"outliers"`
+	Cached    bool          `json:"cached"`
+}
+
+// handleOutliers scores every stored run by its mean edit distance to
+// its k nearest cohort members, most anomalous first.
+func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec")
+	if !ok {
+		return
+	}
+	m, ok := s.costModel(w, r)
+	if !ok {
+		return
+	}
+	k, err := intParam(r, "k", 3)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	key := cacheKey{spec: ns[0], runA: fmt.Sprintf("k=%d", k), cost: m.Name(), kind: kindOutliers}
+	if v, ok := s.cache.get(key); ok {
+		p := v.(outliersPayload)
+		p.Cached = true
+		writeJSON(w, p)
+		return
+	}
+	gen := s.cache.generation()
+	mx, ok := s.cohortMatrixFor(w, r, ns[0], m, 2)
+	if !ok {
+		return
+	}
+	scores, err := cluster.Outliers(mx.D, k)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	out := make([]outlierJSON, len(scores))
+	for i, sc := range scores {
+		out[i] = outlierJSON{Run: mx.Labels[sc.Index], Score: sc.Score, MeanAll: sc.MeanAll}
+	}
+	p := outliersPayload{Spec: ns[0], Cost: m.Name(), Neighbors: k, Outliers: out}
+	s.cache.addIfGen(key, p, gen)
+	writeJSON(w, p)
+}
+
+type neighborJSON struct {
+	Run      string  `json:"run"`
+	Distance float64 `json:"distance"`
+}
+
+type nearestPayload struct {
+	Spec      string         `json:"spec"`
+	Cost      string         `json:"cost"`
+	Run       string         `json:"run"`
+	Neighbors []neighborJSON `json:"neighbors"`
+	Cached    bool           `json:"cached"`
+}
+
+// handleNearest returns the k stored runs closest to ?run= — "show me
+// executions like this one", the interactive counterpart of the
+// cohort matrix.
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec")
+	if !ok {
+		return
+	}
+	m, ok := s.costModel(w, r)
+	if !ok {
+		return
+	}
+	runName := r.URL.Query().Get("run")
+	if err := store.ValidateName(runName); err != nil {
+		s.httpError(w, fmt.Errorf("run: %w", err), http.StatusBadRequest)
+		return
+	}
+	k, err := intParam(r, "k", 5)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	key := cacheKey{spec: ns[0], runA: runName, runB: fmt.Sprintf("k=%d", k), cost: m.Name(), kind: kindNearest}
+	if v, ok := s.cache.get(key); ok {
+		p := v.(nearestPayload)
+		p.Cached = true
+		writeJSON(w, p)
+		return
+	}
+	gen := s.cache.generation()
+	mx, ok := s.cohortMatrixFor(w, r, ns[0], m, 2)
+	if !ok {
+		return
+	}
+	idx := -1
+	for i, l := range mx.Labels {
+		if l == runName {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.httpError(w, fmt.Errorf("unknown run %q of %q", runName, ns[0]), http.StatusNotFound)
+		return
+	}
+	nn, err := cluster.Nearest(mx.D, idx, k)
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	out := make([]neighborJSON, len(nn))
+	for i, n := range nn {
+		out[i] = neighborJSON{Run: mx.Labels[n.Index], Distance: n.Distance}
+	}
+	p := nearestPayload{Spec: ns[0], Cost: m.Name(), Run: runName, Neighbors: out}
+	s.cache.addIfGen(key, p, gen)
+	writeJSON(w, p)
+}

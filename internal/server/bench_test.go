@@ -57,6 +57,58 @@ func BenchmarkServeCohort(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterCohort measures a k-medoids request over a 32-run
+// cohort with a warm incremental matrix but a cold payload cache —
+// the steady-state cost of re-clustering after each import.
+func BenchmarkClusterCohort(b *testing.B) {
+	srv, _ := seedServer(b, 32, Options{CacheSize: 8})
+	benchRequest(b, srv, "/specs/pa/cluster?k=3") // build the matrix once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.cache.purge()
+		benchRequest(b, srv, "/specs/pa/cluster?k=3")
+	}
+}
+
+// BenchmarkIncrementalImport measures the full import→query→delete
+// cycle against a 32-run cohort: each iteration diffs only the new
+// row (32 pairs) instead of rebuilding all 496, which is what makes
+// a growing repository affordable. The sibling full-recompute cost is
+// BenchmarkServeCohort scaled to 32 runs; the diff-call ratio itself
+// is asserted in TestCohortMatrixIncrementalSavesDiffs and
+// TestCohortMatrixIncrementalOverHTTP.
+func BenchmarkIncrementalImport(b *testing.B) {
+	srv, st := seedServer(b, 32, Options{CacheSize: 8})
+	body := encodeRun(b, st, 555)
+	benchRequest(b, srv, "/specs/pa/nearest?run=r0&k=3") // build the matrix once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := do(b, srv, "POST", "/specs/pa/runs/bench-fresh", body, nil)
+		if rec.Code != 201 {
+			b.Fatalf("import = %d", rec.Code)
+		}
+		benchRequest(b, srv, "/specs/pa/nearest?run=bench-fresh&k=3")
+		if rec := do(b, srv, "DELETE", "/specs/pa/runs/bench-fresh", nil, nil); rec.Code != 200 {
+			b.Fatalf("delete = %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkFullRecompute32 is the baseline BenchmarkIncrementalImport
+// beats: a from-scratch 32-run matrix per iteration, as served before
+// the incremental cohort cache existed.
+func BenchmarkFullRecompute32(b *testing.B) {
+	srv, _ := seedServer(b, 32, Options{CacheSize: 8})
+	benchRequest(b, srv, "/cohort/pa")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, srv, "/cohort/pa")
+	}
+}
+
 // TestWriteBenchArtifact materializes the service benchmarks as a JSON
 // file (path in $BENCH_SERVER_JSON) for the CI benchmark artifact. It
 // is skipped in normal test runs.
@@ -86,13 +138,22 @@ func TestWriteBenchArtifact(t *testing.T) {
 	cached := run(BenchmarkServeDiffCached)
 	cold := run(BenchmarkServeDiffCold)
 	cohort := run(BenchmarkServeCohort)
+	clusterCohort := run(BenchmarkClusterCohort)
+	incremental := run(BenchmarkIncrementalImport)
+	full32 := run(BenchmarkFullRecompute32)
 	if cold.NsPerOp > 0 {
 		cached.SpeedupVsCold = float64(cold.NsPerOp) / float64(max(cached.NsPerOp, 1))
 	}
+	if full32.NsPerOp > 0 {
+		incremental.SpeedupVsCold = float64(full32.NsPerOp) / float64(max(incremental.NsPerOp, 1))
+	}
 	out := map[string]entry{
-		"serve_diff_cached": cached,
-		"serve_diff_cold":   cold,
-		"serve_cohort":      cohort,
+		"serve_diff_cached":  cached,
+		"serve_diff_cold":    cold,
+		"serve_cohort":       cohort,
+		"cluster_cohort":     clusterCohort,
+		"incremental_import": incremental,
+		"full_recompute_32":  full32,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -101,9 +162,13 @@ func TestWriteBenchArtifact(t *testing.T) {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: cached %.3fms vs cold %.3fms (%.1fx)", path,
-		cached.MsPerOp, cold.MsPerOp, cached.SpeedupVsCold)
+	t.Logf("wrote %s: cached %.3fms vs cold %.3fms (%.1fx); incremental import %.3fms vs full recompute %.3fms (%.1fx)",
+		path, cached.MsPerOp, cold.MsPerOp, cached.SpeedupVsCold,
+		incremental.MsPerOp, full32.MsPerOp, incremental.SpeedupVsCold)
 	if cached.NsPerOp >= cold.NsPerOp {
 		t.Errorf("cached path (%d ns/op) is not faster than cold path (%d ns/op)", cached.NsPerOp, cold.NsPerOp)
+	}
+	if incremental.NsPerOp >= full32.NsPerOp {
+		t.Errorf("incremental import (%d ns/op) is not faster than a full 32-run recompute (%d ns/op)", incremental.NsPerOp, full32.NsPerOp)
 	}
 }

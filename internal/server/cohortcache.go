@@ -1,0 +1,214 @@
+package server
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/cost"
+	"repro/internal/wfrun"
+)
+
+// cohortEntry is the server's long-lived incremental distance matrix
+// for one (specification, cost model) pair. The matrix persists across
+// requests — importing one run into an n-run cohort differences only
+// the n new pairs — and is kept honest through generation-checked
+// invalidation: every store run-change bumps gen and records the run
+// as dirty, and a request only trusts the matrix after replaying the
+// dirty set for the generation it captured. A row computed from a run
+// that changed mid-sync can therefore be *served* to the request that
+// raced the change (the change was concurrent, either order is
+// linearizable) but can never be *retained*: the bumped generation
+// forces the next request to replace it.
+type cohortEntry struct {
+	// syncMu serializes sync passes (and thus all matrix mutations).
+	syncMu sync.Mutex
+	cm     *analysis.CohortMatrix
+	inited bool  // cm has had its initial full build
+	synced int64 // generation the matrix content reflects
+
+	// stateMu guards the invalidation state; it is taken by the store
+	// hook and nests inside syncMu on the sync path.
+	stateMu sync.Mutex
+	gen     int64
+	dirty   map[string]bool
+}
+
+// maxCohortEntries bounds the entry map: its keys include the ?cost=
+// parameter, which untrusted clients control. Past the cap, requests
+// fall back to one-shot matrices instead of growing the map.
+const maxCohortEntries = 64
+
+// cohortCaches holds all live cohort matrices, keyed like enginePools
+// by spec + NUL + cost-model name.
+type cohortCaches struct {
+	mu      sync.Mutex
+	entries map[string]*cohortEntry
+	workers int
+}
+
+func newCohortCaches(workers int) *cohortCaches {
+	return &cohortCaches{entries: make(map[string]*cohortEntry), workers: workers}
+}
+
+// entry returns the cohort entry for (spec, model), creating it on
+// first use; nil once the map is at capacity.
+func (cc *cohortCaches) entry(specName string, m cost.Model) *cohortEntry {
+	key := poolKey(specName, m)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	e, ok := cc.entries[key]
+	if !ok {
+		if len(cc.entries) >= maxCohortEntries {
+			return nil
+		}
+		e = &cohortEntry{
+			cm:    analysis.NewCohortMatrix(m, cc.workers),
+			dirty: make(map[string]bool),
+		}
+		cc.entries[key] = e
+	}
+	return e
+}
+
+// invalidate records a run change: every cohort matrix of the spec
+// (under any cost model) marks the run dirty and advances its
+// generation. Runs outside the store hook goroutine's locks.
+func (cc *cohortCaches) invalidate(specName, runName string) {
+	prefix := specName + "\x00"
+	cc.mu.Lock()
+	var hit []*cohortEntry
+	for key, e := range cc.entries {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			hit = append(hit, e)
+		}
+	}
+	cc.mu.Unlock()
+	for _, e := range hit {
+		e.stateMu.Lock()
+		e.gen++
+		e.dirty[runName] = true
+		e.stateMu.Unlock()
+	}
+}
+
+// count reports how many cohort matrices are live.
+func (cc *cohortCaches) count() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.entries)
+}
+
+// cohortRuns lists and loads the stored runs of a spec. Runs deleted
+// between the listing and the load are skipped rather than failed: the
+// deletion already bumped the generation, so a later request
+// reconciles.
+func (s *Server) cohortRuns(specName string) ([]string, []*wfrun.Run, error) {
+	names, err := s.st.ListRuns(specName)
+	if err != nil {
+		return nil, nil, err
+	}
+	outNames := names[:0]
+	runs := make([]*wfrun.Run, 0, len(names))
+	for _, name := range names {
+		r, err := s.st.LoadRun(specName, name)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, nil, err
+		}
+		outNames = append(outNames, name)
+		runs = append(runs, r)
+	}
+	return outNames, runs, nil
+}
+
+// cohortSnapshot returns an up-to-date distance matrix for the spec
+// under the given model, incrementally synced against the store.
+func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix, error) {
+	e := s.cohorts.entry(specName, m)
+	if e == nil {
+		// Entry map at capacity: compute a one-shot matrix without
+		// retaining it.
+		names, runs, err := s.cohortRuns(specName)
+		if err != nil {
+			return nil, err
+		}
+		cm := analysis.NewCohortMatrix(m, s.cohorts.workers)
+		if err := cm.Reset(names, runs); err != nil {
+			return nil, err
+		}
+		return cm.Snapshot(), nil
+	}
+
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+
+	e.stateMu.Lock()
+	gen := e.gen
+	dirty := e.dirty
+	e.dirty = make(map[string]bool)
+	e.stateMu.Unlock()
+
+	if e.inited && e.synced == gen {
+		return e.cm.Snapshot(), nil
+	}
+
+	// restoreDirty puts unapplied invalidations back on error, so a
+	// failed sync can never launder a dirty run into a clean one.
+	restoreDirty := func() {
+		e.stateMu.Lock()
+		for name := range dirty {
+			e.dirty[name] = true
+		}
+		e.stateMu.Unlock()
+	}
+
+	if !e.inited {
+		names, runs, err := s.cohortRuns(specName)
+		if err != nil {
+			restoreDirty()
+			return nil, err
+		}
+		if err := e.cm.Reset(names, runs); err != nil {
+			restoreDirty()
+			return nil, err
+		}
+		e.inited = true
+	} else {
+		// Changed or deleted runs leave the matrix first; whatever
+		// still exists on disk is then (re-)added, one O(n) row each.
+		for name := range dirty {
+			e.cm.Remove(name)
+		}
+		names, err := s.st.ListRuns(specName)
+		if err != nil {
+			restoreDirty()
+			return nil, err
+		}
+		for _, name := range names {
+			if e.cm.Has(name) {
+				continue
+			}
+			r, err := s.st.LoadRun(specName, name)
+			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					continue
+				}
+				restoreDirty()
+				return nil, err
+			}
+			if err := e.cm.Add(name, r); err != nil {
+				restoreDirty()
+				return nil, err
+			}
+		}
+	}
+	// Publish the sync point: changes that raced this pass advanced
+	// gen past the captured value, so they stay unsynced and the next
+	// request reconciles them.
+	e.synced = gen
+	return e.cm.Snapshot(), nil
+}

@@ -13,9 +13,25 @@ type cacheKey struct {
 }
 
 const (
-	kindDiff = "diff"
-	kindSVG  = "svg"
+	kindDiff     = "diff"
+	kindSVG      = "svg"
+	kindCluster  = "cluster"
+	kindOutliers = "outliers"
+	kindNearest  = "nearest"
 )
+
+// cohortScoped reports whether a cached artifact depends on the whole
+// cohort of its spec rather than on one run pair; such entries are
+// invalidated by any run change in the spec. (A nearest-neighbor
+// answer for run A changes when run B is imported, so per-run
+// invalidation would serve stale neighbors.)
+func cohortScoped(kind string) bool {
+	switch kind {
+	case kindCluster, kindOutliers, kindNearest:
+		return true
+	}
+	return false
+}
 
 // resultCache is a bounded LRU of computed diff artifacts. Differencing
 // a 400-edge pair costs ~0.4ms of CPU; a repository browsed
@@ -114,7 +130,8 @@ func (c *resultCache) addLocked(key cacheKey, val any) {
 }
 
 // invalidateRun drops every cached artifact involving the given run of
-// the given specification, in either diff position.
+// the given specification — pair artifacts naming the run in either
+// diff position, plus every cohort-scoped artifact of the spec.
 func (c *resultCache) invalidateRun(specName, runName string) {
 	if c.cap <= 0 {
 		return
@@ -123,7 +140,7 @@ func (c *resultCache) invalidateRun(specName, runName string) {
 	defer c.mu.Unlock()
 	c.gen++
 	for key, el := range c.items {
-		if key.spec == specName && (key.runA == runName || key.runB == runName) {
+		if key.spec == specName && (key.runA == runName || key.runB == runName || cohortScoped(key.kind)) {
 			c.ll.Remove(el)
 			delete(c.items, key)
 			c.invalidations++

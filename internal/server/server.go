@@ -24,8 +24,17 @@
 //	GET    /diff/{spec}/{a}/{b}/svg      side-by-side SVG rendering
 //	GET    /cohort/{spec}                distance matrix + dendrogram
 //	                                     (?cost=, ?stream=1 for NDJSON progress)
+//	GET    /specs/{spec}/cluster         k-medoids partitioning (?k=, ?seed=, ?cost=)
+//	GET    /specs/{spec}/outliers        knn outlier scores (?k=, ?cost=)
+//	GET    /specs/{spec}/nearest         nearest neighbors (?run=, ?k=, ?cost=)
 //	GET    /stats                        service counters
 //	GET    /healthz                      liveness probe
+//
+// The three cohort-analytics endpoints share one incrementally
+// maintained distance matrix per (spec, cost model): importing a run
+// into an n-run cohort differences only the n new pairs, with
+// store.OnRunChange generation checks guaranteeing a stale row is
+// never retained (see cohortcache.go).
 package server
 
 import (
@@ -74,12 +83,14 @@ type Server struct {
 	st      *store.Store
 	pools   *enginePools
 	cache   *resultCache
+	cohorts *cohortCaches
 	opts    Options
 	mux     *http.ServeMux
 	started time.Time
 
 	reqDiff, reqSVG, reqCohort, reqSpecs, reqRuns atomic.Int64
 	reqImport, reqDelete, reqStats                atomic.Int64
+	reqCluster, reqOutliers, reqNearest           atomic.Int64
 	errCount                                      atomic.Int64
 }
 
@@ -92,11 +103,13 @@ func New(st *store.Store, opts Options) *Server {
 		st:      st,
 		pools:   newEnginePools(),
 		cache:   newResultCache(opts.CacheSize),
+		cohorts: newCohortCaches(opts.CohortWorkers),
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
 	st.OnRunChange(s.cache.invalidateRun)
+	st.OnRunChange(s.cohorts.invalidate)
 	s.mux.HandleFunc("GET /specs", s.count(&s.reqSpecs, s.handleSpecs))
 	s.mux.HandleFunc("GET /specs/{spec}/runs", s.count(&s.reqRuns, s.handleRuns))
 	s.mux.HandleFunc("POST /specs/{spec}/runs", s.count(&s.reqImport, s.handleImport))
@@ -105,6 +118,9 @@ func New(st *store.Store, opts Options) *Server {
 	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}", s.count(&s.reqDiff, s.handleDiff))
 	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}/svg", s.count(&s.reqSVG, s.handleDiffSVG))
 	s.mux.HandleFunc("GET /cohort/{spec}", s.count(&s.reqCohort, s.handleCohort))
+	s.mux.HandleFunc("GET /specs/{spec}/cluster", s.count(&s.reqCluster, s.handleCluster))
+	s.mux.HandleFunc("GET /specs/{spec}/outliers", s.count(&s.reqOutliers, s.handleOutliers))
+	s.mux.HandleFunc("GET /specs/{spec}/nearest", s.count(&s.reqNearest, s.handleNearest))
 	s.mux.HandleFunc("GET /stats", s.count(&s.reqStats, s.handleStats))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -452,7 +468,12 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, fmt.Errorf("cohort of %q needs at least two stored runs, have %d", ns[0], len(runs)), http.StatusBadRequest)
 		return
 	}
-	opts := analysis.Options{Workers: s.opts.CohortWorkers}
+	// The request context aborts the fan-out when the client goes
+	// away mid-stream (or the server shuts down): without it a
+	// disconnected client would leave the workers differencing a
+	// matrix nobody will read, with the progress callback writing
+	// into a dead connection.
+	opts := analysis.Options{Workers: s.opts.CohortWorkers, Context: r.Context()}
 	stream := r.URL.Query().Get("stream") != ""
 	var rc *http.ResponseController
 	if stream {
@@ -518,11 +539,12 @@ type engineStats struct {
 }
 
 type statsPayload struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Requests      map[string]int64 `json:"requests"`
-	Errors        int64            `json:"errors"`
-	Cache         cacheStats       `json:"cache"`
-	Engines       engineStats      `json:"engines"`
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+	Requests       map[string]int64 `json:"requests"`
+	Errors         int64            `json:"errors"`
+	Cache          cacheStats       `json:"cache"`
+	Engines        engineStats      `json:"engines"`
+	CohortMatrices int              `json:"cohort_matrices"`
 }
 
 // Stats snapshots the service counters (also served at /stats).
@@ -540,18 +562,22 @@ func (s *Server) Stats() statsPayload {
 	return statsPayload{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests: map[string]int64{
-			"specs":  s.reqSpecs.Load(),
-			"runs":   s.reqRuns.Load(),
-			"import": s.reqImport.Load(),
-			"delete": s.reqDelete.Load(),
-			"diff":   s.reqDiff.Load(),
-			"svg":    s.reqSVG.Load(),
-			"cohort": s.reqCohort.Load(),
-			"stats":  s.reqStats.Load(),
+			"specs":    s.reqSpecs.Load(),
+			"runs":     s.reqRuns.Load(),
+			"import":   s.reqImport.Load(),
+			"delete":   s.reqDelete.Load(),
+			"diff":     s.reqDiff.Load(),
+			"svg":      s.reqSVG.Load(),
+			"cohort":   s.reqCohort.Load(),
+			"cluster":  s.reqCluster.Load(),
+			"outliers": s.reqOutliers.Load(),
+			"nearest":  s.reqNearest.Load(),
+			"stats":    s.reqStats.Load(),
 		},
-		Errors:  s.errCount.Load(),
-		Cache:   s.cache.snapshot(),
-		Engines: es,
+		CohortMatrices: s.cohorts.count(),
+		Errors:         s.errCount.Load(),
+		Cache:          s.cache.snapshot(),
+		Engines:        es,
 	}
 }
 

@@ -1,0 +1,93 @@
+package wfxml
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// FuzzParseWorkflowXML: DecodeSpec must be total on arbitrary bytes —
+// reject with an error or accept, never panic — and every accepted
+// specification must survive an encode/decode round-trip with its
+// structure intact (the store trusts this whenever it re-parses its
+// own files).
+func FuzzParseWorkflowXML(f *testing.F) {
+	// Seed with real encodings of catalog workflows plus hand-written
+	// edge cases; the checked-in corpus under testdata/fuzz extends
+	// these with crash-shaped inputs.
+	for _, name := range []string{"PA", "EMBOSS"} {
+		sp, err := gen.Catalog(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSpec(&buf, sp, name); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`<specification><module id="s" label="S"/><module id="t" label="T"/><link from="s" to="t"/></specification>`))
+	f.Add([]byte(`<specification><module id="s" label="S"/><module id="t" label="T"/><link from="s" to="t"/><link from="s" to="t" key="1"/><fork><edge from="s" to="t"/></fork></specification>`))
+	f.Add([]byte(`<specification/>`))
+	f.Add([]byte(`not xml at all`))
+	f.Add([]byte(`<specification><link from="a" to="b"/></specification>`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeSpec(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted: the spec must re-serialize and re-parse to the
+		// same structure.
+		var buf bytes.Buffer
+		if err := EncodeSpec(&buf, sp, "fuzz"); err != nil {
+			t.Fatalf("accepted spec failed to encode: %v\ninput: %q", err, data)
+		}
+		sp2, err := DecodeSpec(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip re-decode failed: %v\nencoded: %s", err, buf.String())
+		}
+		if sp.Stats() != sp2.Stats() {
+			t.Fatalf("round-trip changed structure: %+v -> %+v", sp.Stats(), sp2.Stats())
+		}
+		if sp.Tree.Signature() != sp2.Tree.Signature() {
+			t.Fatalf("round-trip changed the SP-tree:\n%s\nvs\n%s", sp.Tree, sp2.Tree)
+		}
+	})
+}
+
+// FuzzParseRunXML: DecodeRun against a fixed specification must be
+// total too, and accepted runs must round-trip through EncodeRun.
+func FuzzParseRunXML(f *testing.F) {
+	sp, err := gen.Catalog("PA")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(`<run><node id="s" label="S"/><node id="t" label="T"/><edge from="s" to="t"/></run>`))
+	f.Add([]byte(`<run/>`))
+	f.Add([]byte(`garbage`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRun(bytes.NewReader(data), sp)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("DecodeRun accepted an invalid run: %v\ninput: %q", err, data)
+		}
+		var buf bytes.Buffer
+		if err := EncodeRun(&buf, r, "fuzz"); err != nil {
+			t.Fatalf("accepted run failed to encode: %v", err)
+		}
+		r2, err := DecodeRun(bytes.NewReader(buf.Bytes()), sp)
+		if err != nil {
+			t.Fatalf("round-trip re-decode failed: %v\nencoded: %s", err, buf.String())
+		}
+		if r.NumNodes() != r2.NumNodes() || r.NumEdges() != r2.NumEdges() {
+			t.Fatalf("round-trip changed run size: %d/%d -> %d/%d",
+				r.NumNodes(), r.NumEdges(), r2.NumNodes(), r2.NumEdges())
+		}
+	})
+}
