@@ -2,11 +2,13 @@
 // HTTP — the long-running counterpart of the provstore CLI, keeping
 // differencing engines and parsed runs warm across requests:
 //
-//	provserved -dir DIR [-addr :8077] [-cache 512] [-demo N] [-seed S]
+//	provserved -dir DIR [-addr :8077] [-cache 512] [-demo N] [-seed S] [-preload=true]
 //
 //	GET    /specs                        list specifications
 //	GET    /specs/{spec}/runs            list runs
 //	POST   /specs/{spec}/runs/{run}      import a run (XML body)
+//	POST   /specs/{spec}/runs:bulk       bulk-import a cohort (tar or NDJSON)
+//	GET    /specs/{spec}/export          export spec + runs as a tar stream
 //	DELETE /specs/{spec}/runs/{run}      delete a run
 //	GET    /diff/{spec}/{a}/{b}          distance + edit script (?cost=unit|length|power:EPS)
 //	GET    /diff/{spec}/{a}/{b}/svg      side-by-side SVG diff rendering
@@ -16,7 +18,11 @@
 // -demo N seeds an empty repository with the paper's protein
 // annotation workflow ("demo") and N random runs, so a fresh service
 // can be exercised immediately (CI smoke-tests do exactly this).
-// SIGINT/SIGTERM trigger a graceful drain before exit.
+// -preload (default on) boots warm: parsed runs are decoded from the
+// store's binary snapshot layer, missing snapshots are materialized,
+// and cohort matrices are prebuilt, so a restarted service answers
+// its first diff at steady-state speed. SIGINT/SIGTERM trigger a
+// graceful drain before exit.
 package main
 
 import (
@@ -38,11 +44,12 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8077", "listen address")
-		dir   = flag.String("dir", "provstore", "repository directory")
-		cache = flag.Int("cache", server.DefaultCacheSize, "diff-result LRU capacity (0 disables)")
-		demo  = flag.Int("demo", 0, "seed a 'demo' spec with N generated runs if absent")
-		seed  = flag.Int64("seed", 1, "random seed for -demo run generation")
+		addr    = flag.String("addr", ":8077", "listen address")
+		dir     = flag.String("dir", "provstore", "repository directory")
+		cache   = flag.Int("cache", server.DefaultCacheSize, "diff-result LRU capacity (0 disables)")
+		demo    = flag.Int("demo", 0, "seed a 'demo' spec with N generated runs if absent")
+		seed    = flag.Int64("seed", 1, "random seed for -demo run generation")
+		preload = flag.Bool("preload", true, "warm parsed-run and cohort-matrix caches from snapshots at boot")
 	)
 	flag.Parse()
 	st, err := store.Open(*dir)
@@ -54,9 +61,13 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	handler := server.New(st, server.Options{CacheSize: *cache})
+	if *preload {
+		warmStart(st, handler)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(st, server.Options{CacheSize: *cache}),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -77,6 +88,35 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("provserved: shutdown: %v", err)
 	}
+}
+
+// warmStart rebuilds the in-memory caches before the listener opens:
+// every stored run is loaded (from its binary snapshot where one is
+// fresh, with XML fallback and snapshot repair otherwise), snapshots
+// are materialized for runs that lacked them, and the per-spec cohort
+// matrices are built — so the first request after a restart is as
+// fast as the thousandth before it. Failures only cost warmth, never
+// availability.
+func warmStart(st *store.Store, handler *server.Server) {
+	t0 := time.Now()
+	stats, err := st.PreloadAll()
+	if err != nil {
+		log.Printf("provserved: preload: %v", err)
+	}
+	var runs, fromSnap, fromXML int
+	for _, ps := range stats {
+		runs += ps.Runs
+		fromSnap += ps.FromSnapshot
+		fromXML += ps.FromXML
+		if _, err := st.Snapshot(ps.Spec); err != nil {
+			log.Printf("provserved: snapshot %s: %v", ps.Spec, err)
+		}
+	}
+	if err := handler.Warm(); err != nil {
+		log.Printf("provserved: cohort warm-up: %v", err)
+	}
+	log.Printf("provserved: warm start: %d specs, %d runs (%d from snapshots, %d re-parsed) in %s",
+		len(stats), runs, fromSnap, fromXML, time.Since(t0).Round(time.Millisecond))
 }
 
 // seedDemo populates the repository with the protein annotation

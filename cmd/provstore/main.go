@@ -4,12 +4,23 @@
 //	provstore -dir DIR import-spec NAME spec.xml
 //	provstore -dir DIR gen-run NAME RUN [-seed N] [-target E]
 //	provstore -dir DIR import-run NAME RUN run.xml
+//	provstore -dir DIR import-dir NAME DIR [-workers N]
+//	provstore -dir DIR export NAME OUT.tar
+//	provstore -dir DIR snapshot [NAME]
 //	provstore -dir DIR ls [NAME]
 //	provstore -dir DIR diff NAME RUN1 RUN2 [-cost unit] [-script]
 //	provstore -dir DIR matrix NAME [-cost unit]
 //	provstore -dir DIR cluster NAME [-k 2] [-seed 1] [-cost unit]
 //	provstore -dir DIR outliers NAME [-k 3] [-cost unit]
 //	provstore -dir DIR nearest NAME RUN [-k 5] [-cost unit]
+//
+// "import-dir" bulk-imports every *.xml file of a directory as runs
+// (named by filename) in one pass: parallel parse, one snapshot
+// append, one coalesced change notification. "export" writes a spec
+// and all its runs as a tar archive that round-trips through
+// import-dir or the service's POST /specs/{spec}/runs:bulk endpoint.
+// "snapshot" materializes the store's binary snapshot layer so the
+// next cold open (or provserved boot) skips XML parsing entirely.
 //
 // "matrix" prints the pairwise distance matrix over all stored runs of
 // a specification together with a UPGMA dendrogram — the cohort view a
@@ -56,6 +67,12 @@ func main() {
 		importSpec(st, args[1:])
 	case "import-run":
 		importRun(st, args[1:])
+	case "import-dir":
+		importDir(st, args[1:])
+	case "export":
+		export(st, args[1:])
+	case "snapshot":
+		snapshot(st, args[1:])
 	case "gen-run":
 		genRun(st, args[1:])
 	case "ls":
@@ -76,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|gen-run|ls|diff|matrix|cluster|outliers|nearest ...")
+	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|import-dir|export|snapshot|gen-run|ls|diff|matrix|cluster|outliers|nearest ...")
 	os.Exit(2)
 }
 
@@ -117,6 +134,64 @@ func importRun(st *store.Store, args []string) {
 		fatal(err)
 	}
 	fmt.Printf("stored %s/%s: %d nodes, %d edges\n", args[0], args[1], r.NumNodes(), r.NumEdges())
+}
+
+func importDir(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("import-dir", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "parallel parse workers (0 = all cores)")
+	if len(args) < 2 {
+		fatal(fmt.Errorf("import-dir SPEC DIR [flags]"))
+	}
+	if err := fs.Parse(args[2:]); err != nil {
+		fatal(err)
+	}
+	stats, err := st.ImportDir(args[0], args[1], *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("imported %d runs into %s (%d nodes, %d edges)\n",
+		len(stats.Imported), args[0], stats.Nodes, stats.Edges)
+}
+
+func export(st *store.Store, args []string) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("export SPEC OUT.tar (or - for stdout)"))
+	}
+	out := os.Stdout
+	if args[1] != "-" {
+		f, err := os.Create(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := st.ExportSpec(args[0], nil, out); err != nil {
+		fatal(err)
+	}
+	if args[1] != "-" {
+		runs, _ := st.ListRuns(args[0])
+		fmt.Printf("exported %s (%d runs) to %s\n", args[0], len(runs), args[1])
+	}
+}
+
+func snapshot(st *store.Store, args []string) {
+	specs := args
+	if len(specs) == 0 {
+		var err error
+		specs, err = st.ListSpecs()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for _, name := range specs {
+		stats, err := st.Snapshot(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d runs snapshotted (%d written, %d fresh, %d live bytes)\n",
+			name, stats.Runs, stats.Written, stats.Fresh, stats.LiveBytes)
+	}
 }
 
 func genRun(st *store.Store, args []string) {

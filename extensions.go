@@ -1,6 +1,7 @@
 package provdiff
 
 import (
+	"io"
 	"math/rand"
 
 	"repro/internal/analysis"
@@ -117,8 +118,30 @@ const (
 
 // Provenance repository (the prototype's store/import/export layer).
 
-// Store is an on-disk repository of specifications and runs.
+// Store is an on-disk repository of specifications and runs. Beyond
+// save/load/diff/cohort it carries the snapshot layer (Preload,
+// PreloadAll, Snapshot — cold starts decode binary frames instead of
+// re-parsing XML) and streaming bulk I/O (ImportRuns, ImportDir,
+// ExportSpec) with coalesced change notifications (OnRunsBulkChange).
 type Store = store.Store
 
 // OpenStore opens (creating if needed) a provenance repository.
 func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+type (
+	// RunData is one run of a bulk import: name + raw XML document.
+	RunData = store.RunData
+	// ImportStats summarizes a bulk import.
+	ImportStats = store.ImportStats
+	// SnapshotStats reports what a Store.Snapshot pass did.
+	SnapshotStats = store.SnapshotStats
+	// PreloadStats reports where a Store.Preload got its runs from.
+	PreloadStats = store.PreloadStats
+)
+
+// ReadRunTar collects bulk-import run documents from a tar stream
+// (the format ExportSpec writes and the runs:bulk endpoint accepts),
+// with per-run and total size limits.
+func ReadRunTar(r io.Reader, maxRun, maxTotal int64) ([]RunData, error) {
+	return store.ReadRunTar(r, maxRun, maxTotal)
+}

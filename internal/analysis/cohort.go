@@ -42,6 +42,7 @@ type CohortMatrix struct {
 	version int64
 
 	diffCalls atomic.Int64
+	rebuilds  atomic.Int64
 }
 
 // NewCohortMatrix returns an empty cohort matrix for the given cost
@@ -76,6 +77,11 @@ func (c *CohortMatrix) Version() int64 {
 // performed since creation — the incremental-maintenance tests and
 // benchmarks assert on it.
 func (c *CohortMatrix) DiffCalls() int64 { return c.diffCalls.Load() }
+
+// Rebuilds reports how many full O(n²) recomputations (Reset calls)
+// the matrix has performed — bulk-import coalescing asserts exactly
+// one rebuild per batch, however many runs it carried.
+func (c *CohortMatrix) Rebuilds() int64 { return c.rebuilds.Load() }
 
 // Labels returns a copy of the cohort's run names in matrix order.
 func (c *CohortMatrix) Labels() []string {
@@ -148,6 +154,7 @@ func (c *CohortMatrix) Reset(names []string, runs []*wfrun.Run) error {
 	}
 	c.computeMu.Lock()
 	defer c.computeMu.Unlock()
+	c.rebuilds.Add(1)
 	n := len(runs)
 	d := make([][]float64, n)
 	for i := range d {

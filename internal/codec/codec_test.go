@@ -1,0 +1,208 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+	"repro/internal/wfxml"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, name := range gen.CatalogNames {
+		sp, err := gen.Catalog(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := EncodeSpec(sp)
+		got, err := DecodeSpec(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.Tree.Signature() != sp.Tree.Signature() {
+			t.Errorf("%s: decoded tree differs:\n%s\nvs\n%s", name, got.Tree, sp.Tree)
+		}
+		if got.Stats() != sp.Stats() {
+			t.Errorf("%s: stats %+v, want %+v", name, got.Stats(), sp.Stats())
+		}
+		// The decoded spec must XML-encode identically to the original:
+		// the snapshot never changes what a client would see.
+		var a, b bytes.Buffer
+		if err := wfxml.EncodeSpec(&a, sp, name); err != nil {
+			t.Fatal(err)
+		}
+		if err := wfxml.EncodeSpec(&b, got, name); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: XML of decoded spec differs", name)
+		}
+	}
+}
+
+// TestRunRoundTripMatchesXMLParse is the property the store's snapshot
+// fast path rests on: for a run parsed from XML, encoding it to the
+// binary format and decoding it back yields a run indistinguishable
+// from the XML parse — same tree (exactly, not just up to ≡), same
+// graph, same implicit edges, distance zero under differencing.
+func TestRunRoundTripMatchesXMLParse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eng := core.NewEngine(cost.Unit{})
+	for _, name := range gen.CatalogNames {
+		sp, err := gen.Catalog(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			executed, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Canonical reference: the XML round trip (what the store
+			// serves from disk).
+			var xmlBuf bytes.Buffer
+			if err := wfxml.EncodeRun(&xmlBuf, executed, "r"); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := wfxml.DecodeRun(bytes.NewReader(xmlBuf.Bytes()), sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := EncodeRun(ref)
+			if err != nil {
+				t.Fatalf("%s/%d: encode: %v", name, i, err)
+			}
+			got, err := DecodeRun(data, sp)
+			if err != nil {
+				t.Fatalf("%s/%d: decode: %v", name, i, err)
+			}
+			assertSameRun(t, name, ref, got)
+			if d, err := eng.Distance(ref, got); err != nil || d != 0 {
+				t.Errorf("%s/%d: distance(ref, decoded) = %v, %v; want 0, nil", name, i, d, err)
+			}
+		}
+	}
+}
+
+// TestRunRoundTripFaithful checks the codec reproduces exactly the
+// tree it was given even when that tree is not the canonical form the
+// XML parse would derive (fork groupings from Execute can differ).
+func TestRunRoundTripFaithful(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sp, err := gen.Catalog("SAXPF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodeRun(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRun(data, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRun(t, "SAXPF", r, got)
+	}
+}
+
+func assertSameRun(t *testing.T, name string, want, got *wfrun.Run) {
+	t.Helper()
+	if got.Tree.String() != want.Tree.String() {
+		t.Errorf("%s: decoded tree differs:\n%s\nvs\n%s", name, got.Tree, want.Tree)
+	}
+	if !sptree.Equivalent(got.Tree, want.Tree) {
+		t.Errorf("%s: decoded tree not equivalent", name)
+	}
+	if got.Graph.String() != want.Graph.String() {
+		t.Errorf("%s: decoded graph differs", name)
+	}
+	if len(got.ImplicitEdges) != len(want.ImplicitEdges) {
+		t.Fatalf("%s: %d implicit edges, want %d", name, len(got.ImplicitEdges), len(want.ImplicitEdges))
+	}
+	seen := make(map[string]bool)
+	for _, e := range want.ImplicitEdges {
+		seen[e.String()] = true
+	}
+	for _, e := range got.ImplicitEdges {
+		if !seen[e.String()] {
+			t.Errorf("%s: unexpected implicit edge %s", name, e)
+		}
+	}
+	// Alignment: every decoded node points at a real spec-tree node of
+	// matching type.
+	got.Tree.Walk(func(n *sptree.Node) bool {
+		if n.Spec == nil {
+			t.Errorf("%s: decoded node %s has no spec alignment", name, n.Type)
+			return false
+		}
+		if n.Spec.Type != n.Type {
+			t.Errorf("%s: decoded %s node aligned to %s spec node", name, n.Type, n.Spec.Type)
+		}
+		return true
+	})
+}
+
+// TestDecodeRejectsCorruption flips every byte of an encoded run in
+// turn and requires DecodeRun to fail cleanly (no panic, no silent
+// wrong result) — the property the store's XML fallback relies on.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	sp, err := gen.Catalog("PA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		if _, err := DecodeRun(mut, sp); err == nil {
+			t.Fatalf("corruption at byte %d decoded without error", i)
+		}
+	}
+	// Truncations likewise.
+	for _, n := range []int{0, 3, headerLen - 1, headerLen, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeRun(data[:n], sp); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongSpec(t *testing.T) {
+	pa, err := gen.Catalog("PA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := gen.Catalog("MB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	r, err := gen.RandomRun(pa, gen.DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRun(data, mb); err == nil {
+		t.Fatal("decoding a PA snapshot against the MB specification succeeded")
+	}
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/store"
+)
+
+// maxBulkBytes bounds a whole bulk-import request body; individual
+// documents stay bounded by maxImportBytes.
+const maxBulkBytes = 256 << 20
+
+// bulkRunJSON is one NDJSON line of a streaming bulk import.
+type bulkRunJSON struct {
+	Name string `json:"name"`
+	XML  string `json:"xml"`
+}
+
+// handleBulkImport ingests a whole cohort in one request:
+//
+//	POST /specs/{spec}/runs:bulk
+//
+// The body is either a tar archive of <run>.xml files (any layout;
+// names come from the base filename) or, with Content-Type
+// application/x-ndjson, a stream of {"name":…,"xml":…} lines. All
+// documents are parsed and derived concurrently through the store's
+// bulk path, written with their snapshot frames, and announced with a
+// single coalesced change notification per spec — so however many
+// runs arrive, the incremental cohort matrices rebuild exactly once.
+func (s *Server) handleBulkImport(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec")
+	if !ok {
+		return
+	}
+	specName := ns[0]
+	if _, err := s.st.LoadSpec(specName); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBulkBytes)
+	var (
+		runs []store.RunData
+		err  error
+	)
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/jsonl") {
+		runs, err = readRunNDJSON(body)
+	} else {
+		runs, err = store.ReadRunTar(body, maxImportBytes, maxBulkBytes)
+	}
+	if err != nil {
+		s.httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	if len(runs) == 0 {
+		s.httpError(w, fmt.Errorf("bulk import carried no runs"), http.StatusBadRequest)
+		return
+	}
+	stats, err := s.st.ImportRuns(specName, runs, s.opts.CohortWorkers)
+	if err != nil {
+		// Partial imports report what landed alongside the error.
+		s.errCount.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":    err.Error(),
+			"imported": stats.Imported,
+		})
+		return
+	}
+	// Content-Type must precede WriteHeader or it is dropped.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{
+		"spec":     specName,
+		"imported": len(stats.Imported),
+		"runs":     stats.Imported,
+		"nodes":    stats.Nodes,
+		"edges":    stats.Edges,
+	})
+}
+
+// readRunNDJSON collects runs from an NDJSON stream.
+func readRunNDJSON(r io.Reader) ([]store.RunData, error) {
+	sc := bufio.NewScanner(r)
+	// Headroom above the per-run XML limit: JSON escaping can more
+	// than double the document, plus the envelope fields.
+	sc.Buffer(make([]byte, 64<<10), 2*maxImportBytes+(1<<20))
+	var runs []store.RunData
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec bulkRunJSON
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+		}
+		if err := store.ValidateName(rec.Name); err != nil {
+			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+		}
+		if rec.XML == "" {
+			return nil, fmt.Errorf("ndjson line %d: empty xml", line)
+		}
+		runs = append(runs, store.RunData{Name: rec.Name, XML: []byte(rec.XML)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	return runs, nil
+}
+
+// handleExport streams a specification and all its runs as a tar
+// archive — the inverse of runs:bulk, suitable for piping straight
+// back into another service instance:
+//
+//	GET /specs/{spec}/export
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.names(w, r, "spec")
+	if !ok {
+		return
+	}
+	if _, err := s.st.LoadSpec(ns[0]); err != nil {
+		s.storeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-tar")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", ns[0]+".tar"))
+	if err := s.st.ExportSpec(ns[0], nil, w); err != nil {
+		// Headers are committed; nothing sane to do but log via the
+		// error counter. The truncated tar fails checksum on read.
+		s.errCount.Add(1)
+	}
+}
+
+// Warm builds the incremental cohort matrix (and thus the engine
+// shards and parsed-run rows) for every specification under the unit
+// cost model — the provserved boot path after Store.PreloadAll, so
+// the first analytics request of every spec is served from a warm
+// matrix instead of paying the O(n²) build inline.
+func (s *Server) Warm() error {
+	specs, err := s.st.ListSpecs()
+	if err != nil {
+		return err
+	}
+	for _, name := range specs {
+		names, err := s.st.ListRuns(name)
+		if err != nil {
+			return err
+		}
+		if len(names) < 2 {
+			continue
+		}
+		if _, err := s.cohortSnapshot(name, cost.Unit{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -33,6 +33,9 @@ type cohortEntry struct {
 	stateMu sync.Mutex
 	gen     int64
 	dirty   map[string]bool
+	// full marks the whole cohort stale (bulk import): the next sync
+	// does one Reset instead of one Remove+Add per dirty run.
+	full bool
 }
 
 // maxCohortEntries bounds the entry map: its keys include the ?cost=
@@ -72,23 +75,43 @@ func (cc *cohortCaches) entry(specName string, m cost.Model) *cohortEntry {
 	return e
 }
 
-// invalidate records a run change: every cohort matrix of the spec
-// (under any cost model) marks the run dirty and advances its
-// generation. Runs outside the store hook goroutine's locks.
-func (cc *cohortCaches) invalidate(specName, runName string) {
+// entriesForSpec snapshots the live cohort entries of one spec (its
+// pool keys are "<spec>\x00<cost>" for every cost model seen).
+func (cc *cohortCaches) entriesForSpec(specName string) []*cohortEntry {
 	prefix := specName + "\x00"
 	cc.mu.Lock()
+	defer cc.mu.Unlock()
 	var hit []*cohortEntry
 	for key, e := range cc.entries {
 		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
 			hit = append(hit, e)
 		}
 	}
-	cc.mu.Unlock()
-	for _, e := range hit {
+	return hit
+}
+
+// invalidate records a run change: every cohort matrix of the spec
+// (under any cost model) marks the run dirty and advances its
+// generation. Runs outside the store hook goroutine's locks.
+func (cc *cohortCaches) invalidate(specName, runName string) {
+	for _, e := range cc.entriesForSpec(specName) {
 		e.stateMu.Lock()
 		e.gen++
 		e.dirty[runName] = true
+		e.stateMu.Unlock()
+	}
+}
+
+// invalidateBulk records a coalesced bulk import: every cohort matrix
+// of the spec advances its generation once and schedules one full
+// rebuild, however many runs the batch carried — importing n runs
+// costs one O(n²) Reset instead of n O(n) incremental rows (n(n-1)/2
+// diffs either way, but one fan-out, one engine warm-up, one publish).
+func (cc *cohortCaches) invalidateBulk(specName string, runNames []string) {
+	for _, e := range cc.entriesForSpec(specName) {
+		e.stateMu.Lock()
+		e.gen++
+		e.full = true
 		e.stateMu.Unlock()
 	}
 }
@@ -149,7 +172,9 @@ func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix
 	e.stateMu.Lock()
 	gen := e.gen
 	dirty := e.dirty
+	full := e.full
 	e.dirty = make(map[string]bool)
+	e.full = false
 	e.stateMu.Unlock()
 
 	if e.inited && e.synced == gen {
@@ -163,10 +188,11 @@ func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix
 		for name := range dirty {
 			e.dirty[name] = true
 		}
+		e.full = e.full || full
 		e.stateMu.Unlock()
 	}
 
-	if !e.inited {
+	if !e.inited || full {
 		names, runs, err := s.cohortRuns(specName)
 		if err != nil {
 			restoreDirty()

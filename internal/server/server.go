@@ -19,6 +19,8 @@
 //	GET    /specs                        list specifications
 //	GET    /specs/{spec}/runs            list runs of a specification
 //	POST   /specs/{spec}/runs/{run}      import a run (XML body)
+//	POST   /specs/{spec}/runs:bulk       bulk-import a cohort (tar or NDJSON)
+//	GET    /specs/{spec}/export          export spec + runs as a tar stream
 //	DELETE /specs/{spec}/runs/{run}      delete a run
 //	GET    /diff/{spec}/{a}/{b}          distance + edit script (?cost=)
 //	GET    /diff/{spec}/{a}/{b}/svg      side-by-side SVG rendering
@@ -91,6 +93,7 @@ type Server struct {
 	reqDiff, reqSVG, reqCohort, reqSpecs, reqRuns atomic.Int64
 	reqImport, reqDelete, reqStats                atomic.Int64
 	reqCluster, reqOutliers, reqNearest           atomic.Int64
+	reqBulk, reqExport                            atomic.Int64
 	errCount                                      atomic.Int64
 }
 
@@ -110,10 +113,21 @@ func New(st *store.Store, opts Options) *Server {
 	}
 	st.OnRunChange(s.cache.invalidateRun)
 	st.OnRunChange(s.cohorts.invalidate)
+	// Bulk imports arrive coalesced: per-run invalidation for the pair
+	// cache (each named run's entries are stale), one full-rebuild mark
+	// for the cohort matrices (one Reset however many runs landed).
+	st.OnRunsBulkChange(func(specName string, runNames []string) {
+		for _, run := range runNames {
+			s.cache.invalidateRun(specName, run)
+		}
+		s.cohorts.invalidateBulk(specName, runNames)
+	})
 	s.mux.HandleFunc("GET /specs", s.count(&s.reqSpecs, s.handleSpecs))
 	s.mux.HandleFunc("GET /specs/{spec}/runs", s.count(&s.reqRuns, s.handleRuns))
 	s.mux.HandleFunc("POST /specs/{spec}/runs", s.count(&s.reqImport, s.handleImport))
 	s.mux.HandleFunc("POST /specs/{spec}/runs/{run}", s.count(&s.reqImport, s.handleImport))
+	s.mux.HandleFunc("POST /specs/{spec}/runs:bulk", s.count(&s.reqBulk, s.handleBulkImport))
+	s.mux.HandleFunc("GET /specs/{spec}/export", s.count(&s.reqExport, s.handleExport))
 	s.mux.HandleFunc("DELETE /specs/{spec}/runs/{run}", s.count(&s.reqDelete, s.handleDelete))
 	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}", s.count(&s.reqDiff, s.handleDiff))
 	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}/svg", s.count(&s.reqSVG, s.handleDiffSVG))
@@ -271,6 +285,8 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		s.storeError(w, err)
 		return
 	}
+	// Content-Type must precede WriteHeader or it is dropped.
+	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, map[string]any{
 		"spec": specName, "run": runName,
@@ -572,6 +588,8 @@ func (s *Server) Stats() statsPayload {
 			"cluster":  s.reqCluster.Load(),
 			"outliers": s.reqOutliers.Load(),
 			"nearest":  s.reqNearest.Load(),
+			"bulk":     s.reqBulk.Load(),
+			"export":   s.reqExport.Load(),
 			"stats":    s.reqStats.Load(),
 		},
 		CohortMatrices: s.cohorts.count(),

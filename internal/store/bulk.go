@@ -1,0 +1,280 @@
+package store
+
+import (
+	"archive/tar"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wfrun"
+	"repro/internal/wfxml"
+)
+
+// RunData is one run of a bulk import: its name and raw XML document.
+type RunData struct {
+	Name string
+	XML  []byte
+}
+
+// ImportStats summarizes a bulk import.
+type ImportStats struct {
+	Spec     string
+	Imported []string // run names, in input order
+	Nodes    int      // total run-graph nodes imported
+	Edges    int      // total run-graph edges imported
+}
+
+// ImportRuns imports a batch of runs into a specification in one
+// pass: every document is parsed and derived concurrently (workers
+// goroutines; <= 0 means GOMAXPROCS), written as authoritative XML,
+// snapshotted into the segment, and published to the parsed-run cache
+// — the parse happened from exactly the bytes now on disk, so the
+// cache invariant ("only ever serve what a fresh parse would
+// produce") holds without eviction.
+//
+// Change notification is coalesced: the per-run OnRunChange hooks do
+// NOT fire; instead every OnRunsBulkChange hook fires exactly once
+// with the full name list, so a subscriber maintaining a per-spec
+// cohort matrix performs one rebuild instead of len(runs) incremental
+// updates.
+//
+// Validation is all-or-nothing per batch: names are checked and every
+// document parsed before anything is written, so a malformed document
+// rejects the whole batch without touching the repository.
+func (s *Store) ImportRuns(specName string, runs []RunData, workers int) (ImportStats, error) {
+	stats := ImportStats{Spec: specName}
+	if err := validName(specName); err != nil {
+		return stats, err
+	}
+	if len(runs) == 0 {
+		return stats, nil
+	}
+	seen := make(map[string]bool, len(runs))
+	for _, rd := range runs {
+		if err := validName(rd.Name); err != nil {
+			return stats, err
+		}
+		if seen[rd.Name] {
+			return stats, fmt.Errorf("store: run %q appears twice in bulk import", rd.Name)
+		}
+		seen[rd.Name] = true
+	}
+	sp, err := s.LoadSpec(specName)
+	if err != nil {
+		return stats, err
+	}
+
+	// Phase 1: parse everything concurrently, nothing written yet.
+	parsed := make([]*wfrun.Run, len(runs))
+	errs := make([]error, len(runs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(runs) {
+					return
+				}
+				r, err := wfxml.DecodeRun(bytes.NewReader(runs[i].XML), sp)
+				if err != nil {
+					errs[i] = fmt.Errorf("store: run %q: %w", runs[i].Name, err)
+					continue
+				}
+				parsed[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+
+	// Phase 2: write the XML files, then snapshot the whole batch in
+	// one segment append + one manifest save, publish the cache, and
+	// notify once.
+	if err := os.MkdirAll(s.runsDir(specName), 0o755); err != nil {
+		return stats, fmt.Errorf("store: %w", err)
+	}
+	batch := make([]snapBatchItem, 0, len(runs))
+	for i, rd := range runs {
+		path := s.runPath(specName, rd.Name)
+		if err := os.WriteFile(path, rd.XML, 0o644); err != nil {
+			// A failed write may have left a truncated document; remove
+			// it so the run cannot poison later listings and cohorts.
+			os.Remove(path)
+			return s.bulkAbort(stats, specName, batch, err)
+		}
+		size, mod, err := s.xmlFingerprint(specName, rd.Name)
+		if err != nil {
+			os.Remove(path)
+			return s.bulkAbort(stats, specName, batch, fmt.Errorf("store: %w", err))
+		}
+		batch = append(batch, snapBatchItem{name: rd.Name, run: parsed[i], xmlSize: size, xmlNanos: mod})
+		s.mu.Lock()
+		s.runs[runKey(specName, rd.Name)] = parsed[i]
+		s.mu.Unlock()
+		stats.Imported = append(stats.Imported, rd.Name)
+		stats.Nodes += parsed[i].NumNodes()
+		stats.Edges += parsed[i].NumEdges()
+	}
+	_ = s.writeRunSnapshotBatch(specName, batch) // best-effort cache
+	s.notifyBulkChange(specName, stats.Imported)
+	return stats, nil
+}
+
+// bulkAbort reports a mid-write failure. Runs already fully written
+// stay on disk (they are individually valid); their snapshots are
+// written and one coalesced notification covers them so subscribers
+// cannot miss the partial import.
+func (s *Store) bulkAbort(stats ImportStats, specName string, batch []snapBatchItem, err error) (ImportStats, error) {
+	if len(stats.Imported) > 0 {
+		_ = s.writeRunSnapshotBatch(specName, batch)
+		s.notifyBulkChange(specName, stats.Imported)
+	}
+	return stats, err
+}
+
+func (s *Store) runsDir(specName string) string {
+	return filepath.Join(s.specDir(specName), "runs")
+}
+
+// ImportDir bulk-imports every *.xml file of a directory as runs of a
+// specification, named by base filename. The provstore import-dir
+// subcommand is a thin wrapper over this.
+func (s *Store) ImportDir(specName, dir string, workers int) (ImportStats, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ImportStats{Spec: specName}, fmt.Errorf("store: %w", err)
+	}
+	var runs []RunData
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") || e.Name() == "spec.xml" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return ImportStats{Spec: specName}, fmt.Errorf("store: %w", err)
+		}
+		runs = append(runs, RunData{Name: strings.TrimSuffix(e.Name(), ".xml"), XML: data})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Name < runs[j].Name })
+	return s.ImportRuns(specName, runs, workers)
+}
+
+// ExportSpec streams a specification and all (or the named subset of)
+// its runs as a tar archive: spec.xml at the root, runs under runs/.
+// The archive round-trips through ImportTar / the runs:bulk endpoint.
+func (s *Store) ExportSpec(specName string, runNames []string, w io.Writer) error {
+	if err := validName(specName); err != nil {
+		return err
+	}
+	if _, err := s.LoadSpec(specName); err != nil {
+		return err
+	}
+	if runNames == nil {
+		var err error
+		runNames, err = s.ListRuns(specName)
+		if err != nil {
+			return err
+		}
+	}
+	tw := tar.NewWriter(w)
+	addFile := func(name, src string) error {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: time.Unix(0, 0), // deterministic archives
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := tw.Write(data); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return nil
+	}
+	if err := addFile("spec.xml", s.specPath(specName)); err != nil {
+		return err
+	}
+	for _, name := range runNames {
+		if err := validName(name); err != nil {
+			return err
+		}
+		if err := addFile("runs/"+name+".xml", s.runPath(specName, name)); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// ReadRunTar collects run documents from a tar stream: every regular
+// *.xml entry except spec.xml becomes a run named by its base
+// filename. Entry names are validated before they can touch the
+// filesystem; maxRun bounds a single document and maxTotal the whole
+// stream.
+func ReadRunTar(r io.Reader, maxRun, maxTotal int64) ([]RunData, error) {
+	tr := tar.NewReader(r)
+	var runs []RunData
+	var total int64
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: tar: %w", err)
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			continue
+		}
+		base := path.Base(path.Clean(hdr.Name))
+		if !strings.HasSuffix(base, ".xml") || base == "spec.xml" {
+			continue
+		}
+		name := strings.TrimSuffix(base, ".xml")
+		if err := ValidateName(name); err != nil {
+			return nil, err
+		}
+		if hdr.Size > maxRun {
+			return nil, fmt.Errorf("store: run %q is %d bytes (limit %d)", name, hdr.Size, maxRun)
+		}
+		total += hdr.Size
+		if total > maxTotal {
+			return nil, fmt.Errorf("store: bulk import exceeds %d bytes", maxTotal)
+		}
+		data, err := io.ReadAll(io.LimitReader(tr, maxRun+1))
+		if err != nil {
+			return nil, fmt.Errorf("store: tar: %w", err)
+		}
+		if int64(len(data)) > maxRun {
+			return nil, fmt.Errorf("store: run %q exceeds %d bytes", name, maxRun)
+		}
+		runs = append(runs, RunData{Name: name, XML: data})
+	}
+	return runs, nil
+}

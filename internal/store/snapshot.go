@@ -1,0 +1,591 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/spec"
+	"repro/internal/wfrun"
+)
+
+// The snapshot layer persists a compact binary form of every parsed
+// run next to the authoritative XML, so a cold store (a restarted
+// provserved, a CI job, a new replica) rebuilds its in-memory caches
+// by decoding snapshots instead of re-parsing and re-deriving XML.
+//
+// Layout, per specification:
+//
+//	<root>/<spec>/snapshot/manifest.json   index of snapshotted runs
+//	<root>/<spec>/snapshot/runs.seg        append-only run frames
+//	<root>/<spec>/snapshot/spec.bin        binary specification frame
+//
+// The segment is append-only: every snapshotted run is one
+// checksummed codec frame at a recorded offset, and the manifest maps
+// run names to (offset, length, codec version, node/edge counts) plus
+// a stat fingerprint of the run's XML file. A manifest entry is only
+// trusted when its fingerprint still matches the XML on disk, so
+// out-of-band edits to the authoritative files simply demote the
+// snapshot to a miss. Deleting or re-importing a run drops its entry;
+// the dead bytes stay in the segment until the compaction threshold
+// is crossed, exactly like a log-structured store.
+//
+// Everything here is a cache of the XML: any read error, checksum
+// mismatch, codec version skew or fingerprint drift falls back to the
+// XML re-parse (which then repairs the snapshot write-behind). Losing
+// the snapshot directory can never lose data.
+
+// manifestVersion guards the manifest JSON schema itself.
+const manifestVersion = 1
+
+// compactMinDeadBytes and compactMinDeadRatio bound segment garbage:
+// a manifest save triggers compaction once the segment holds at least
+// compactMinDeadBytes of dead frames and they exceed
+// compactMinDeadRatio of the file.
+const (
+	compactMinDeadBytes = 1 << 20
+	compactMinDeadRatio = 0.5
+)
+
+// snapEntry indexes one run frame inside the segment.
+type snapEntry struct {
+	Offset int64 `json:"offset"`
+	Length int64 `json:"length"`
+	Codec  int   `json:"codec"` // codec.Version the frame was written with
+	Nodes  int   `json:"nodes"`
+	Edges  int   `json:"edges"`
+	// XMLSize and XMLModNanos fingerprint the authoritative XML file
+	// the frame was derived from; a mismatch demotes the entry.
+	XMLSize     int64 `json:"xml_size"`
+	XMLModNanos int64 `json:"xml_mod_nanos"`
+}
+
+// snapManifest is the JSON document at snapshot/manifest.json.
+type snapManifest struct {
+	Version int                  `json:"version"`
+	Live    int64                `json:"live_bytes"`
+	Dead    int64                `json:"dead_bytes"`
+	Runs    map[string]snapEntry `json:"runs"`
+}
+
+// snapState is the in-memory snapshot state of one specification.
+// Guarded by Store.snapMu: manifest mutations and segment appends are
+// rare (imports, deletes) and serialize; reads copy the entry out and
+// release the lock before touching the segment file.
+type snapState struct {
+	mu       sync.Mutex
+	manifest *snapManifest
+	loaded   bool
+}
+
+func (s *Store) snapDir(specName string) string {
+	return filepath.Join(s.specDir(specName), "snapshot")
+}
+func (s *Store) manifestPath(specName string) string {
+	return filepath.Join(s.snapDir(specName), "manifest.json")
+}
+func (s *Store) segmentPath(specName string) string {
+	return filepath.Join(s.snapDir(specName), "runs.seg")
+}
+func (s *Store) specBinPath(specName string) string {
+	return filepath.Join(s.snapDir(specName), "spec.bin")
+}
+
+// snap returns the snapshot state for a spec, creating it on first
+// use. The manifest itself is loaded lazily under the state lock.
+func (s *Store) snap(specName string) *snapState {
+	s.snapsMu.Lock()
+	defer s.snapsMu.Unlock()
+	st, ok := s.snaps[specName]
+	if !ok {
+		st = &snapState{}
+		s.snaps[specName] = st
+	}
+	return st
+}
+
+// loadManifestLocked reads manifest.json if present; a missing,
+// unreadable or wrong-version manifest becomes an empty one (every
+// run is then a snapshot miss). Whatever the segment already holds is
+// then untracked, so it is all counted dead — compaction reclaims the
+// orphaned bytes instead of the segment growing without bound after a
+// manifest loss. Caller holds st.mu.
+func (s *Store) loadManifestLocked(specName string, st *snapState) {
+	if st.loaded {
+		return
+	}
+	st.loaded = true
+	data, err := os.ReadFile(s.manifestPath(specName))
+	if err == nil {
+		var m snapManifest
+		if err := json.Unmarshal(data, &m); err == nil && m.Version == manifestVersion && m.Runs != nil {
+			st.manifest = &m
+			return
+		}
+	}
+	st.manifest = &snapManifest{Version: manifestVersion, Runs: map[string]snapEntry{}}
+	if fi, err := os.Stat(s.segmentPath(specName)); err == nil {
+		st.manifest.Dead = fi.Size()
+	}
+}
+
+// saveManifestLocked writes the manifest atomically (temp + rename).
+// Caller holds st.mu.
+func (s *Store) saveManifestLocked(specName string, st *snapState) error {
+	if err := os.MkdirAll(s.snapDir(specName), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(st.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.manifestPath(specName) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.manifestPath(specName))
+}
+
+// xmlFingerprint stats a run's XML file.
+func (s *Store) xmlFingerprint(specName, runName string) (size, modNanos int64, err error) {
+	fi, err := os.Stat(s.runPath(specName, runName))
+	if err != nil {
+		return 0, 0, err
+	}
+	return fi.Size(), fi.ModTime().UnixNano(), nil
+}
+
+// hasFreshSnapshot reports whether a run has a live manifest entry of
+// the current codec version whose fingerprint matches the XML on disk
+// — the cheap freshness probe (no segment read, no decode) behind
+// Snapshot's idempotency. A frame that is fresh by this test but
+// corrupt on disk still self-heals on the next load.
+func (s *Store) hasFreshSnapshot(specName, runName string) bool {
+	if s.noSnapshot {
+		return false
+	}
+	st := s.snap(specName)
+	st.mu.Lock()
+	s.loadManifestLocked(specName, st)
+	e, ok := st.manifest.Runs[runName]
+	st.mu.Unlock()
+	if !ok || e.Codec != codec.Version {
+		return false
+	}
+	size, mod, err := s.xmlFingerprint(specName, runName)
+	return err == nil && size == e.XMLSize && mod == e.XMLModNanos
+}
+
+// segmentRecord frames one run inside the segment file: the run name,
+// length-prefixed, followed by the codec frame. The name is part of
+// the record so a reader can never mistake one run's frame for
+// another's — a reader racing a compaction may land its stale offset
+// on a different, equal-length record whose checksum verifies, and
+// only the embedded name catches that.
+func segmentRecord(runName string, frame []byte) []byte {
+	out := binary.AppendUvarint(make([]byte, 0, len(runName)+len(frame)+binary.MaxVarintLen32), uint64(len(runName)))
+	out = append(out, runName...)
+	return append(out, frame...)
+}
+
+// parseSegmentRecord splits a record into its run name and frame.
+func parseSegmentRecord(buf []byte) (runName string, frame []byte, err error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || n > uint64(len(buf)-w) {
+		return "", nil, fmt.Errorf("store: malformed segment record header")
+	}
+	return string(buf[w : w+int(n)]), buf[w+int(n):], nil
+}
+
+// loadRunSnapshot attempts the snapshot fast path for one run: a
+// manifest entry whose fingerprint matches the XML on disk, a segment
+// record naming this very run whose frame checksum verifies, and a
+// frame that decodes against the spec. Any failure returns
+// (nil, false) and the caller re-parses XML.
+func (s *Store) loadRunSnapshot(specName, runName string, sp *spec.Spec) (*wfrun.Run, bool) {
+	if s.noSnapshot {
+		return nil, false
+	}
+	st := s.snap(specName)
+	st.mu.Lock()
+	s.loadManifestLocked(specName, st)
+	e, ok := st.manifest.Runs[runName]
+	st.mu.Unlock()
+	if !ok || e.Codec != codec.Version {
+		return nil, false
+	}
+	size, mod, err := s.xmlFingerprint(specName, runName)
+	if err != nil || size != e.XMLSize || mod != e.XMLModNanos {
+		return nil, false
+	}
+	f, err := os.Open(s.segmentPath(specName))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	buf := make([]byte, e.Length)
+	if _, err := f.ReadAt(buf, e.Offset); err != nil {
+		return nil, false
+	}
+	name, frame, err := parseSegmentRecord(buf)
+	if err != nil || name != runName {
+		return nil, false
+	}
+	r, err := codec.DecodeRun(frame, sp)
+	if err != nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// snapBatchItem is one run of a batched snapshot append.
+type snapBatchItem struct {
+	name     string
+	run      *wfrun.Run
+	xmlSize  int64
+	xmlNanos int64
+}
+
+// writeRunSnapshot appends a freshly parsed run to the segment and
+// records it in the manifest — the write-behind half of the snapshot
+// cache, called after every XML parse. The caller supplies the XML
+// fingerprint it captured BEFORE parsing: if the file was overwritten
+// since, the recorded fingerprint no longer matches the disk and the
+// entry demotes itself to a miss instead of serving a stale frame.
+// Errors are returned for callers that care (Snapshot); the LoadRun
+// path treats them as best-effort.
+func (s *Store) writeRunSnapshot(specName, runName string, r *wfrun.Run, size, mod int64) error {
+	return s.writeRunSnapshotBatch(specName, []snapBatchItem{
+		{name: runName, run: r, xmlSize: size, xmlNanos: mod},
+	})
+}
+
+// writeRunSnapshotBatch appends many runs in one pass: frames are
+// encoded up front, the segment is opened once, and the manifest is
+// rewritten once however many runs the batch carries — bulk imports
+// would otherwise pay one full-manifest rewrite per run.
+func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem) error {
+	if s.noSnapshot || len(items) == 0 {
+		return nil
+	}
+	records := make([][]byte, len(items))
+	for i, it := range items {
+		frame, err := codec.EncodeRun(it.run)
+		if err != nil {
+			return err
+		}
+		records[i] = segmentRecord(it.name, frame)
+	}
+	st := s.snap(specName)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.loadManifestLocked(specName, st)
+	if err := os.MkdirAll(s.snapDir(specName), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.segmentPath(specName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i, it := range items {
+		if _, err := f.Write(records[i]); err != nil {
+			f.Close()
+			return err
+		}
+		if old, ok := st.manifest.Runs[it.name]; ok {
+			st.manifest.Dead += old.Length
+			st.manifest.Live -= old.Length
+		}
+		st.manifest.Runs[it.name] = snapEntry{
+			Offset:      off,
+			Length:      int64(len(records[i])),
+			Codec:       codec.Version,
+			Nodes:       it.run.NumNodes(),
+			Edges:       it.run.NumEdges(),
+			XMLSize:     it.xmlSize,
+			XMLModNanos: it.xmlNanos,
+		}
+		st.manifest.Live += int64(len(records[i]))
+		off += int64(len(records[i]))
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.saveManifestLocked(specName, st); err != nil {
+		return err
+	}
+	return s.maybeCompactLocked(specName, st)
+}
+
+// dropRunSnapshot removes a run's manifest entry (delete and
+// re-import paths). The frame bytes become dead weight until
+// compaction.
+func (s *Store) dropRunSnapshot(specName, runName string) {
+	st := s.snap(specName)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.loadManifestLocked(specName, st)
+	e, ok := st.manifest.Runs[runName]
+	if !ok {
+		return
+	}
+	delete(st.manifest.Runs, runName)
+	st.manifest.Dead += e.Length
+	st.manifest.Live -= e.Length
+	if err := s.saveManifestLocked(specName, st); err != nil {
+		return
+	}
+	s.maybeCompactLocked(specName, st)
+}
+
+// maybeCompactLocked rewrites the segment without dead frames once
+// they dominate. Caller holds st.mu. A reader that raced the rename
+// sees offsets that no longer line up — the record it lands on either
+// fails the frame checksum or names a different run, so it falls back
+// to XML; compaction needs no reader coordination.
+func (s *Store) maybeCompactLocked(specName string, st *snapState) error {
+	m := st.manifest
+	if m.Dead < compactMinDeadBytes || float64(m.Dead) < compactMinDeadRatio*float64(m.Dead+m.Live) {
+		return nil
+	}
+	old, err := os.Open(s.segmentPath(specName))
+	if err != nil {
+		return err
+	}
+	defer old.Close()
+	tmp := s.segmentPath(specName) + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fresh := make(map[string]snapEntry, len(m.Runs))
+	var off int64
+	for name, e := range m.Runs {
+		buf := make([]byte, e.Length)
+		if _, err := old.ReadAt(buf, e.Offset); err != nil {
+			out.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := out.Write(buf); err != nil {
+			out.Close()
+			os.Remove(tmp)
+			return err
+		}
+		e.Offset = off
+		off += e.Length
+		fresh[name] = e
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.segmentPath(specName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	m.Runs = fresh
+	m.Live = off
+	m.Dead = 0
+	return s.saveManifestLocked(specName, st)
+}
+
+// writeSpecSnapshot persists the binary spec frame (best-effort).
+func (s *Store) writeSpecSnapshot(specName string, sp *spec.Spec) error {
+	if s.noSnapshot {
+		return nil
+	}
+	if err := os.MkdirAll(s.snapDir(specName), 0o755); err != nil {
+		return err
+	}
+	tmp := s.specBinPath(specName) + ".tmp"
+	if err := os.WriteFile(tmp, codec.EncodeSpec(sp), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.specBinPath(specName))
+}
+
+// loadSpecSnapshot attempts to decode spec.bin, guarded by the XML
+// file's fingerprint recorded... specifications change so rarely that
+// the guard is simply "spec.xml must not be newer than spec.bin".
+func (s *Store) loadSpecSnapshot(specName string) (*spec.Spec, bool) {
+	if s.noSnapshot {
+		return nil, false
+	}
+	binInfo, err := os.Stat(s.specBinPath(specName))
+	if err != nil {
+		return nil, false
+	}
+	xmlInfo, err := os.Stat(s.specPath(specName))
+	if err != nil || xmlInfo.ModTime().After(binInfo.ModTime()) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.specBinPath(specName))
+	if err != nil {
+		return nil, false
+	}
+	sp, err := codec.DecodeSpec(data)
+	if err != nil {
+		return nil, false
+	}
+	return sp, true
+}
+
+// SnapshotStats reports what a Snapshot pass did.
+type SnapshotStats struct {
+	Runs      int // runs examined
+	Fresh     int // already snapshotted and up to date
+	Written   int // snapshot frames written (or rewritten)
+	LiveBytes int64
+	DeadBytes int64
+}
+
+// Snapshot materializes the snapshot layer for every stored run of a
+// specification: runs without a fresh manifest entry are parsed from
+// XML and appended to the segment, and the spec's own binary frame is
+// written. It is idempotent — a second call writes nothing.
+func (s *Store) Snapshot(specName string) (SnapshotStats, error) {
+	var stats SnapshotStats
+	sp, err := s.LoadSpec(specName)
+	if err != nil {
+		return stats, err
+	}
+	if err := s.writeSpecSnapshot(specName, sp); err != nil {
+		return stats, err
+	}
+	names, err := s.ListRuns(specName)
+	if err != nil {
+		return stats, err
+	}
+	stats.Runs = len(names)
+	for _, name := range names {
+		if s.hasFreshSnapshot(specName, name) {
+			stats.Fresh++
+			continue
+		}
+		// Parse from XML and snapshot; LoadRun's write-behind would do
+		// this too, but going through loadRunXML keeps the accounting
+		// exact even when the run is already in the memory cache.
+		size, mod, err := s.xmlFingerprint(specName, name)
+		if err != nil {
+			return stats, fmt.Errorf("store: %w", err)
+		}
+		r, err := s.loadRunXML(specName, name, sp)
+		if err != nil {
+			return stats, err
+		}
+		if err := s.writeRunSnapshot(specName, name, r, size, mod); err != nil {
+			return stats, err
+		}
+		s.cacheRun(specName, name, r)
+		stats.Written++
+	}
+	st := s.snap(specName)
+	st.mu.Lock()
+	// Load explicitly: with zero runs the loop above never touched the
+	// manifest and it may still be nil.
+	s.loadManifestLocked(specName, st)
+	stats.LiveBytes = st.manifest.Live
+	stats.DeadBytes = st.manifest.Dead
+	st.mu.Unlock()
+	return stats, nil
+}
+
+// PreloadStats reports where a Preload pass got its runs from.
+type PreloadStats struct {
+	Spec         string
+	Runs         int
+	FromSnapshot int
+	FromXML      int
+}
+
+// Preload warms the in-memory caches of one specification: the spec
+// itself plus every stored run, decoded from the snapshot layer where
+// possible and parsed from XML (with snapshot repair) otherwise. After
+// Preload returns, LoadRun and the cohort paths never touch the parser
+// for existing runs.
+func (s *Store) Preload(specName string) (PreloadStats, error) {
+	stats := PreloadStats{Spec: specName}
+	sp, err := s.LoadSpec(specName)
+	if err != nil {
+		return stats, err
+	}
+	names, err := s.ListRuns(specName)
+	if err != nil {
+		return stats, err
+	}
+	stats.Runs = len(names)
+	for _, name := range names {
+		s.mu.RLock()
+		_, cached := s.runs[runKey(specName, name)]
+		s.mu.RUnlock()
+		if cached {
+			stats.FromSnapshot++ // already warm; count as non-parse
+			continue
+		}
+		if r, ok := s.loadRunSnapshot(specName, name, sp); ok {
+			s.cacheRun(specName, name, r)
+			stats.FromSnapshot++
+			continue
+		}
+		size, mod, fpErr := s.xmlFingerprint(specName, name)
+		r, err := s.loadRunXML(specName, name, sp)
+		if err != nil {
+			return stats, err
+		}
+		if fpErr == nil {
+			_ = s.writeRunSnapshot(specName, name, r, size, mod) // best-effort repair
+		}
+		s.cacheRun(specName, name, r)
+		stats.FromXML++
+	}
+	return stats, nil
+}
+
+// PreloadAll preloads every specification in the repository — the
+// warm-start path provserved runs at boot. Specs are isolated from
+// each other: one spec's unparseable run costs only that spec its
+// warmth, the rest still preload; the joined error reports every
+// failure alongside the stats of what did load.
+func (s *Store) PreloadAll() ([]PreloadStats, error) {
+	specs, err := s.ListSpecs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PreloadStats, 0, len(specs))
+	var errs []error
+	for _, name := range specs {
+		st, err := s.Preload(name)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, st)
+	}
+	return out, errors.Join(errs...)
+}
+
+// ManifestRuns returns the names of runs with live snapshot entries,
+// mainly for tests and diagnostics.
+func (s *Store) ManifestRuns(specName string) []string {
+	st := s.snap(specName)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.loadManifestLocked(specName, st)
+	out := make([]string, 0, len(st.manifest.Runs))
+	for name := range st.manifest.Runs {
+		out = append(out, name)
+	}
+	return out
+}

@@ -44,8 +44,16 @@ type Store struct {
 	specs map[string]*spec.Spec
 	runs  map[string]*wfrun.Run // "<spec>/<run>" → parsed run
 
-	hookMu sync.RWMutex
-	hooks  []func(specName, runName string)
+	snapsMu sync.Mutex
+	snaps   map[string]*snapState // per-spec snapshot manifests
+	// noSnapshot disables the snapshot layer entirely (reads and
+	// write-behind) — the pure-XML configuration the cold-start
+	// benchmarks compare against.
+	noSnapshot bool
+
+	hookMu    sync.RWMutex
+	hooks     []func(specName, runName string)
+	bulkHooks []func(specName string, runNames []string)
 }
 
 // Open opens (creating if needed) a repository rooted at dir.
@@ -57,6 +65,7 @@ func Open(dir string) (*Store, error) {
 		root:  dir,
 		specs: make(map[string]*spec.Spec),
 		runs:  make(map[string]*wfrun.Run),
+		snaps: make(map[string]*snapState),
 	}, nil
 }
 
@@ -105,6 +114,26 @@ func (s *Store) notifyRunChange(specName, runName string) {
 	}
 }
 
+// OnRunsBulkChange registers fn to be called once per bulk import
+// with every imported run name — the coalesced counterpart of
+// OnRunChange. A bulk import fires the bulk hooks exactly once per
+// spec and does NOT fire the per-run hooks; subscribers maintaining
+// per-run state should register both.
+func (s *Store) OnRunsBulkChange(fn func(specName string, runNames []string)) {
+	s.hookMu.Lock()
+	s.bulkHooks = append(s.bulkHooks, fn)
+	s.hookMu.Unlock()
+}
+
+func (s *Store) notifyBulkChange(specName string, runNames []string) {
+	s.hookMu.RLock()
+	bulk := s.bulkHooks
+	s.hookMu.RUnlock()
+	for _, fn := range bulk {
+		fn(specName, runNames)
+	}
+}
+
 func (s *Store) specDir(name string) string  { return filepath.Join(s.root, name) }
 func (s *Store) specPath(name string) string { return filepath.Join(s.root, name, "spec.xml") }
 func (s *Store) runPath(specName, runName string) string {
@@ -133,6 +162,7 @@ func (s *Store) SaveSpec(name string, sp *spec.Spec) error {
 	if err := wfxml.EncodeSpec(f, sp, name); err != nil {
 		return err
 	}
+	_ = s.writeSpecSnapshot(name, sp) // best-effort warm-start frame
 	s.mu.Lock()
 	s.specs[name] = sp
 	s.mu.Unlock()
@@ -150,14 +180,17 @@ func (s *Store) LoadSpec(name string) (*spec.Spec, error) {
 		return sp, nil
 	}
 	s.mu.RUnlock()
-	f, err := os.Open(s.specPath(name))
-	if err != nil {
-		return nil, fmt.Errorf("store: unknown specification %q: %w", name, err)
-	}
-	defer f.Close()
-	sp, err := wfxml.DecodeSpec(f)
-	if err != nil {
-		return nil, err
+	sp, fromSnap := s.loadSpecSnapshot(name)
+	if !fromSnap {
+		f, err := os.Open(s.specPath(name))
+		if err != nil {
+			return nil, fmt.Errorf("store: unknown specification %q: %w", name, err)
+		}
+		defer f.Close()
+		if sp, err = wfxml.DecodeSpec(f); err != nil {
+			return nil, err
+		}
+		_ = s.writeSpecSnapshot(name, sp) // best-effort warm-start frame
 	}
 	s.mu.Lock()
 	// Another goroutine may have raced the load; keep the first.
@@ -215,9 +248,12 @@ func (s *Store) SaveRun(specName, runName string, r *wfrun.Run) error {
 	}
 	// Evict rather than cache the caller's object: the cache must only
 	// ever serve what a fresh parse of the on-disk XML would produce.
+	// The snapshot entry goes with it — the next load re-parses the new
+	// XML and repairs the snapshot write-behind.
 	s.mu.Lock()
 	delete(s.runs, runKey(specName, runName))
 	s.mu.Unlock()
+	s.dropRunSnapshot(specName, runName)
 	s.notifyRunChange(specName, runName)
 	return nil
 }
@@ -226,6 +262,11 @@ func (s *Store) SaveRun(specName, runName string, r *wfrun.Run) error {
 // cached specification. Parsed runs are cached: repeated loads (and
 // every Diff/Cohort call) share one *wfrun.Run, which callers must
 // treat as read-only.
+//
+// A cache miss first tries the snapshot layer — a checksummed binary
+// frame recorded by a previous parse — and only falls back to the XML
+// parse (re-deriving the tree) when the snapshot is absent, stale or
+// corrupt; the fallback then repairs the snapshot write-behind.
 func (s *Store) LoadRun(specName, runName string) (*wfrun.Run, error) {
 	if err := validName(specName); err != nil {
 		return nil, err
@@ -244,25 +285,43 @@ func (s *Store) LoadRun(specName, runName string) (*wfrun.Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r, ok := s.loadRunSnapshot(specName, runName, sp); ok {
+		return s.cacheRun(specName, runName, r), nil
+	}
+	size, mod, fpErr := s.xmlFingerprint(specName, runName)
+	r, err := s.loadRunXML(specName, runName, sp)
+	if err != nil {
+		return nil, err
+	}
+	if fpErr == nil {
+		_ = s.writeRunSnapshot(specName, runName, r, size, mod) // best-effort repair
+	}
+	return s.cacheRun(specName, runName, r), nil
+}
+
+// loadRunXML parses a run's authoritative XML file and derives its
+// tree — the slow path behind the run cache and the snapshot layer.
+func (s *Store) loadRunXML(specName, runName string, sp *spec.Spec) (*wfrun.Run, error) {
 	f, err := os.Open(s.runPath(specName, runName))
 	if err != nil {
 		return nil, fmt.Errorf("store: unknown run %q of %q: %w", runName, specName, err)
 	}
 	defer f.Close()
-	r, err := wfxml.DecodeRun(f, sp)
-	if err != nil {
-		return nil, err
-	}
+	return wfxml.DecodeRun(f, sp)
+}
+
+// cacheRun publishes a parsed run, keeping the first copy if another
+// goroutine raced the load so all readers share one tree.
+func (s *Store) cacheRun(specName, runName string, r *wfrun.Run) *wfrun.Run {
+	key := runKey(specName, runName)
 	s.mu.Lock()
-	// Another goroutine may have raced the parse; keep the first so
-	// all readers share one tree.
 	if have, ok := s.runs[key]; ok {
 		r = have
 	} else {
 		s.runs[key] = r
 	}
 	s.mu.Unlock()
-	return r, nil
+	return r
 }
 
 // ListRuns returns the run names stored under a specification, sorted.
@@ -287,7 +346,10 @@ func (s *Store) ListRuns(specName string) ([]string, error) {
 	return out, nil
 }
 
-// DeleteRun removes a stored run and evicts it from the cache.
+// DeleteRun removes a stored run everywhere it lives: the XML file,
+// the parsed-run cache, and the snapshot manifest (so a restart can
+// never resurrect it). Exactly one change notification fires, after
+// all state is consistent.
 func (s *Store) DeleteRun(specName, runName string) error {
 	if err := validName(specName); err != nil {
 		return err
@@ -301,6 +363,7 @@ func (s *Store) DeleteRun(specName, runName string) error {
 	s.mu.Lock()
 	delete(s.runs, runKey(specName, runName))
 	s.mu.Unlock()
+	s.dropRunSnapshot(specName, runName)
 	s.notifyRunChange(specName, runName)
 	return nil
 }

@@ -45,6 +45,7 @@ import (
 	"net/http"
 
 	"repro/internal/analysis"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/edit"
@@ -221,3 +222,23 @@ func EncodeRun(w io.Writer, run *Run, name string) error { return wfxml.EncodeRu
 
 // DecodeRun reads a run from XML and derives its annotated tree.
 func DecodeRun(r io.Reader, sp *Spec) (*Run, error) { return wfxml.DecodeRun(r, sp) }
+
+// Binary snapshot codec (the store's warm-start format): versioned,
+// CRC-checksummed frames holding the *result* of an XML parse, so
+// decoding skips validation and tree derivation entirely. XML remains
+// the interchange format; these are for caches and snapshots.
+
+// EncodeRunBinary serializes a run as a binary snapshot frame.
+func EncodeRunBinary(run *Run) ([]byte, error) { return codec.EncodeRun(run) }
+
+// DecodeRunBinary rebuilds a run from a snapshot frame against its
+// specification, without re-deriving the tree. Corrupt or mismatched
+// frames fail loudly; fall back to DecodeRun on the XML.
+func DecodeRunBinary(data []byte, sp *Spec) (*Run, error) { return codec.DecodeRun(data, sp) }
+
+// EncodeSpecBinary serializes a specification as a snapshot frame.
+func EncodeSpecBinary(sp *Spec) []byte { return codec.EncodeSpec(sp) }
+
+// DecodeSpecBinary rebuilds (and revalidates) a specification from a
+// snapshot frame.
+func DecodeSpecBinary(data []byte) (*Spec, error) { return codec.DecodeSpec(data) }
