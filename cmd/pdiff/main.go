@@ -2,11 +2,19 @@
 // SP-workflow specification:
 //
 //	pdiff -spec spec.xml -from run1.xml -to run2.xml [-cost unit|length|power:EPS]
-//	      [-script] [-clusters DEPTH] [-html out.html]
+//	      [-script] [-clusters DEPTH] [-html out.html] [-across spec2.xml]
 //
 // It prints the edit distance, and optionally the minimum-cost edit
 // script, the composite-module change rollup, and a standalone HTML
 // visualization.
+//
+// With -across, the two runs belong to different *versions* of the
+// workflow: -from runs under -spec, -to runs under -across. pdiff
+// computes the spec-evolution mapping between the versions, projects
+// the source run into the new version's node space, and reports the
+// cross-version distance split into data-driven change (the run diff
+// of the projection) and spec-forced change (regions the evolution
+// dropped or inserted).
 package main
 
 import (
@@ -15,18 +23,23 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/cost"
+	"repro/internal/evolve"
+	"repro/internal/spec"
 	"repro/internal/view"
+	"repro/internal/wfrun"
 )
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "specification XML file (required)")
-		fromPath = flag.String("from", "", "source run XML file (required)")
-		toPath   = flag.String("to", "", "target run XML file (required)")
-		costName = flag.String("cost", "unit", "cost model: unit, length, or power:EPS")
-		script   = flag.Bool("script", false, "print the minimum-cost edit script")
-		clusters = flag.Int("clusters", -1, "print the composite-module rollup at this depth")
-		htmlOut  = flag.String("html", "", "write an HTML visualization to this file")
+		specPath   = flag.String("spec", "", "specification XML file (required)")
+		fromPath   = flag.String("from", "", "source run XML file (required)")
+		toPath     = flag.String("to", "", "target run XML file (required)")
+		costName   = flag.String("cost", "unit", "cost model: unit, length, or power:EPS")
+		script     = flag.Bool("script", false, "print the minimum-cost edit script")
+		clusters   = flag.Int("clusters", -1, "print the composite-module rollup at this depth")
+		htmlOut    = flag.String("html", "", "write an HTML visualization to this file")
+		acrossPath = flag.String("across", "", "evolved specification XML: -to is a run of this version")
 	)
 	flag.Parse()
 	if *specPath == "" || *fromPath == "" || *toPath == "" {
@@ -44,6 +57,10 @@ func main() {
 	r1, err := cli.LoadRun(*fromPath, sp)
 	if err != nil {
 		fatal(fmt.Errorf("loading %s: %w", *fromPath, err))
+	}
+	if *acrossPath != "" {
+		crossDiff(sp, r1, *acrossPath, *toPath, model)
+		return
 	}
 	r2, err := cli.LoadRun(*toPath, sp)
 	if err != nil {
@@ -69,6 +86,35 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *htmlOut)
 	}
+}
+
+// crossDiff handles -across: compare a run of one spec version with a
+// run of an evolved version through the spec-evolution mapping.
+func crossDiff(sp1 *spec.Spec, r1 *wfrun.Run, acrossPath, toPath string, model cost.Model) {
+	sp2, err := cli.LoadSpec(acrossPath)
+	if err != nil {
+		fatal(fmt.Errorf("loading %s: %w", acrossPath, err))
+	}
+	r2, err := cli.LoadRun(toPath, sp2)
+	if err != nil {
+		fatal(fmt.Errorf("loading %s: %w", toPath, err))
+	}
+	m, err := evolve.SpecDiff(sp1, sp2, evolve.DefaultCosts())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := evolve.CrossDiff(m, r1, r2, model)
+	if err != nil {
+		fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("spec evolution: cost %g, %d modules survive, %d deleted, %d inserted\n",
+		m.Cost, st.MappedModules, st.DeletedModules, st.InsertedModules)
+	fmt.Printf("cross-version distance: %g (%s cost)\n", res.Distance, model.Name())
+	fmt.Printf("  data-driven change (run diff of projection): %g\n", res.EngineDistance)
+	fmt.Printf("  spec-forced change: dropped %g (%d regions), inserted %g (%d regions)\n",
+		res.Projection.DroppedCost, res.Projection.DroppedRegions,
+		res.Projection.InsertedCost, res.Projection.InsertedRegions)
 }
 
 func fatal(err error) {

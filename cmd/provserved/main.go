@@ -11,13 +11,18 @@
 //	GET    /specs/{spec}/export          export spec + runs as a tar stream
 //	DELETE /specs/{spec}/runs/{run}      delete a run
 //	GET    /diff/{spec}/{a}/{b}          distance + edit script (?cost=unit|length|power:EPS)
+//	                                     (?across=SPEC2 for cross-version diffs)
 //	GET    /diff/{spec}/{a}/{b}/svg      side-by-side SVG diff rendering
+//	GET    /specs/{a}/evolve/{b}         spec-evolution mapping between versions
+//	GET    /specs/{a}/evolve/{b}/svg     spec overlay (deleted red, inserted green)
 //	GET    /cohort/{spec}                distance matrix + dendrogram (?stream=1)
 //	GET    /stats                        request/cache/engine-pool counters
 //
 // -demo N seeds an empty repository with the paper's protein
-// annotation workflow ("demo") and N random runs, so a fresh service
-// can be exercised immediately (CI smoke-tests do exactly this).
+// annotation workflow ("demo") and N random runs, plus a mutated,
+// lineage-linked version "demo-v2" with N runs of its own, so a fresh
+// service can be exercised immediately — including the cross-version
+// endpoints (CI smoke-tests do exactly this).
 // -preload (default on) boots warm: parsed runs are decoded from the
 // store's binary snapshot layer, missing snapshots are materialized,
 // and cohort matrices are prebuilt, so a restarted service answers
@@ -148,6 +153,28 @@ func seedDemo(st *store.Store, n int, seed int64) error {
 			return err
 		}
 	}
-	log.Printf("provserved: seeded demo spec with %d runs", n)
+	// An evolved version of the demo workflow, lineage-linked so the
+	// cross-version endpoints can be exercised out of the box.
+	muts, err := gen.Mutate(sp, 2, rng)
+	if err != nil {
+		return err
+	}
+	if err := st.PutSpecVersion("demo", "demo-v2", muts[len(muts)-1].Spec); err != nil {
+		return err
+	}
+	v2, err := st.LoadSpec("demo-v2")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		r, err := gen.RandomRun(v2, gen.DefaultRunParams(), rng)
+		if err != nil {
+			return err
+		}
+		if err := st.SaveRun("demo-v2", fmt.Sprintf("v%d", i), r); err != nil {
+			return err
+		}
+	}
+	log.Printf("provserved: seeded demo spec (+demo-v2 lineage) with %d runs each", n)
 	return nil
 }

@@ -8,7 +8,9 @@
 //	provstore -dir DIR export NAME OUT.tar
 //	provstore -dir DIR snapshot [NAME]
 //	provstore -dir DIR ls [NAME]
-//	provstore -dir DIR diff NAME RUN1 RUN2 [-cost unit] [-script]
+//	provstore -dir DIR put-version PARENT CHILD spec.xml
+//	provstore -dir DIR evolve SPEC_A SPEC_B [-svg out.svg]
+//	provstore -dir DIR diff NAME RUN1 RUN2 [-cost unit] [-script] [-across NAME2]
 //	provstore -dir DIR matrix NAME [-cost unit]
 //	provstore -dir DIR cluster NAME [-k 2] [-seed 1] [-cost unit]
 //	provstore -dir DIR outliers NAME [-k 3] [-cost unit]
@@ -40,11 +42,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/store"
 	"repro/internal/view"
 	"repro/internal/wfrun"
@@ -77,6 +81,10 @@ func main() {
 		genRun(st, args[1:])
 	case "ls":
 		list(st, args[1:])
+	case "put-version":
+		putVersion(st, args[1:])
+	case "evolve":
+		evolveCmd(st, args[1:])
 	case "diff":
 		diff(st, args[1:])
 	case "matrix":
@@ -93,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|import-dir|export|snapshot|gen-run|ls|diff|matrix|cluster|outliers|nearest ...")
+	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|import-dir|export|snapshot|gen-run|ls|put-version|evolve|diff|matrix|cluster|outliers|nearest ...")
 	os.Exit(2)
 }
 
@@ -245,10 +253,86 @@ func list(st *store.Store, args []string) {
 	}
 }
 
+// putVersion registers a new specification version evolved from a
+// stored parent: the spec is imported, the lineage link recorded, and
+// the parent→child edit mapping computed and snapshotted.
+func putVersion(st *store.Store, args []string) {
+	if len(args) != 3 {
+		fatal(fmt.Errorf("put-version PARENT CHILD FILE"))
+	}
+	sp, err := cli.LoadSpec(args[2])
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.PutSpecVersion(args[0], args[1], sp); err != nil {
+		fatal(err)
+	}
+	m, _, err := st.SpecMapping(args[0], args[1])
+	if err != nil {
+		fatal(err)
+	}
+	stats := m.Stats()
+	fmt.Printf("stored %s as version of %s: mapping cost %g, %d modules survive (%d renamed), %d inserted, %d deleted\n",
+		args[1], args[0], m.Cost, stats.MappedModules, stats.RenamedModules,
+		stats.InsertedModules, stats.DeletedModules)
+}
+
+// evolveCmd prints the spec-evolution mapping between two stored
+// specification versions.
+func evolveCmd(st *store.Store, args []string) {
+	fs := flag.NewFlagSet("evolve", flag.ExitOnError)
+	svgOut := fs.String("svg", "", "write the side-by-side overlay SVG to this file")
+	if len(args) < 2 {
+		fatal(fmt.Errorf("evolve SPEC_A SPEC_B [flags]"))
+	}
+	if err := fs.Parse(args[2:]); err != nil {
+		fatal(err)
+	}
+	m, linked, err := st.SpecMapping(args[0], args[1])
+	if err != nil {
+		fatal(err)
+	}
+	stats := m.Stats()
+	link := "not lineage-linked (mapped directly)"
+	if linked {
+		link = "lineage-linked"
+	}
+	fmt.Printf("%s -> %s (%s)\n", args[0], args[1], link)
+	fmt.Printf("mapping cost: %g\n", m.Cost)
+	fmt.Printf("nodes: %d -> %d (%d mapped)\n", stats.ANodes, stats.BNodes, stats.Mapped)
+	fmt.Printf("modules: %d mapped (%d renamed), %d deleted, %d inserted; %d combinators restructured\n",
+		stats.MappedModules, stats.RenamedModules, stats.DeletedModules, stats.InsertedModules, stats.RetypedInternals)
+	var renamed []string
+	for a, b := range m.MappedModules() {
+		if a.From != b.From || a.To != b.To {
+			renamed = append(renamed, fmt.Sprintf("  renamed: %s -> %s", a, b))
+		}
+	}
+	sort.Strings(renamed)
+	for _, line := range renamed {
+		fmt.Println(line)
+	}
+	if *svgOut != "" {
+		keptA := make(map[graph.Edge]bool)
+		keptB := make(map[graph.Edge]bool)
+		for a, b := range m.MappedModules() {
+			keptA[a] = true
+			keptB[b] = true
+		}
+		svg := view.SpecPairSVG(m.A, m.B, keptA, keptB, args[0], args[1],
+			fmt.Sprintf("spec evolution cost %g", m.Cost))
+		if err := os.WriteFile(*svgOut, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}
+
 func diff(st *store.Store, args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	costName := fs.String("cost", "unit", "cost model")
 	script := fs.Bool("script", false, "print the edit script")
+	across := fs.String("across", "", "second spec: RUN2 belongs to this lineage-linked version")
 	if len(args) < 3 {
 		fatal(fmt.Errorf("diff SPEC RUN1 RUN2 [flags]"))
 	}
@@ -258,6 +342,28 @@ func diff(st *store.Store, args []string) {
 	model, err := cli.ParseCost(*costName)
 	if err != nil {
 		fatal(err)
+	}
+	if *across != "" {
+		// Cheap pre-check, as the service does: reject unlinked pairs
+		// before computing a mapping and projection just to discard them.
+		linked, err := st.Linked(args[0], *across)
+		if err != nil {
+			fatal(err)
+		}
+		if !linked {
+			fatal(fmt.Errorf("%s and %s are not lineage-linked; register the version with put-version first", args[0], *across))
+		}
+		res, _, err := st.CrossDiff(args[0], args[1], *across, args[2], model)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cross-version distance %s/%s -> %s/%s: %g (%s cost)\n",
+			args[0], args[1], *across, args[2], res.Distance, model.Name())
+		fmt.Printf("  run-diff distance (projected): %g\n", res.EngineDistance)
+		fmt.Printf("  dropped by evolution: %g (%d regions)\n", res.Projection.DroppedCost, res.Projection.DroppedRegions)
+		fmt.Printf("  inserted by evolution: %g (%d regions)\n", res.Projection.InsertedCost, res.Projection.InsertedRegions)
+		fmt.Printf("  spec mapping cost: %g\n", res.Mapping.Cost)
+		return
 	}
 	r1, err := st.LoadRun(args[0], args[1])
 	if err != nil {

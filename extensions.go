@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cluster"
+	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/evolve"
 	"repro/internal/gen"
 	"repro/internal/params"
 	"repro/internal/sptree"
@@ -144,4 +146,88 @@ type (
 // with per-run and total size limits.
 func ReadRunTar(r io.Reader, maxRun, maxTotal int64) ([]RunData, error) {
 	return store.ReadRunTar(r, maxRun, maxTotal)
+}
+
+// Workflow evolution (internal/evolve): specs change between versions
+// — modules renamed, inserted, deleted; series edges split; parallel
+// branches duplicated — and runs collected under different versions
+// must still be comparable. The spec-evolution subsystem computes an
+// edit mapping between two specification versions and projects runs
+// through it so the run-diff engine, cohort matrices and clustering
+// work across versions. The Store integrates lineage natively:
+// PutSpecVersion registers a version (persisting its mapping as a
+// snapshot frame), Lineage walks the version chain, SpecMapping
+// composes per-step mappings, and CrossDiff compares stored runs
+// across versions.
+type (
+	// SpecMapping aligns the surviving nodes of one specification
+	// version with their counterparts in another.
+	SpecMapping = evolve.SpecMapping
+	// EvolveCosts prices spec-level edits (module rename,
+	// insert/delete, series/parallel restructure).
+	EvolveCosts = evolve.Costs
+	// SpecMappingStats summarizes a mapping (mapped, renamed,
+	// inserted, deleted modules).
+	SpecMappingStats = evolve.MappingStats
+	// CrossResult is a cross-version run comparison: projection +
+	// run-diff distance with the spec-forced change priced apart.
+	CrossResult = evolve.CrossResult
+	// RunProjection prices what a mapping could not carry across.
+	RunProjection = evolve.Projection
+	// SpecMutation is one applied spec-evolution step (see MutateSpec).
+	SpecMutation = gen.Mutation
+)
+
+// DefaultEvolveCosts is the spec-edit cost model the store and service
+// use.
+func DefaultEvolveCosts() EvolveCosts { return evolve.DefaultCosts() }
+
+// SpecEvolve computes the minimum-cost edit mapping between two
+// specification versions.
+func SpecEvolve(a, b *Spec, c EvolveCosts) (*SpecMapping, error) {
+	return evolve.SpecDiff(a, b, c)
+}
+
+// IdentitySpecMapping is the total self-mapping of a specification,
+// under which CrossDiff degenerates to the plain run diff.
+func IdentitySpecMapping(sp *Spec) *SpecMapping { return evolve.Identity(sp) }
+
+// ComposeSpecMappings chains mappings A→B and B→C into A→C.
+func ComposeSpecMappings(m1, m2 *SpecMapping) (*SpecMapping, error) {
+	return evolve.Compose(m1, m2)
+}
+
+// ProjectRun pushes a run of the mapping's source version into the
+// target version's node space, producing a valid run of the target;
+// the Projection prices the regions the mapping could not carry.
+func ProjectRun(m *SpecMapping, r *Run, runCost CostModel) (*Run, *RunProjection, error) {
+	return evolve.ProjectRun(m, r, runCost)
+}
+
+// CrossDiff compares a run of one specification version with a run of
+// another under a spec mapping: projection plus ordinary run diff,
+// with spec-forced change (dropped/inserted regions) priced apart
+// from data-driven change.
+func CrossDiff(m *SpecMapping, r1, r2 *Run, runCost CostModel) (*CrossResult, error) {
+	return evolve.CrossDiff(m, r1, r2, runCost)
+}
+
+// MutateSpec applies n random spec-evolution mutations (subdivide a
+// series edge, add a parallel module, duplicate a parallel branch) —
+// the workload generator for evolution scenarios. The last element
+// carries the final specification.
+func MutateSpec(sp *Spec, n int, rng *rand.Rand) ([]*SpecMutation, error) {
+	return gen.Mutate(sp, n, rng)
+}
+
+// EncodeSpecMappingBinary serializes a spec mapping as a versioned,
+// checksummed snapshot frame (the store's lineage.bin format).
+func EncodeSpecMappingBinary(m *SpecMapping) ([]byte, error) {
+	return codec.EncodeSpecMapping(m)
+}
+
+// DecodeSpecMappingBinary rebuilds (and revalidates) a spec mapping
+// frame against the two specification versions it aligns.
+func DecodeSpecMappingBinary(data []byte, a, b *Spec) (*SpecMapping, error) {
+	return codec.DecodeSpecMapping(data, a, b)
 }

@@ -21,7 +21,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 
+	"repro/internal/evolve"
 	"repro/internal/graph"
 	"repro/internal/spec"
 	"repro/internal/sptree"
@@ -36,10 +38,11 @@ const Version = 1
 // Frame layout: magic (4 bytes), version (1 byte), payload length
 // (4 bytes LE), CRC-32 (IEEE) of the payload (4 bytes LE), payload.
 const (
-	magicSpec   = "PDSP"
-	magicRun    = "PDRN"
-	headerLen   = 4 + 1 + 4 + 4
-	maxFrameLen = 1 << 30 // defensive bound on a declared payload length
+	magicSpec    = "PDSP"
+	magicRun     = "PDRN"
+	magicMapping = "PDMP"
+	headerLen    = 4 + 1 + 4 + 4
+	maxFrameLen  = 1 << 30 // defensive bound on a declared payload length
 )
 
 // frame wraps a payload with magic, version and checksum.
@@ -290,6 +293,107 @@ func DecodeSpec(data []byte) (*spec.Spec, error) {
 		return nil, err
 	}
 	return spec.New(g, forks, loops)
+}
+
+// --- spec mapping ---------------------------------------------------
+
+// specTreeDigest fingerprints a specification tree over both the
+// edge-identity signature and the label signature, so a mapping frame
+// detects not just size drift but renames — whether they touch the
+// module IDs, the labels, or both.
+func specTreeDigest(root *sptree.Node) uint32 {
+	return crc32.ChecksumIEEE([]byte(root.Signature() + "\x00" + root.LabelSignature()))
+}
+
+// EncodeSpecMapping serializes a spec-evolution mapping as pairs of
+// preorder node IDs, together with both trees' node counts and
+// label-sensitive digests, so a frame decoded against drifted
+// specification versions — even a same-shape rename — fails fast
+// instead of serving a stale mapping.
+func EncodeSpecMapping(m *evolve.SpecMapping) ([]byte, error) {
+	if m == nil || m.A == nil || m.B == nil || m.A.Tree == nil || m.B.Tree == nil {
+		return nil, fmt.Errorf("codec: mapping lacks specifications")
+	}
+	w := &writer{}
+	w.intv(m.A.Tree.CountNodes())
+	w.intv(m.B.Tree.CountNodes())
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, specTreeDigest(m.A.Tree))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, specTreeDigest(m.B.Tree))
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(m.Cost))
+	w.intv(len(m.Pairs))
+	for _, p := range m.Pairs {
+		w.intv(p[0].ID)
+		w.intv(p[1].ID)
+	}
+	return frame(magicMapping, w.buf), nil
+}
+
+// DecodeSpecMapping parses a mapping frame against the two
+// specification versions it aligns, rebuilding and revalidating the
+// SpecMapping (injectivity, node membership, kind compatibility). Any
+// structural drift — a different node count, an out-of-range ID —
+// fails loudly; the store treats that as "recompute the mapping".
+func DecodeSpecMapping(data []byte, a, b *spec.Spec) (*evolve.SpecMapping, error) {
+	if a == nil || b == nil || a.Tree == nil || b.Tree == nil {
+		return nil, fmt.Errorf("codec: nil specification")
+	}
+	payload, err := unframe(magicMapping, data)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{buf: payload}
+	aNodes := flattenSpecTree(a.Tree)
+	bNodes := flattenSpecTree(b.Tree)
+	wantA, err := r.intv()
+	if err != nil {
+		return nil, err
+	}
+	wantB, err := r.intv()
+	if err != nil {
+		return nil, err
+	}
+	if wantA != len(aNodes) || wantB != len(bNodes) {
+		return nil, fmt.Errorf("codec: mapping expects %d/%d-node specification trees, have %d/%d",
+			wantA, wantB, len(aNodes), len(bNodes))
+	}
+	if r.pos+8 > len(r.buf) {
+		return nil, fmt.Errorf("codec: truncated mapping digests")
+	}
+	digA := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	digB := binary.LittleEndian.Uint32(r.buf[r.pos+4:])
+	r.pos += 8
+	if digA != specTreeDigest(a.Tree) || digB != specTreeDigest(b.Tree) {
+		return nil, fmt.Errorf("codec: mapping was recorded against different specification contents")
+	}
+	if r.pos+8 > len(r.buf) {
+		return nil, fmt.Errorf("codec: truncated mapping cost")
+	}
+	cost := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+	r.pos += 8
+	n, err := r.intv()
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([][2]*sptree.Node, 0, n)
+	for i := 0; i < n; i++ {
+		ai, err := r.intv()
+		if err != nil {
+			return nil, err
+		}
+		bi, err := r.intv()
+		if err != nil {
+			return nil, err
+		}
+		if ai >= len(aNodes) || bi >= len(bNodes) {
+			return nil, fmt.Errorf("codec: mapping pair %d references node %d/%d of %d/%d",
+				i, ai, bi, len(aNodes), len(bNodes))
+		}
+		pairs = append(pairs, [2]*sptree.Node{aNodes[ai], bNodes[bi]})
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return evolve.NewMapping(a, b, cost, pairs)
 }
 
 // --- run ------------------------------------------------------------

@@ -1,0 +1,245 @@
+package evolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fixtures"
+	"repro/internal/gen"
+	"repro/internal/wfrun"
+)
+
+const eps = 1e-9
+
+func TestIdentityDiffIsZeroAndTotal(t *testing.T) {
+	for _, name := range gen.CatalogNames {
+		sp, err := gen.Catalog(name)
+		if err != nil {
+			t.Fatalf("catalog %s: %v", name, err)
+		}
+		m, err := SpecDiff(sp, sp, DefaultCosts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Cost != 0 {
+			t.Errorf("%s: diff(s, s) = %g, want 0", name, m.Cost)
+		}
+		if got, want := len(m.Pairs), sp.Tree.CountNodes(); got != want {
+			t.Errorf("%s: identity mapping has %d pairs, want total %d", name, got, want)
+		}
+		for _, p := range m.Pairs {
+			if p[0] != p[1] {
+				t.Errorf("%s: identity mapping pairs %s[%s..%s] with a different node", name, p[0].Type, p[0].Src, p[0].Dst)
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSubdivideEdgeKnownCost(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	rng := rand.New(rand.NewSource(7))
+	mut, err := gen.SubdivideEdge(sp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultCosts()
+	m, err := SpecDiff(sp, mut.Spec, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := c.Rename + c.Leaf + c.Node
+	if m.Cost <= 0 || m.Cost > bound+eps {
+		t.Errorf("subdivide cost %g, want in (0, %g]", m.Cost, bound)
+	}
+	st := m.Stats()
+	if st.InsertedModules != 1 {
+		t.Errorf("subdivide inserted %d modules, want 1", st.InsertedModules)
+	}
+	if st.DeletedModules != 0 {
+		t.Errorf("subdivide deleted %d modules, want 0", st.DeletedModules)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingInvertAndCompose(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	rng := rand.New(rand.NewSource(3))
+	m1, err := gen.SubdivideEdge(sp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := gen.AddParallelEdge(m1.Spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultCosts()
+	ab, err := SpecDiff(sp, m1.Spec, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := SpecDiff(m1.Spec, m2.Spec, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := ab.Invert()
+	if inv.Cost != ab.Cost || len(inv.Pairs) != len(ab.Pairs) {
+		t.Errorf("invert changed cost/pairs: %g/%d vs %g/%d", inv.Cost, len(inv.Pairs), ab.Cost, len(ab.Pairs))
+	}
+	if err := inv.Validate(); err != nil {
+		t.Error(err)
+	}
+	ac, err := Compose(ab, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Validate(); err != nil {
+		t.Error(err)
+	}
+	if ac.A != sp || ac.B != m2.Spec {
+		t.Error("composed mapping has wrong endpoints")
+	}
+	// The direct distance never exceeds the composed upper bound.
+	direct, err := SpecDiff(sp, m2.Spec, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cost > ac.Cost+eps {
+		t.Errorf("direct cost %g exceeds composed bound %g", direct.Cost, ac.Cost)
+	}
+	if _, err := Compose(bc, ab); err == nil {
+		t.Error("compose with mismatched endpoints succeeded")
+	}
+}
+
+func TestDiffRejectsBadCosts(t *testing.T) {
+	sp := fixtures.Fig2Spec()
+	if _, err := SpecDiff(sp, sp, Costs{}); err == nil {
+		t.Error("zero costs accepted")
+	}
+	if _, err := SpecDiff(sp, sp, Costs{Rename: 1, Retype: 1, Leaf: -1, Node: 1}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := SpecDiff(nil, sp, DefaultCosts()); err == nil {
+		t.Error("nil spec accepted")
+	}
+}
+
+func TestEngineReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eng := NewEngine(DefaultCosts())
+	for i := 0; i < 20; i++ {
+		sp, err := gen.RandomSpec(gen.SpecConfig{Edges: 4 + rng.Intn(12), SeriesRatio: 1.5, Forks: 1, Loops: 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		muts, err := gen.Mutate(sp, 1+rng.Intn(2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp2 := muts[len(muts)-1].Spec
+		reused, err := eng.Diff(sp, sp2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := SpecDiff(sp, sp2, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(reused.Cost-fresh.Cost) > eps {
+			t.Fatalf("iteration %d: reused engine cost %g != fresh %g", i, reused.Cost, fresh.Cost)
+		}
+		if len(reused.Pairs) != len(fresh.Pairs) {
+			t.Fatalf("iteration %d: reused engine pairs %d != fresh %d", i, len(reused.Pairs), len(fresh.Pairs))
+		}
+	}
+}
+
+func TestCrossDiffIdentityEqualsPlainDiff(t *testing.T) {
+	sp := fixtures.Fig2SpecWithLoop()
+	r1 := fixtures.Fig2R1(sp)
+	r3 := fixtures.Fig2R3(sp)
+	m := Identity(sp)
+	for _, cm := range []cost.Model{cost.Unit{}, cost.Length{}} {
+		want := mustDistance(t, r1, r3, cm)
+		res, err := CrossDiff(m, r1, r3, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Projection.Cost() != 0 {
+			t.Errorf("%s: identity projection cost %g, want 0", cm.Name(), res.Projection.Cost())
+		}
+		if math.Abs(res.Distance-want) > eps {
+			t.Errorf("%s: cross distance %g, want plain distance %g", cm.Name(), res.Distance, want)
+		}
+	}
+}
+
+func TestProjectionIsValidRunOfTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 15; i++ {
+		sp, err := gen.RandomSpec(gen.SpecConfig{Edges: 5 + rng.Intn(12), SeriesRatio: 1.0, Forks: 1, Loops: 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		muts, err := gen.Mutate(sp, 1+rng.Intn(3), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp2 := muts[len(muts)-1].Spec
+		m, err := SpecDiff(sp, sp2, DefaultCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := gen.RandomRun(sp, gen.RunParams{ProbP: 0.8, ProbF: 0.5, MaxF: 3, ProbL: 0.5, MaxL: 3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		projected, proj, err := ProjectRun(m, r1, cost.Unit{})
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if projected.Spec != sp2 {
+			t.Fatalf("iteration %d: projected run belongs to the wrong spec", i)
+		}
+		if err := projected.Validate(); err != nil {
+			t.Fatalf("iteration %d: projected run invalid: %v", i, err)
+		}
+		if proj.DroppedCost < 0 || proj.InsertedCost < 0 {
+			t.Fatalf("iteration %d: negative projection cost %+v", i, proj)
+		}
+	}
+}
+
+func TestCrossDiffRejectsMismatchedRuns(t *testing.T) {
+	spA := fixtures.Fig2Spec()
+	spB := fixtures.Fig2SpecWithLoop()
+	m, err := SpecDiff(spA, spB, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB := fixtures.Fig2R3(spB)
+	if _, _, err := ProjectRun(m, rB, cost.Unit{}); err == nil {
+		t.Error("projection accepted a run of the wrong specification")
+	}
+	rA := fixtures.Fig2R1(spA)
+	if _, err := CrossDiff(m, rA, rA, cost.Unit{}); err == nil {
+		t.Error("cross diff accepted a target run of the wrong specification")
+	}
+}
+
+func mustDistance(t *testing.T, r1, r2 *wfrun.Run, cm cost.Model) float64 {
+	t.Helper()
+	d, err := core.Distance(r1, r2, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,103 @@
+package evolve
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/wfxml"
+)
+
+// FuzzSpecMapping: for any pair of parseable specification XML
+// documents, SpecDiff must never panic, and every mapping it returns
+// must be a valid injective node map with a finite, non-negative cost
+// bounded by replacing both trees outright. The self-mapping of either
+// side must cost zero and be total.
+func FuzzSpecMapping(f *testing.F) {
+	encode := func(name string) []byte {
+		sp, err := gen.Catalog(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := wfxml.EncodeSpec(&buf, sp, name); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	pa := encode("PA")
+	f.Add(pa, pa)
+	f.Add(pa, encode("EMBOSS"))
+	// A mutated pair: the shape the subsystem exists for.
+	{
+		sp, err := gen.Catalog("PA")
+		if err != nil {
+			f.Fatal(err)
+		}
+		muts, err := gen.Mutate(sp, 2, rand.New(rand.NewSource(1)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := wfxml.EncodeSpec(&buf, muts[len(muts)-1].Spec, "PA-v2"); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(pa, buf.Bytes())
+	}
+	tiny := []byte(`<specification><module id="s" label="S"/><module id="t" label="T"/><link from="s" to="t"/></specification>`)
+	multi := []byte(`<specification><module id="s" label="S"/><module id="t" label="T"/><link from="s" to="t"/><link from="s" to="t" key="1"/><fork><edge from="s" to="t"/></fork></specification>`)
+	f.Add(tiny, multi)
+	f.Add([]byte(`not xml`), tiny)
+
+	f.Fuzz(func(t *testing.T, xmlA, xmlB []byte) {
+		// Bound the parse cost up front: huge grown documents spend
+		// seconds in spec validation before the node-count cap below
+		// can apply.
+		if len(xmlA) > 16<<10 || len(xmlB) > 16<<10 {
+			return
+		}
+		a, err := wfxml.DecodeSpec(bytes.NewReader(xmlA))
+		if err != nil {
+			return
+		}
+		b, err := wfxml.DecodeSpec(bytes.NewReader(xmlB))
+		if err != nil {
+			return
+		}
+		// Bound the DP size so the fuzzer spends its budget on shapes,
+		// not on giant quadratic tables.
+		if a.Tree.CountNodes() > 80 || b.Tree.CountNodes() > 80 {
+			return
+		}
+		c := DefaultCosts()
+		m, err := SpecDiff(a, b, c)
+		if err != nil {
+			t.Fatalf("SpecDiff failed on two valid specs: %v", err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("invalid mapping: %v\nA:\n%s\nB:\n%s", err, a.Tree, b.Tree)
+		}
+		delA := fillDel(nil, a.Tree.Index().Nodes, c)
+		delB := fillDel(nil, b.Tree.Index().Nodes, c)
+		if ceil := delA[0] + delB[0]; m.Cost > ceil+1e-9 {
+			t.Fatalf("mapping cost %g exceeds full-replacement ceiling %g", m.Cost, ceil)
+		}
+		self, err := SpecDiff(a, a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if self.Cost != 0 || len(self.Pairs) != a.Tree.CountNodes() {
+			t.Fatalf("self-mapping not zero/total: cost %g, %d of %d nodes",
+				self.Cost, len(self.Pairs), a.Tree.CountNodes())
+		}
+		// The inverse direction prices identically.
+		rev, err := SpecDiff(b, a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := m.Cost - rev.Cost; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("asymmetric: %g vs %g", m.Cost, rev.Cost)
+		}
+	})
+}

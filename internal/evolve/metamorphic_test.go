@@ -1,0 +1,230 @@
+package evolve
+
+// Metamorphic property suite over the random generator: instead of
+// comparing against hand-computed answers, these tests apply *known*
+// mutation scripts to seeded random specifications and check relations
+// the spec-evolution distance must satisfy whatever the inputs are:
+//
+//   - bound:     the recovered mapping cost never exceeds the cost of
+//                the script that actually produced version B from
+//                version A (the engine may find a cheaper explanation,
+//                never a costlier one);
+//   - identity:  diff(s, s) = 0 with a total mapping;
+//   - symmetry:  diff(a, b) = diff(b, a), with the reverse mapping of
+//                the same size;
+//   - no-op projection: pushing a random run through the identity
+//                mapping changes no run-diff distance.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/spec"
+)
+
+// scriptBound prices a mutation script under the spec edit costs — the
+// metamorphic upper bound on the recovered mapping cost.
+func scriptBound(muts []*gen.Mutation, c Costs) float64 {
+	total := 0.0
+	for _, m := range muts {
+		total += float64(m.Renames)*c.Rename + float64(m.InsLeaves)*c.Leaf + float64(m.InsNodes)*c.Node
+	}
+	return total
+}
+
+func randomSpecs(t *testing.T, seed int64, n int) []*spec.Spec {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*spec.Spec, 0, n)
+	for len(out) < n {
+		cfg := gen.SpecConfig{
+			Edges:       3 + rng.Intn(18),
+			SeriesRatio: []float64{0.5, 1, 2, 4}[rng.Intn(4)],
+			Forks:       rng.Intn(3),
+			Loops:       rng.Intn(2),
+		}
+		sp, err := gen.RandomSpec(cfg, rng)
+		if err != nil {
+			t.Fatalf("RandomSpec(%+v): %v", cfg, err)
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+func TestMetamorphicMutationBound(t *testing.T) {
+	c := DefaultCosts()
+	eng := NewEngine(c)
+	rng := rand.New(rand.NewSource(42))
+	checked := 0
+	for _, sp := range randomSpecs(t, 1, 40) {
+		muts, err := gen.Mutate(sp, 1+rng.Intn(4), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := muts[len(muts)-1].Spec
+		m, err := eng.Diff(sp, mutated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mutated mapping invalid: %v", err)
+		}
+		bound := scriptBound(muts, c)
+		if m.Cost > bound+eps {
+			names := make([]string, len(muts))
+			for i, mu := range muts {
+				names[i] = mu.Name
+			}
+			t.Errorf("mapping cost %g exceeds script bound %g (script %v, spec %d edges)",
+				m.Cost, bound, names, sp.G.NumEdges())
+		}
+		if m.Cost < -eps {
+			t.Errorf("negative mapping cost %g", m.Cost)
+		}
+		checked++
+	}
+	if checked < 40 {
+		t.Fatalf("only %d scripts checked", checked)
+	}
+}
+
+// TestMetamorphicPerMutatorBound pins the bound per mutation kind, so
+// a regression in one mutator's accounting cannot hide behind the
+// others.
+func TestMetamorphicPerMutatorBound(t *testing.T) {
+	c := DefaultCosts()
+	eng := NewEngine(c)
+	rng := rand.New(rand.NewSource(7))
+	applied := map[string]int{}
+	for _, sp := range randomSpecs(t, 2, 30) {
+		for _, mutate := range gen.Mutators {
+			mut, err := mutate(sp, rng)
+			if err != nil {
+				continue // mutation does not apply to this shape
+			}
+			m, err := eng.Diff(sp, mut.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := scriptBound([]*gen.Mutation{mut}, c)
+			if m.Cost > bound+eps {
+				t.Errorf("%s: mapping cost %g exceeds bound %g (spec %d edges)",
+					mut.Name, m.Cost, bound, sp.G.NumEdges())
+			}
+			applied[mut.Name]++
+		}
+	}
+	for _, name := range []string{"subdivide-edge", "add-parallel-edge", "duplicate-parallel-branch"} {
+		if applied[name] == 0 {
+			t.Errorf("mutator %s never applied", name)
+		}
+	}
+}
+
+func TestMetamorphicIdentity(t *testing.T) {
+	eng := NewEngine(DefaultCosts())
+	for _, sp := range randomSpecs(t, 3, 25) {
+		m, err := eng.Diff(sp, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cost != 0 {
+			t.Errorf("diff(s, s) = %g on %d-edge spec, want 0", m.Cost, sp.G.NumEdges())
+		}
+		if len(m.Pairs) != sp.Tree.CountNodes() {
+			t.Errorf("identity mapping not total: %d of %d nodes", len(m.Pairs), sp.Tree.CountNodes())
+		}
+	}
+}
+
+func TestMetamorphicSymmetry(t *testing.T) {
+	eng := NewEngine(DefaultCosts())
+	rng := rand.New(rand.NewSource(9))
+	specs := randomSpecs(t, 4, 24)
+	for i := 0; i < len(specs); i += 2 {
+		a, b := specs[i], specs[i+1]
+		if rng.Intn(2) == 0 {
+			// Half the pairs are mutation-related, half unrelated.
+			muts, err := gen.Mutate(a, 1+rng.Intn(3), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b = muts[len(muts)-1].Spec
+		}
+		ab, err := eng.Diff(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := eng.Diff(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ab.Cost-ba.Cost) > eps {
+			t.Errorf("asymmetric: diff(a,b)=%g, diff(b,a)=%g (%d vs %d edges)",
+				ab.Cost, ba.Cost, a.G.NumEdges(), b.G.NumEdges())
+		}
+		// Mapping *sizes* may differ between tied optimal solutions;
+		// both directions must still be structurally valid.
+		if err := ab.Validate(); err != nil {
+			t.Error(err)
+		}
+		if err := ba.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestMetamorphicNoOpProjection pins the anchor property of
+// cross-version comparison: projecting a random run through the
+// identity mapping must not change any run-diff distance, under any
+// cost model, and must itself cost nothing.
+func TestMetamorphicNoOpProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	models := []cost.Model{cost.Unit{}, cost.Length{}, cost.Power{Epsilon: 0.5}}
+	for _, sp := range randomSpecs(t, 5, 12) {
+		ident := Identity(sp)
+		params := gen.RunParams{ProbP: 0.85, ProbF: 0.6, MaxF: 3, ProbL: 0.6, MaxL: 3}
+		r1, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := gen.RandomRun(sp, params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cm := range models {
+			projected, proj, err := ProjectRun(ident, r1, cm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if proj.Cost() != 0 {
+				t.Fatalf("no-op projection cost %g, want 0", proj.Cost())
+			}
+			if err := projected.Validate(); err != nil {
+				t.Fatalf("no-op projection invalid: %v", err)
+			}
+			want, err := core.Distance(r1, r2, cm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.Distance(projected, r2, cm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > eps {
+				t.Errorf("%s: distance through no-op projection %g, want %g", cm.Name(), got, want)
+			}
+			// The self-distance of the projection is zero: the
+			// projected run is the same run up to instance naming.
+			self, err := core.Distance(projected, r1, cm)
+			if err == nil && math.Abs(self) > eps {
+				t.Errorf("%s: projected run is %g away from its source", cm.Name(), self)
+			}
+		}
+	}
+}

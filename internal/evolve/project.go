@@ -1,0 +1,365 @@
+package evolve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// ProjectRun pushes a run of specification version A through a
+// SpecMapping into version B's node space, producing a *valid run of
+// B* that mirrors r1 wherever the mapping carries structure across:
+//
+//   - a parallel branch is taken iff the branch's mapped counterpart
+//     was executed in r1;
+//   - a fork (loop) node mapped to a fork (loop) of A replicates as
+//     many copies (iterations) as r1 did, each projected from its
+//     corresponding copy;
+//   - regions of B with no surviving counterpart (modules inserted by
+//     the evolution, or regions r1 simply never executed) are executed
+//     with minimal defaults: every parallel branch once, one fork
+//     copy, one loop iteration.
+//
+// Because the projection is built by wfrun.Execute against B, the
+// result carries a materialized graph and passes full run validation,
+// so the existing run-diff engine, cohort matrices and clustering all
+// accept it. The returned Projection prices what the mapping could
+// not carry: maximal regions of r1 whose nodes have no image
+// (DroppedCost, as deletions) and maximal synthetic regions of the
+// projected run (InsertedCost, as insertions), both under the given
+// run cost model.
+//
+// Projecting through Identity(r1.Spec) reproduces r1 up to parallel
+// child order and node-instance naming, with zero projection cost —
+// the metamorphic anchor the test suite pins: run-diff distances are
+// unchanged by a no-op projection.
+func ProjectRun(m *SpecMapping, r1 *wfrun.Run, runCost cost.Model) (*wfrun.Run, *Projection, error) {
+	if m == nil || m.A == nil || m.B == nil {
+		return nil, nil, fmt.Errorf("evolve: nil mapping")
+	}
+	if r1 == nil || r1.Spec != m.A {
+		return nil, nil, fmt.Errorf("evolve: run does not belong to the mapping's source specification")
+	}
+	pj := &projector{m: m, consumed: make(map[*sptree.Node]bool)}
+	plan := pj.plan(m.B.Tree, r1.Tree)
+	dec := newPlanDecider(plan)
+	out, err := wfrun.Execute(m.B, dec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("evolve: projection produced an invalid run: %w", err)
+	}
+	proj := &Projection{}
+	proj.priceDropped(r1.Tree, pj.consumed, runCost)
+	proj.priceInserted(plan, out.Tree, runCost)
+	return out, proj, nil
+}
+
+// Projection reports what a run projection could not carry through the
+// mapping, priced under the run cost model.
+type Projection struct {
+	// DroppedCost is the total deletion price of the maximal regions
+	// of the source run whose specification nodes have no image.
+	DroppedCost float64
+	// InsertedCost is the total insertion price of the maximal
+	// synthetic regions of the projected run — regions of B the
+	// mapping gave no counterpart for, executed with defaults.
+	InsertedCost float64
+	// DroppedRegions and InsertedRegions count those maximal regions.
+	DroppedRegions, InsertedRegions int
+}
+
+// Cost is the total projection price.
+func (p *Projection) Cost() float64 { return p.DroppedCost + p.InsertedCost }
+
+// priceDropped walks the source run tree and prices every maximal
+// subtree containing no consumed node as one deleted region.
+func (p *Projection) priceDropped(v *sptree.Node, consumed map[*sptree.Node]bool, m cost.Model) {
+	if !p.anyConsumed(v, consumed) {
+		p.DroppedCost += core.DeletionCost(v, m)
+		p.DroppedRegions++
+		return
+	}
+	for _, c := range v.Children {
+		p.priceDropped(c, consumed, m)
+	}
+}
+
+func (p *Projection) anyConsumed(v *sptree.Node, consumed map[*sptree.Node]bool) bool {
+	if consumed[v] {
+		return true
+	}
+	for _, c := range v.Children {
+		if p.anyConsumed(c, consumed) {
+			return true
+		}
+	}
+	return false
+}
+
+// priceInserted walks the plan and the projected run tree in lockstep
+// (Execute realizes the plan shape exactly) and prices every maximal
+// fully-synthetic plan subtree as one inserted region.
+func (p *Projection) priceInserted(pn *planNode, run *sptree.Node, m cost.Model) {
+	if !pn.anyBacked() {
+		p.InsertedCost += core.DeletionCost(run, m)
+		p.InsertedRegions++
+		return
+	}
+	for i, c := range pn.children {
+		p.priceInserted(c, run.Children[i], m)
+	}
+}
+
+// --- plan -----------------------------------------------------------
+
+// planNode is one node of the projected run in planning form: the B
+// specification node it instantiates, the children to execute (for P
+// nodes, subset[i] is the spec child index of children[i]), and
+// whether the node is backed by an instance in the source run.
+type planNode struct {
+	b        *sptree.Node
+	children []*planNode
+	subset   []int
+	backed   bool
+}
+
+func (pn *planNode) anyBacked() bool {
+	if pn.backed {
+		return true
+	}
+	for _, c := range pn.children {
+		if c.anyBacked() {
+			return true
+		}
+	}
+	return false
+}
+
+type projector struct {
+	m *SpecMapping
+	// consumed marks source-run nodes that back a projected node.
+	consumed map[*sptree.Node]bool
+}
+
+// res finds the first preorder node of u's subtree instantiating the A
+// specification node a, or nil.
+func res(u *sptree.Node, a *sptree.Node) *sptree.Node {
+	if u == nil || a == nil {
+		return nil
+	}
+	var found *sptree.Node
+	u.Walk(func(v *sptree.Node) bool {
+		if found != nil {
+			return false
+		}
+		if v.Spec == a {
+			found = v
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// subtreeBacked reports whether any node of B subtree cb has a mapped
+// counterpart instantiated within source-run context u — the test for
+// taking a parallel branch.
+func (pj *projector) subtreeBacked(u, cb *sptree.Node) bool {
+	if u == nil {
+		return false
+	}
+	backed := false
+	cb.Walk(func(x *sptree.Node) bool {
+		if backed {
+			return false
+		}
+		if a := pj.m.BtoA(x); a != nil && res(u, a) != nil {
+			backed = true
+			return false
+		}
+		return true
+	})
+	return backed
+}
+
+// plan builds the projected execution of B subtree b against source
+// run context u (nil = no context, execute defaults).
+func (pj *projector) plan(b *sptree.Node, u *sptree.Node) *planNode {
+	pn := &planNode{b: b}
+	if a := pj.m.BtoA(b); a != nil {
+		if t := res(u, a); t != nil {
+			u = t
+			pn.backed = true
+			pj.consumed[t] = true
+		} else {
+			u = nil
+		}
+	}
+	switch b.Type {
+	case sptree.Q:
+		// Leaf: nothing to decide.
+
+	case sptree.S:
+		for _, cb := range b.Children {
+			pn.children = append(pn.children, pj.plan(cb, u))
+		}
+
+	case sptree.P:
+		if u == nil {
+			// Default insertion: every branch once.
+			for i, cb := range b.Children {
+				pn.subset = append(pn.subset, i)
+				pn.children = append(pn.children, pj.plan(cb, nil))
+			}
+			break
+		}
+		for i, cb := range b.Children {
+			if pj.subtreeBacked(u, cb) {
+				pn.subset = append(pn.subset, i)
+				pn.children = append(pn.children, pj.plan(cb, u))
+			}
+		}
+		if len(pn.subset) == 0 {
+			// The source executed none of the surviving branches; a
+			// valid run must still take one.
+			pn.subset = []int{0}
+			pn.children = []*planNode{pj.plan(b.Children[0], u)}
+		}
+
+	case sptree.F, sptree.L:
+		cb := b.Children[0]
+		if pn.backed && u.Type == b.Type && len(u.Children) > 0 {
+			// Replicate the source's copies/iterations, each projected
+			// from its own copy.
+			for _, uc := range u.Children {
+				pn.children = append(pn.children, pj.plan(cb, uc))
+			}
+		} else {
+			pn.children = append(pn.children, pj.plan(cb, u))
+		}
+	}
+	return pn
+}
+
+// --- plan-driven decider --------------------------------------------
+
+// planDecider replays a plan through wfrun.Execute. Execute's
+// traversal (series children in order, parallel children in subset
+// order, fork copies and loop iterations sequentially) visits
+// decision points in exactly the plan's preorder, so one FIFO queue
+// per specification node suffices.
+type planDecider struct {
+	subsets map[*sptree.Node][][]int
+	counts  map[*sptree.Node][]int
+}
+
+func newPlanDecider(plan *planNode) *planDecider {
+	d := &planDecider{
+		subsets: make(map[*sptree.Node][][]int),
+		counts:  make(map[*sptree.Node][]int),
+	}
+	var walk func(pn *planNode)
+	walk = func(pn *planNode) {
+		switch pn.b.Type {
+		case sptree.P:
+			d.subsets[pn.b] = append(d.subsets[pn.b], pn.subset)
+		case sptree.F, sptree.L:
+			d.counts[pn.b] = append(d.counts[pn.b], len(pn.children))
+		}
+		for _, c := range pn.children {
+			walk(c)
+		}
+	}
+	walk(plan)
+	return d
+}
+
+func (d *planDecider) ParallelSubset(p *sptree.Node) []int {
+	q := d.subsets[p]
+	if len(q) == 0 {
+		// Execute asked for a decision the plan did not script; take
+		// every branch (never happens for plans built against p's own
+		// specification tree).
+		all := make([]int, len(p.Children))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	d.subsets[p] = q[1:]
+	return q[0]
+}
+
+func (d *planDecider) count(n *sptree.Node) int {
+	q := d.counts[n]
+	if len(q) == 0 {
+		return 1
+	}
+	d.counts[n] = q[1:]
+	return q[0]
+}
+
+func (d *planDecider) ForkCopies(f *sptree.Node) int     { return d.count(f) }
+func (d *planDecider) LoopIterations(l *sptree.Node) int { return d.count(l) }
+
+// --- cross-version differencing -------------------------------------
+
+// CrossResult is the outcome of comparing runs across specification
+// versions.
+type CrossResult struct {
+	// Mapping is the spec-level alignment the comparison ran under.
+	Mapping *SpecMapping
+	// Projected is r1 pushed into version B's node space — a valid
+	// run of B.
+	Projected *wfrun.Run
+	// Projection prices what the mapping could not carry.
+	Projection *Projection
+	// EngineDistance is the ordinary run edit distance between the
+	// projected run and r2, both valid runs of B.
+	EngineDistance float64
+	// Distance is the cross-version distance: EngineDistance plus the
+	// projection cost. It is a finite, non-negative dissimilarity —
+	// not a metric across versions, since the projection prices
+	// spec-forced change separately from data-driven change (which is
+	// exactly the question spec evolution asks).
+	Distance float64
+}
+
+// CrossDiff compares a run of specification version A with a run of
+// version B under a spec mapping A → B: r1 is projected into B's node
+// space and differenced against r2 with the ordinary run engine, and
+// the regions the mapping could not carry are priced as inserts and
+// deletes. With an identity mapping it degenerates to the plain run
+// edit distance.
+func CrossDiff(m *SpecMapping, r1, r2 *wfrun.Run, runCost cost.Model) (*CrossResult, error) {
+	return CrossDiffWith(core.NewEngine(runCost), m, r1, r2, runCost)
+}
+
+// CrossDiffWith is CrossDiff with a caller-owned run engine (which
+// must price with runCost), for service callers that pool engines per
+// (specification, cost model).
+func CrossDiffWith(eng *core.Engine, m *SpecMapping, r1, r2 *wfrun.Run, runCost cost.Model) (*CrossResult, error) {
+	if m == nil {
+		return nil, fmt.Errorf("evolve: nil mapping")
+	}
+	if r2 == nil || r2.Spec != m.B {
+		return nil, fmt.Errorf("evolve: target run does not belong to the mapping's target specification")
+	}
+	projected, proj, err := ProjectRun(m, r1, runCost)
+	if err != nil {
+		return nil, err
+	}
+	d, err := eng.Distance(projected, r2)
+	if err != nil {
+		return nil, err
+	}
+	return &CrossResult{
+		Mapping:        m,
+		Projected:      projected,
+		Projection:     proj,
+		EngineDistance: d,
+		Distance:       d + proj.Cost(),
+	}, nil
+}

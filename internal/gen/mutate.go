@@ -1,0 +1,254 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+)
+
+// Spec mutations model workflow evolution: the edits scientists apply
+// between versions of a specification. Each mutation rebuilds the
+// specification graph with one structural change applied and carries
+// the tree-level edit bound the change costs — at most Renames module
+// renames plus InsLeaves module insertions plus InsNodes combinator
+// insertions — which the metamorphic suite uses as an upper bound on
+// the recovered spec-mapping cost.
+
+// Mutation is one applied spec-evolution step.
+type Mutation struct {
+	// Name identifies the mutation kind ("subdivide-edge",
+	// "add-parallel-edge", "duplicate-parallel-branch").
+	Name string
+	// Spec is the mutated specification.
+	Spec *spec.Spec
+	// Renames, InsLeaves and InsNodes bound the tree edit the
+	// mutation performs: module renames, inserted module edges and
+	// inserted combinator nodes.
+	Renames, InsLeaves, InsNodes int
+}
+
+// rebuild replays sp.G into a fresh graph, returning the new graph and
+// the old-edge → new-edges mapping. replace may return substitute
+// endpoint pairs for an edge (after adding any new nodes to out); a
+// nil return replays the edge unchanged.
+func rebuild(sp *spec.Spec, replace func(out *graph.Graph, e graph.Edge) [][2]graph.NodeID) (*graph.Graph, map[graph.Edge][]graph.Edge) {
+	out := graph.New()
+	for _, n := range sp.G.Nodes() {
+		out.MustAddNode(n, sp.G.Label(n))
+	}
+	edgeMap := make(map[graph.Edge][]graph.Edge, sp.G.NumEdges())
+	for _, e := range sp.G.Edges() {
+		var subs [][2]graph.NodeID
+		if replace != nil {
+			subs = replace(out, e)
+		}
+		if subs == nil {
+			subs = [][2]graph.NodeID{{e.From, e.To}}
+		}
+		for _, s := range subs {
+			edgeMap[e] = append(edgeMap[e], out.MustAddEdge(s[0], s[1]))
+		}
+	}
+	return out, edgeMap
+}
+
+// remapSets pushes fork/loop edge sets through an edge mapping,
+// optionally appending extra edges to sets satisfying keep.
+func remapSets(sets []spec.EdgeSet, edgeMap map[graph.Edge][]graph.Edge, extra []graph.Edge, keep func(spec.EdgeSet) bool) []spec.EdgeSet {
+	out := make([]spec.EdgeSet, len(sets))
+	for i, s := range sets {
+		var ns spec.EdgeSet
+		for _, e := range s {
+			ns = append(ns, edgeMap[e]...)
+		}
+		if keep != nil && keep(s) {
+			ns = append(ns, extra...)
+		}
+		out[i] = ns
+	}
+	return out
+}
+
+// freshLabel allocates a node label (and ID — spec graphs use labels
+// as IDs) not present in the graph.
+func freshLabel(g *graph.Graph, seq *int) graph.NodeID {
+	for {
+		id := graph.NodeID(fmt.Sprintf("w%d", *seq))
+		*seq++
+		if !g.HasNode(id) {
+			return id
+		}
+	}
+}
+
+// SubdivideEdge splits a random specification edge (u, v) into
+// (u, x), (x, v) through a fresh module x — the "insert module on a
+// series edge" evolution. Fork and loop subgraphs containing the edge
+// keep both halves.
+func SubdivideEdge(sp *spec.Spec, rng *rand.Rand) (*Mutation, error) {
+	edges := sp.G.Edges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("gen: specification has no edges")
+	}
+	target := edges[rng.Intn(len(edges))]
+	seq := 0
+	g, edgeMap := rebuild(sp, func(out *graph.Graph, e graph.Edge) [][2]graph.NodeID {
+		if e != target {
+			return nil
+		}
+		x := freshLabel(out, &seq)
+		out.MustAddNode(x, string(x))
+		return [][2]graph.NodeID{{e.From, x}, {x, e.To}}
+	})
+	ns, err := spec.New(g,
+		remapSets(sp.Forks, edgeMap, nil, nil),
+		remapSets(sp.Loops, edgeMap, nil, nil))
+	if err != nil {
+		return nil, fmt.Errorf("gen: subdivide %s: %w", target, err)
+	}
+	return &Mutation{Name: "subdivide-edge", Spec: ns, Renames: 1, InsLeaves: 1, InsNodes: 1}, nil
+}
+
+// AddParallelEdge adds a new module edge parallel to a random existing
+// specification edge — the "insert alternative module" evolution.
+// Every fork and loop subgraph containing the original edge absorbs
+// the new one, keeping the subgraph complete.
+func AddParallelEdge(sp *spec.Spec, rng *rand.Rand) (*Mutation, error) {
+	edges := sp.G.Edges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("gen: specification has no edges")
+	}
+	target := edges[rng.Intn(len(edges))]
+	g, edgeMap := rebuild(sp, nil)
+	added := g.MustAddEdge(target.From, target.To)
+	contains := func(s spec.EdgeSet) bool {
+		for _, e := range s {
+			if e == target {
+				return true
+			}
+		}
+		return false
+	}
+	ns, err := spec.New(g,
+		remapSets(sp.Forks, edgeMap, []graph.Edge{added}, contains),
+		remapSets(sp.Loops, edgeMap, []graph.Edge{added}, contains))
+	if err != nil {
+		return nil, fmt.Errorf("gen: parallel edge at %s: %w", target, err)
+	}
+	return &Mutation{Name: "add-parallel-edge", Spec: ns, InsLeaves: 1, InsNodes: 1}, nil
+}
+
+// DuplicateParallelBranch clones one branch of a random parallel
+// composition: the branch's interior modules are duplicated under
+// fresh labels and wired between the same terminals — the "replicate
+// an alternative" evolution. Fork and loop subgraphs strictly
+// containing the branch absorb the clone.
+func DuplicateParallelBranch(sp *spec.Spec, rng *rand.Rand) (*Mutation, error) {
+	var ps []*sptree.Node
+	sp.Tree.Walk(func(n *sptree.Node) bool {
+		if n.Type == sptree.P && len(n.Children) > 1 {
+			ps = append(ps, n)
+		}
+		return true
+	})
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("gen: specification has no parallel composition")
+	}
+	p := ps[rng.Intn(len(ps))]
+	branch := p.Children[rng.Intn(len(p.Children))]
+	inBranch := make(map[graph.Edge]bool)
+	for _, q := range branch.Leaves() {
+		inBranch[q.Edge] = true
+	}
+	srcID, err := sp.G.NodeByLabel(branch.Src)
+	if err != nil {
+		return nil, fmt.Errorf("gen: duplicate branch: %w", err)
+	}
+	dstID, err := sp.G.NodeByLabel(branch.Dst)
+	if err != nil {
+		return nil, fmt.Errorf("gen: duplicate branch: %w", err)
+	}
+
+	g, edgeMap := rebuild(sp, nil)
+	// Clone interior nodes under fresh labels, then replay the branch
+	// edges between the cloned interiors (terminals stay shared).
+	seq := 0
+	cloneNode := make(map[graph.NodeID]graph.NodeID)
+	mapped := func(n graph.NodeID) graph.NodeID {
+		if n == srcID || n == dstID {
+			return n
+		}
+		c, ok := cloneNode[n]
+		if !ok {
+			c = freshLabel(g, &seq)
+			g.MustAddNode(c, string(c))
+			cloneNode[n] = c
+		}
+		return c
+	}
+	var clones []graph.Edge
+	for _, e := range sp.G.Edges() {
+		if inBranch[e] {
+			clones = append(clones, g.MustAddEdge(mapped(e.From), mapped(e.To)))
+		}
+	}
+	strictSuperset := func(s spec.EdgeSet) bool {
+		if len(s) <= len(inBranch) {
+			return false
+		}
+		have := 0
+		for _, e := range s {
+			if inBranch[e] {
+				have++
+			}
+		}
+		return have == len(inBranch)
+	}
+	ns, err := spec.New(g,
+		remapSets(sp.Forks, edgeMap, clones, strictSuperset),
+		remapSets(sp.Loops, edgeMap, clones, strictSuperset))
+	if err != nil {
+		return nil, fmt.Errorf("gen: duplicate branch at %s[%s..%s]: %w", branch.Type, branch.Src, branch.Dst, err)
+	}
+	return &Mutation{
+		Name:      "duplicate-parallel-branch",
+		Spec:      ns,
+		InsLeaves: branch.CountLeaves(),
+		InsNodes:  branch.CountNodes() - branch.CountLeaves(),
+	}, nil
+}
+
+// Mutators lists the spec-evolution mutation kinds.
+var Mutators = []func(*spec.Spec, *rand.Rand) (*Mutation, error){
+	SubdivideEdge,
+	AddParallelEdge,
+	DuplicateParallelBranch,
+}
+
+// Mutate applies n random mutations in sequence, skipping draws that
+// do not apply to the current shape (e.g. duplicating a branch of a
+// purely serial workflow). It returns the applied steps, whose last
+// element carries the final specification.
+func Mutate(sp *spec.Spec, n int, rng *rand.Rand) ([]*Mutation, error) {
+	var out []*Mutation
+	cur := sp
+	for len(out) < n {
+		applied := false
+		for attempt := 0; attempt < 8 && !applied; attempt++ {
+			mut, err := Mutators[rng.Intn(len(Mutators))](cur, rng)
+			if err != nil {
+				continue
+			}
+			out = append(out, mut)
+			cur = mut.Spec
+			applied = true
+		}
+		if !applied {
+			return nil, fmt.Errorf("gen: no mutation applied after 8 attempts (spec with %d edges)", cur.G.NumEdges())
+		}
+	}
+	return out, nil
+}

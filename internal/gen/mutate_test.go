@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMutatorsProduceValidSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 25; i++ {
+		sp, err := RandomSpec(SpecConfig{Edges: 4 + rng.Intn(14), SeriesRatio: 1.2, Forks: 1 + rng.Intn(2), Loops: rng.Intn(2)}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mutate := range Mutators {
+			mut, err := mutate(sp, rng)
+			if err != nil {
+				continue // not applicable to this shape
+			}
+			// A mutated spec must execute: run the minimal run.
+			if _, err := RandomRun(mut.Spec, DefaultRunParams(), rng); err != nil {
+				t.Fatalf("%s produced an inexecutable spec: %v", mut.Name, err)
+			}
+			if mut.Spec.G.NumEdges() <= sp.G.NumEdges()-1 {
+				t.Fatalf("%s lost edges: %d -> %d", mut.Name, sp.G.NumEdges(), mut.Spec.G.NumEdges())
+			}
+			if mut.InsLeaves < 1 {
+				t.Fatalf("%s reports no inserted module", mut.Name)
+			}
+			// Annotation counts survive the rewrite.
+			if len(mut.Spec.Forks) != len(sp.Forks) || len(mut.Spec.Loops) != len(sp.Loops) {
+				t.Fatalf("%s changed annotation counts: forks %d->%d loops %d->%d",
+					mut.Name, len(sp.Forks), len(mut.Spec.Forks), len(sp.Loops), len(mut.Spec.Loops))
+			}
+		}
+	}
+}
+
+func TestMutateChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sp, err := RandomSpec(SpecConfig{Edges: 10, SeriesRatio: 1, Forks: 1, Loops: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts, err := Mutate(sp, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 5 {
+		t.Fatalf("applied %d mutations, want 5", len(muts))
+	}
+	final := muts[len(muts)-1].Spec
+	if final.G.NumEdges() <= sp.G.NumEdges() {
+		t.Errorf("5 mutations did not grow the spec: %d -> %d edges", sp.G.NumEdges(), final.G.NumEdges())
+	}
+}
+
+// TestRandomSpecDeterministic is the regression test for satellite
+// "gen.RandomSpec must be deterministic for a given *rand.Rand": two
+// generations from the same seed must agree structurally — tree
+// signature, graph rendering, and the exact fork/loop edge sets — and
+// runs drawn from the same seed must agree too. Map-iteration order
+// must never leak into the output (the audit found the generator and
+// spgraph decomposition already pin candidate orders by sorting;
+// this pins them for good).
+func TestRandomSpecDeterministic(t *testing.T) {
+	cfgs := []SpecConfig{
+		{Edges: 6, SeriesRatio: 1, Forks: 0, Loops: 0},
+		{Edges: 14, SeriesRatio: 0.6, Forks: 2, Loops: 1},
+		{Edges: 25, SeriesRatio: 2, Forks: 3, Loops: 2},
+		{Edges: 40, SeriesRatio: 4, Forks: 4, Loops: 3},
+	}
+	for _, cfg := range cfgs {
+		for seed := int64(1); seed <= 10; seed++ {
+			sp1, err := RandomSpec(cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("cfg %+v seed %d: %v", cfg, seed, err)
+			}
+			sp2, err := RandomSpec(cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("cfg %+v seed %d: %v", cfg, seed, err)
+			}
+			if s1, s2 := sp1.Tree.Signature(), sp2.Tree.Signature(); s1 != s2 {
+				t.Fatalf("cfg %+v seed %d: same-seed trees differ:\n%s\nvs\n%s", cfg, seed, s1, s2)
+			}
+			if g1, g2 := sp1.G.String(), sp2.G.String(); g1 != g2 {
+				t.Fatalf("cfg %+v seed %d: same-seed graphs differ", cfg, seed)
+			}
+			if len(sp1.Forks) != len(sp2.Forks) || len(sp1.Loops) != len(sp2.Loops) {
+				t.Fatalf("cfg %+v seed %d: annotation counts differ", cfg, seed)
+			}
+			for i := range sp1.Forks {
+				if len(sp1.Forks[i]) != len(sp2.Forks[i]) {
+					t.Fatalf("cfg %+v seed %d: fork %d sizes differ", cfg, seed, i)
+				}
+				for j := range sp1.Forks[i] {
+					if sp1.Forks[i][j] != sp2.Forks[i][j] {
+						t.Fatalf("cfg %+v seed %d: fork %d edge %d differs: %s vs %s",
+							cfg, seed, i, j, sp1.Forks[i][j], sp2.Forks[i][j])
+					}
+				}
+			}
+			for i := range sp1.Loops {
+				for j := range sp1.Loops[i] {
+					if sp1.Loops[i][j] != sp2.Loops[i][j] {
+						t.Fatalf("cfg %+v seed %d: loop %d edge %d differs", cfg, seed, i, j)
+					}
+				}
+			}
+			// Runs drawn with equal seeds from equal specs agree.
+			r1, err := RandomRun(sp1, DefaultRunParams(), rand.New(rand.NewSource(seed+100)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := RandomRun(sp2, DefaultRunParams(), rand.New(rand.NewSource(seed+100)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Tree.Signature() != r2.Tree.Signature() {
+				t.Fatalf("cfg %+v seed %d: same-seed runs differ", cfg, seed)
+			}
+		}
+	}
+}
+
+// TestMutationsDeterministic extends the determinism pin to the
+// mutation scripts: the same seed must pick the same edits.
+func TestMutationsDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		run := func() string {
+			rng := rand.New(rand.NewSource(seed))
+			sp, err := RandomSpec(SpecConfig{Edges: 12, SeriesRatio: 1, Forks: 2, Loops: 1}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			muts, err := Mutate(sp, 3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := ""
+			for _, m := range muts {
+				out += m.Name + ":" + m.Spec.Tree.Signature() + ";"
+			}
+			return out
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("seed %d: same-seed mutation scripts differ", seed)
+		}
+	}
+}

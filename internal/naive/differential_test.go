@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/evolve"
 	"repro/internal/gen"
+	"repro/internal/spec"
 	"repro/internal/sptree"
 	"repro/internal/wfrun"
 )
@@ -175,6 +177,72 @@ func TestReferenceMatchesExponentialOracle(t *testing.T) {
 				trial, m.Name(), got, want, r1.Tree, r2.Tree)
 		}
 	}
+}
+
+// TestSpecEvolveMatchesReference mirrors the engine-vs-oracle harness
+// for the spec-evolution distance: on small random specification pairs
+// (both mutation-related and unrelated), the flat-memo evolve engine
+// and the map-based SpecDistance reference (which enumerates every
+// unordered child assignment explicitly) must agree exactly. Identity
+// and symmetry are cross-checked on the reference too.
+func TestSpecEvolveMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	c := evolve.DefaultCosts()
+	eng := evolve.NewEngine(c)
+	comparisons := 0
+	maxNodes := 0
+	smallSpec := func() *spec.Spec {
+		for {
+			sp, err := gen.RandomSpec(gen.SpecConfig{
+				Edges:       3 + rng.Intn(8),
+				SeriesRatio: []float64{0.5, 1, 2}[rng.Intn(3)],
+				Forks:       rng.Intn(2),
+				Loops:       rng.Intn(2),
+			}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.Tree.CountNodes() <= 20 {
+				return sp
+			}
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		a := smallSpec()
+		var b *spec.Spec
+		if trial%2 == 0 {
+			muts, err := gen.Mutate(a, 1+rng.Intn(2), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b = muts[len(muts)-1].Spec
+		} else {
+			b = smallSpec()
+		}
+		if n := a.Tree.CountNodes() + b.Tree.CountNodes(); n > maxNodes {
+			maxNodes = n
+		}
+		want := SpecDistance(a, b, c)
+		m, err := eng.Diff(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparisons++
+		if math.Abs(m.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: engine %g, reference %g\nA:\n%s\nB:\n%s",
+				trial, m.Cost, want, a.Tree, b.Tree)
+		}
+		// Symmetry holds on the reference too.
+		if rev := SpecDistance(b, a, c); math.Abs(rev-want) > 1e-9 {
+			t.Fatalf("trial %d: reference asymmetric: %g vs %g", trial, want, rev)
+		}
+		// Identity on the reference.
+		if self := SpecDistance(a, a, c); self != 0 {
+			t.Fatalf("trial %d: reference self-distance %g, want 0", trial, self)
+		}
+		comparisons += 2
+	}
+	t.Logf("spec-evolution differential: %d comparisons, largest pair %d tree nodes", comparisons, maxNodes)
 }
 
 // TestMetricProperties checks the distance is a metric in practice for

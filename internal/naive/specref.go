@@ -1,0 +1,179 @@
+package naive
+
+import (
+	"math"
+
+	"repro/internal/evolve"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+)
+
+// SpecDistance is the naive reference implementation of the
+// spec-evolution edit distance of package evolve: the same recurrence
+// (match with Rename/Retype, delete-root, insert-root, replace; child
+// forests aligned non-crossing for ordered parents and by minimum-cost
+// matching otherwise), implemented with pointer-keyed memo maps,
+// explicit enumeration of every injective child assignment in the
+// unordered case, and its own quadratic DP in the ordered case. It
+// shares no code with evolve — no flat indexing, no arenas, no
+// match.Scratch — so agreement between the two on randomized spec
+// pairs is evidence the engine's optimizations preserve the distance.
+//
+// The unordered case is exponential in the child count; keep reference
+// specs small (the differential suite stays under ~20 tree nodes).
+func SpecDistance(a, b *spec.Spec, c evolve.Costs) float64 {
+	rd := &specRef{
+		c:   c,
+		del: map[*sptree.Node]float64{},
+		d:   map[[2]*sptree.Node]float64{},
+	}
+	return rd.dist(a.Tree, b.Tree)
+}
+
+type specRef struct {
+	c   evolve.Costs
+	del map[*sptree.Node]float64
+	d   map[[2]*sptree.Node]float64
+}
+
+// delCost prices deleting (or inserting) the whole subtree.
+func (rd *specRef) delCost(v *sptree.Node) float64 {
+	if got, ok := rd.del[v]; ok {
+		return got
+	}
+	var out float64
+	if v.Type == sptree.Q {
+		out = rd.c.Leaf
+	} else {
+		out = rd.c.Node
+		for _, ch := range v.Children {
+			out += rd.delCost(ch)
+		}
+	}
+	rd.del[v] = out
+	return out
+}
+
+func specOrdered(t sptree.Type) bool { return t == sptree.S || t == sptree.L }
+
+func (rd *specRef) dist(v1, v2 *sptree.Node) float64 {
+	key := [2]*sptree.Node{v1, v2}
+	if got, ok := rd.d[key]; ok {
+		return got
+	}
+	best := math.Inf(1)
+
+	// Match v1 to v2.
+	switch {
+	case v1.Type == sptree.Q && v2.Type == sptree.Q:
+		rel := 0.0
+		if v1.Src != v2.Src || v1.Dst != v2.Dst {
+			rel = rd.c.Rename
+		}
+		best = rel
+	case v1.Type != sptree.Q && v2.Type != sptree.Q:
+		rel := 0.0
+		if v1.Type != v2.Type {
+			rel = rd.c.Retype
+		}
+		var forest float64
+		if specOrdered(v1.Type) && specOrdered(v2.Type) {
+			forest = rd.orderedForest(v1.Children, v2.Children)
+		} else {
+			forest = rd.unorderedForest(v1.Children, v2.Children, nil, map[int]bool{})
+		}
+		best = rel + forest
+	}
+
+	// Delete v1's root, promoting one child.
+	if v1.Type != sptree.Q {
+		sum := 0.0
+		for _, ch := range v1.Children {
+			sum += rd.delCost(ch)
+		}
+		for _, ch := range v1.Children {
+			if cand := rd.c.Node + sum - rd.delCost(ch) + rd.dist(ch, v2); cand < best {
+				best = cand
+			}
+		}
+	}
+	// Insert v2's root.
+	if v2.Type != sptree.Q {
+		sum := 0.0
+		for _, ch := range v2.Children {
+			sum += rd.delCost(ch)
+		}
+		for _, ch := range v2.Children {
+			if cand := rd.c.Node + sum - rd.delCost(ch) + rd.dist(v1, ch); cand < best {
+				best = cand
+			}
+		}
+	}
+	// Replace the whole subtree.
+	if cand := rd.delCost(v1) + rd.delCost(v2); cand < best {
+		best = cand
+	}
+
+	rd.d[key] = best
+	return best
+}
+
+// orderedForest is the classic quadratic alignment DP over ordered
+// child sequences.
+func (rd *specRef) orderedForest(left, right []*sptree.Node) float64 {
+	m, n := len(left), len(right)
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		prev[j] = prev[j-1] + rd.delCost(right[j-1])
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = prev[0] + rd.delCost(left[i-1])
+		for j := 1; j <= n; j++ {
+			best := prev[j] + rd.delCost(left[i-1])
+			if c := cur[j-1] + rd.delCost(right[j-1]); c < best {
+				best = c
+			}
+			if c := prev[j-1] + rd.dist(left[i-1], right[j-1]); c < best {
+				best = c
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// unorderedForest enumerates every partial injective assignment of
+// left children onto right children; unassigned children on either
+// side are deleted/inserted.
+func (rd *specRef) unorderedForest(left, right []*sptree.Node, assigned []int, used map[int]bool) float64 {
+	if len(assigned) == len(left) {
+		total := 0.0
+		for i, j := range assigned {
+			if j < 0 {
+				total += rd.delCost(left[i])
+			} else {
+				total += rd.dist(left[i], right[j])
+			}
+		}
+		for j := range right {
+			if !used[j] {
+				total += rd.delCost(right[j])
+			}
+		}
+		return total
+	}
+	best := rd.unorderedForest(left, right, append(assigned, -1), used)
+	for j := range right {
+		if used[j] {
+			continue
+		}
+		used[j] = true
+		if c := rd.unorderedForest(left, right, append(assigned, j), used); c < best {
+			best = c
+		}
+		used[j] = false
+	}
+	return best
+}

@@ -7,9 +7,12 @@ import (
 
 // cacheKey identifies one cached per-pair artifact. kind distinguishes
 // the JSON diff payload from the rendered SVG so both can be cached
-// for the same pair without clashing.
+// for the same pair without clashing. Cross-version artifacts carry
+// the second specification in spec2 (runA belongs to spec, runB to
+// spec2); same-spec artifacts leave it empty.
 type cacheKey struct {
 	spec, runA, runB, cost, kind string
+	spec2                        string
 }
 
 const (
@@ -18,6 +21,8 @@ const (
 	kindCluster  = "cluster"
 	kindOutliers = "outliers"
 	kindNearest  = "nearest"
+	kindCross    = "xdiff"
+	kindEvolve   = "evolve"
 )
 
 // cohortScoped reports whether a cached artifact depends on the whole
@@ -140,7 +145,13 @@ func (c *resultCache) invalidateRun(specName, runName string) {
 	defer c.mu.Unlock()
 	c.gen++
 	for key, el := range c.items {
-		if key.spec == specName && (key.runA == runName || key.runB == runName || cohortScoped(key.kind)) {
+		match := key.spec == specName && (key.runA == runName || key.runB == runName || cohortScoped(key.kind))
+		// Cross-version entries: runB lives in spec2, so a change to
+		// that run must drop them too.
+		if key.spec2 == specName && key.runB == runName {
+			match = true
+		}
+		if match {
 			c.ll.Remove(el)
 			delete(c.items, key)
 			c.invalidations++

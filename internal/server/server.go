@@ -23,7 +23,11 @@
 //	GET    /specs/{spec}/export          export spec + runs as a tar stream
 //	DELETE /specs/{spec}/runs/{run}      delete a run
 //	GET    /diff/{spec}/{a}/{b}          distance + edit script (?cost=)
+//	                                     (?across=SPEC2: cross-version diff, run b
+//	                                     taken from the lineage-linked SPEC2)
 //	GET    /diff/{spec}/{a}/{b}/svg      side-by-side SVG rendering
+//	GET    /specs/{a}/evolve/{b}         spec-evolution mapping between versions
+//	GET    /specs/{a}/evolve/{b}/svg     spec overlay (deleted red, inserted green)
 //	GET    /cohort/{spec}                distance matrix + dendrogram
 //	                                     (?cost=, ?stream=1 for NDJSON progress)
 //	GET    /specs/{spec}/cluster         k-medoids partitioning (?k=, ?seed=, ?cost=)
@@ -93,7 +97,7 @@ type Server struct {
 	reqDiff, reqSVG, reqCohort, reqSpecs, reqRuns atomic.Int64
 	reqImport, reqDelete, reqStats                atomic.Int64
 	reqCluster, reqOutliers, reqNearest           atomic.Int64
-	reqBulk, reqExport                            atomic.Int64
+	reqBulk, reqExport, reqEvolve                 atomic.Int64
 	errCount                                      atomic.Int64
 }
 
@@ -132,6 +136,8 @@ func New(st *store.Store, opts Options) *Server {
 	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}", s.count(&s.reqDiff, s.handleDiff))
 	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}/svg", s.count(&s.reqSVG, s.handleDiffSVG))
 	s.mux.HandleFunc("GET /cohort/{spec}", s.count(&s.reqCohort, s.handleCohort))
+	s.mux.HandleFunc("GET /specs/{a}/evolve/{b}", s.count(&s.reqEvolve, s.handleEvolve))
+	s.mux.HandleFunc("GET /specs/{a}/evolve/{b}/svg", s.count(&s.reqEvolve, s.handleEvolveSVG))
 	s.mux.HandleFunc("GET /specs/{spec}/cluster", s.count(&s.reqCluster, s.handleCluster))
 	s.mux.HandleFunc("GET /specs/{spec}/outliers", s.count(&s.reqOutliers, s.handleOutliers))
 	s.mux.HandleFunc("GET /specs/{spec}/nearest", s.count(&s.reqNearest, s.handleNearest))
@@ -394,6 +400,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if across := r.URL.Query().Get("across"); across != "" {
+		// Cross-version comparison: run b belongs to the
+		// lineage-linked specification named by ?across=.
+		s.crossDiff(w, ns[0], ns[1], ns[2], across, m)
+		return
+	}
 	p, err := s.diffPair(ns[0], ns[1], ns[2], m)
 	if err != nil {
 		s.storeError(w, err)
@@ -590,6 +602,7 @@ func (s *Server) Stats() statsPayload {
 			"nearest":  s.reqNearest.Load(),
 			"bulk":     s.reqBulk.Load(),
 			"export":   s.reqExport.Load(),
+			"evolve":   s.reqEvolve.Load(),
 			"stats":    s.reqStats.Load(),
 		},
 		CohortMatrices: s.cohorts.count(),

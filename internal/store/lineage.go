@@ -1,0 +1,387 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/evolve"
+	"repro/internal/spec"
+)
+
+// Spec lineage: the store tracks which specification a version evolved
+// from, and keeps the spec-to-spec edit mapping of every parent→child
+// step as a binary snapshot frame, so cross-version queries never
+// recompute a mapping that was already computed when the version was
+// registered.
+//
+// Layout, per child specification:
+//
+//	<root>/<child>/lineage.json           {"version":1,"parent":"<name>"}
+//	<root>/<child>/snapshot/lineage.bin   codec frame of the parent→child mapping
+//
+// lineage.json is authoritative; the mapping frame is a cache — if it
+// is missing, corrupt, or decodes against drifted spec trees, the
+// mapping is recomputed from the stored specifications and the frame
+// rewritten. Mappings between lineage-linked specs further apart than
+// one step are composed from the per-step mappings; unlinked pairs are
+// mapped directly on demand (and cached in memory only).
+
+// lineageVersion guards the lineage.json schema.
+const lineageVersion = 1
+
+type lineageDoc struct {
+	Version int    `json:"version"`
+	Parent  string `json:"parent"`
+}
+
+func (s *Store) lineagePath(specName string) string {
+	return filepath.Join(s.specDir(specName), "lineage.json")
+}
+
+func (s *Store) mappingBinPath(specName string) string {
+	return filepath.Join(s.snapDir(specName), "lineage.bin")
+}
+
+// PutSpecVersion stores child as a new specification version evolved
+// from the stored specification parentName: the child spec is saved
+// under childName, the lineage link is recorded, and the parent→child
+// edit mapping is computed (under evolve.DefaultCosts) and persisted
+// as a snapshot frame.
+func (s *Store) PutSpecVersion(parentName, childName string, child *spec.Spec) error {
+	if err := validName(parentName); err != nil {
+		return err
+	}
+	if err := validName(childName); err != nil {
+		return err
+	}
+	if parentName == childName {
+		return fmt.Errorf("store: a specification cannot be its own parent")
+	}
+	if child == nil {
+		return fmt.Errorf("store: nil specification")
+	}
+	// Refuse links that would close a cycle: if the child already
+	// appears in the parent's ancestry, writing this record would
+	// leave every lineage walk over these specs failing forever.
+	parentChain, err := s.Lineage(parentName)
+	if err != nil {
+		return err
+	}
+	for _, anc := range parentChain {
+		if anc == childName {
+			return fmt.Errorf("store: linking %q under %q would create a lineage cycle (%q descends from %q)",
+				childName, parentName, parentName, childName)
+		}
+	}
+	parent, err := s.LoadSpec(parentName)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveSpec(childName, child); err != nil {
+		return err
+	}
+	m, err := evolve.SpecDiff(parent, child, evolve.DefaultCosts())
+	if err != nil {
+		return err
+	}
+	doc, err := json.Marshal(lineageDoc{Version: lineageVersion, Parent: parentName})
+	if err != nil {
+		return err
+	}
+	tmp := s.lineagePath(childName) + ".tmp"
+	if err := os.WriteFile(tmp, append(doc, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, s.lineagePath(childName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writeMappingSnapshot(childName, m) // best-effort cache frame
+	// SaveSpec above already dropped any mapping involving the child.
+	s.cacheMapping(mappingKey(parentName, childName), m)
+	return nil
+}
+
+// writeMappingSnapshot persists the parent→child mapping frame
+// (best-effort: a failure only costs a recompute on next load).
+func (s *Store) writeMappingSnapshot(childName string, m *evolve.SpecMapping) {
+	data, err := codec.EncodeSpecMapping(m)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(s.snapDir(childName), 0o755); err != nil {
+		return
+	}
+	tmp := s.mappingBinPath(childName) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, s.mappingBinPath(childName))
+}
+
+// Parent returns the recorded parent version of a specification, or ""
+// when the specification has no lineage link.
+func (s *Store) Parent(specName string) (string, error) {
+	if err := validName(specName); err != nil {
+		return "", err
+	}
+	data, err := os.ReadFile(s.lineagePath(specName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", fmt.Errorf("store: %w", err)
+	}
+	var doc lineageDoc
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Version != lineageVersion {
+		return "", fmt.Errorf("store: malformed lineage record for %q", specName)
+	}
+	if err := validName(doc.Parent); err != nil {
+		return "", fmt.Errorf("store: lineage record of %q: %w", specName, err)
+	}
+	return doc.Parent, nil
+}
+
+// Lineage returns the version chain of a specification, oldest-last:
+// [name, parent, grandparent, ...].
+func (s *Store) Lineage(specName string) ([]string, error) {
+	if err := validName(specName); err != nil {
+		return nil, err
+	}
+	chain := []string{specName}
+	seen := map[string]bool{specName: true}
+	cur := specName
+	for {
+		parent, err := s.Parent(cur)
+		if err != nil {
+			return nil, err
+		}
+		if parent == "" {
+			return chain, nil
+		}
+		if seen[parent] {
+			return nil, fmt.Errorf("store: lineage of %q contains a cycle at %q", specName, parent)
+		}
+		seen[parent] = true
+		chain = append(chain, parent)
+		cur = parent
+	}
+}
+
+func mappingKey(a, b string) string { return a + "\x00" + b }
+
+// maxCachedMappings bounds the in-memory mapping cache. Lineage-step
+// mappings are bounded by the number of stored specs, but unlinked
+// pairs are client-controlled (every /specs/{a}/evolve/{b} pair is a
+// distinct key), so past the cap those are computed per call instead
+// of growing the map without bound.
+const maxCachedMappings = 256
+
+// cacheMapping inserts a computed mapping unless the cache is at
+// capacity; it returns the canonical mapping for the key (the first
+// one cached wins when goroutines race).
+func (s *Store) cacheMapping(key string, m *evolve.SpecMapping) *evolve.SpecMapping {
+	s.mapMu.Lock()
+	defer s.mapMu.Unlock()
+	if have, ok := s.mappings[key]; ok {
+		return have
+	}
+	if len(s.mappings) < maxCachedMappings {
+		s.mappings[key] = m
+	}
+	return m
+}
+
+// dropMappings evicts every cached mapping involving the named spec —
+// called when a specification is overwritten so no mapping keeps
+// pointers into the replaced spec object.
+func (s *Store) dropMappings(specName string) {
+	s.mapMu.Lock()
+	defer s.mapMu.Unlock()
+	for key := range s.mappings {
+		a, b, _ := strings.Cut(key, "\x00")
+		if a == specName || b == specName {
+			delete(s.mappings, key)
+		}
+	}
+}
+
+// Linked reports whether two stored specifications are lineage-linked
+// (equal, or one descends from the other) — the cheap pre-check for
+// cross-version diffing, walking only lineage records.
+func (s *Store) Linked(aName, bName string) (bool, error) {
+	if err := validName(aName); err != nil {
+		return false, err
+	}
+	if err := validName(bName); err != nil {
+		return false, err
+	}
+	if aName == bName {
+		return true, nil
+	}
+	chain, err := s.Lineage(bName)
+	if err != nil {
+		return false, err
+	}
+	for _, anc := range chain {
+		if anc == aName {
+			return true, nil
+		}
+	}
+	chain, err = s.Lineage(aName)
+	if err != nil {
+		return false, err
+	}
+	for _, anc := range chain {
+		if anc == bName {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// stepMapping returns the parent→child mapping of one lineage step,
+// from the snapshot frame when it decodes cleanly against the current
+// spec trees, recomputed (and the frame repaired) otherwise.
+func (s *Store) stepMapping(parentName, childName string) (*evolve.SpecMapping, error) {
+	s.mapMu.Lock()
+	if m, ok := s.mappings[mappingKey(parentName, childName)]; ok {
+		s.mapMu.Unlock()
+		return m, nil
+	}
+	s.mapMu.Unlock()
+	parent, err := s.LoadSpec(parentName)
+	if err != nil {
+		return nil, err
+	}
+	child, err := s.LoadSpec(childName)
+	if err != nil {
+		return nil, err
+	}
+	var m *evolve.SpecMapping
+	if data, err := os.ReadFile(s.mappingBinPath(childName)); err == nil {
+		m, _ = codec.DecodeSpecMapping(data, parent, child)
+	}
+	if m == nil {
+		if m, err = evolve.SpecDiff(parent, child, evolve.DefaultCosts()); err != nil {
+			return nil, err
+		}
+		s.writeMappingSnapshot(childName, m)
+	}
+	return s.cacheMapping(mappingKey(parentName, childName), m), nil
+}
+
+// SpecMapping returns the edit mapping from specification version a to
+// version b, and whether the two are lineage-linked. Linked pairs
+// compose the persisted per-step mappings (inverted when a descends
+// from b); unlinked pairs are mapped directly and cached in memory.
+func (s *Store) SpecMapping(aName, bName string) (m *evolve.SpecMapping, linked bool, err error) {
+	if err := validName(aName); err != nil {
+		return nil, false, err
+	}
+	if err := validName(bName); err != nil {
+		return nil, false, err
+	}
+	if aName == bName {
+		sp, err := s.LoadSpec(aName)
+		if err != nil {
+			return nil, false, err
+		}
+		return evolve.Identity(sp), true, nil
+	}
+	// b descends from a?
+	chain, err := s.Lineage(bName)
+	if err != nil {
+		return nil, false, err
+	}
+	for i, anc := range chain {
+		if anc != aName {
+			continue
+		}
+		// chain[i] == a ... chain[0] == b; compose steps downward.
+		m, err := s.stepMapping(chain[i], chain[i-1])
+		if err != nil {
+			return nil, false, err
+		}
+		for j := i - 1; j > 0; j-- {
+			step, err := s.stepMapping(chain[j], chain[j-1])
+			if err != nil {
+				return nil, false, err
+			}
+			if m, err = evolve.Compose(m, step); err != nil {
+				return nil, false, err
+			}
+		}
+		return m, true, nil
+	}
+	// a descends from b?
+	chain, err = s.Lineage(aName)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, anc := range chain[1:] {
+		if anc == bName {
+			rev, _, err := s.SpecMapping(bName, aName)
+			if err != nil {
+				return nil, false, err
+			}
+			return rev.Invert(), true, nil
+		}
+	}
+	// Unlinked: map directly, cache in memory only.
+	s.mapMu.Lock()
+	if m, ok := s.mappings[mappingKey(aName, bName)]; ok {
+		s.mapMu.Unlock()
+		return m, false, nil
+	}
+	s.mapMu.Unlock()
+	a, err := s.LoadSpec(aName)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err := s.LoadSpec(bName)
+	if err != nil {
+		return nil, false, err
+	}
+	if m, err = evolve.SpecDiff(a, b, evolve.DefaultCosts()); err != nil {
+		return nil, false, err
+	}
+	return s.cacheMapping(mappingKey(aName, bName), m), false, nil
+}
+
+// CrossDiff compares a run of specification version a with a run of
+// version b through their spec mapping: runA is projected into b's
+// node space, differenced against runB, and the regions the mapping
+// could not carry are priced as inserts and deletes. It reports
+// whether the two versions are lineage-linked.
+func (s *Store) CrossDiff(aName, runA, bName, runB string, m cost.Model) (*evolve.CrossResult, bool, error) {
+	return s.CrossDiffWith(core.NewEngine(m), aName, runA, bName, runB, m)
+}
+
+// CrossDiffWith is CrossDiff with a caller-owned engine for version
+// b's specification under the same cost model — the pooled path the
+// HTTP service uses.
+func (s *Store) CrossDiffWith(eng *core.Engine, aName, runA, bName, runB string, m cost.Model) (*evolve.CrossResult, bool, error) {
+	mapping, linked, err := s.SpecMapping(aName, bName)
+	if err != nil {
+		return nil, false, err
+	}
+	ra, err := s.LoadRun(aName, runA)
+	if err != nil {
+		return nil, linked, err
+	}
+	rb, err := s.LoadRun(bName, runB)
+	if err != nil {
+		return nil, linked, err
+	}
+	res, err := evolve.CrossDiffWith(eng, mapping, ra, rb, m)
+	if err != nil {
+		return nil, linked, err
+	}
+	return res, linked, nil
+}

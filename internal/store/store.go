@@ -26,6 +26,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/evolve"
 	"repro/internal/spec"
 	"repro/internal/wfrun"
 	"repro/internal/wfxml"
@@ -54,6 +55,9 @@ type Store struct {
 	hookMu    sync.RWMutex
 	hooks     []func(specName, runName string)
 	bulkHooks []func(specName string, runNames []string)
+
+	mapMu    sync.Mutex
+	mappings map[string]*evolve.SpecMapping // "a\x00b" → spec mapping
 }
 
 // Open opens (creating if needed) a repository rooted at dir.
@@ -62,10 +66,11 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return &Store{
-		root:  dir,
-		specs: make(map[string]*spec.Spec),
-		runs:  make(map[string]*wfrun.Run),
-		snaps: make(map[string]*snapState),
+		root:     dir,
+		specs:    make(map[string]*spec.Spec),
+		runs:     make(map[string]*wfrun.Run),
+		snaps:    make(map[string]*snapState),
+		mappings: make(map[string]*evolve.SpecMapping),
 	}, nil
 }
 
@@ -166,6 +171,10 @@ func (s *Store) SaveSpec(name string, sp *spec.Spec) error {
 	s.mu.Lock()
 	s.specs[name] = sp
 	s.mu.Unlock()
+	// Cached spec mappings hold pointers into the replaced spec
+	// object; drop them so cross-version queries rebuild against the
+	// new one.
+	s.dropMappings(name)
 	return nil
 }
 

@@ -1,0 +1,54 @@
+package view
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+// SpecPairSVG renders two specification versions side by side in the
+// style of the run panes: modules deleted by the evolution in red on
+// the source version, inserted modules in green on the target, and
+// surviving modules in gray. keptA and keptB hold the spec edges the
+// mapping carries across (the keys and values of
+// evolve.SpecMapping.MappedModules); everything else is colored as
+// deleted/inserted. caption is drawn under the panes.
+func SpecPairSVG(a, b *spec.Spec, keptA, keptB map[graph.Edge]bool, titleA, titleB, caption string) string {
+	statusA := make(map[graph.Edge]Status, a.G.NumEdges())
+	for _, e := range a.G.Edges() {
+		if keptA[e] {
+			statusA[e] = Kept
+		} else {
+			statusA[e] = Deleted
+		}
+	}
+	statusB := make(map[graph.Edge]Status, b.G.NumEdges())
+	for _, e := range b.G.Edges() {
+		if keptB[e] {
+			statusB[e] = Kept
+		} else {
+			statusB[e] = Inserted
+		}
+	}
+	l1, w1, h1 := runCanvas(a.G)
+	l2, w2, h2 := runCanvas(b.G)
+	const gap, caphead = 24, 22
+	width := w1 + gap + w2
+	height := max(h1, h2) + 2*caphead
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="15" text-anchor="middle" font-size="13" font-family="sans-serif">%s (deleted in red)</text>`,
+		w1/2, html.EscapeString(titleA))
+	fmt.Fprintf(&sb, `<text x="%d" y="15" text-anchor="middle" font-size="13" font-family="sans-serif">%s (inserted in green)</text>`,
+		w1+gap+w2/2, html.EscapeString(titleB))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle" font-size="12" font-family="sans-serif" fill="#555555">%s</text>`,
+		width/2, height-6, html.EscapeString(caption))
+	fmt.Fprintf(&sb, `<g transform="translate(0,%d)">%s</g>`, caphead, renderGraph(a.G, statusA, l1, w1, h1))
+	fmt.Fprintf(&sb, `<g transform="translate(%d,%d)">%s</g>`, w1+gap, caphead, renderGraph(b.G, statusB, l2, w2, h2))
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}

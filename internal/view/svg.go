@@ -93,6 +93,12 @@ func RenderSVG(r *wfrun.Run, status map[graph.Edge]Status) string {
 }
 
 func renderSVG(r *wfrun.Run, status map[graph.Edge]Status, l layout, width, height int) string {
+	return renderGraph(r.Graph, status, l, width, height)
+}
+
+// renderGraph draws any layered flow graph with status-colored edges —
+// the shared core of the run panes and the spec-evolution overlay.
+func renderGraph(g *graph.Graph, status map[graph.Edge]Status, l layout, width, height int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
 		width, height, width, height)
@@ -101,7 +107,7 @@ func renderSVG(r *wfrun.Run, status map[graph.Edge]Status, l layout, width, heig
 		p := l.pos[n]
 		return margin + radius + p[0]*cellW, margin + radius + p[1]*cellH
 	}
-	edges := r.Graph.Edges()
+	edges := g.Edges()
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].From != edges[j].From {
 			return edges[i].From < edges[j].From
@@ -125,7 +131,7 @@ func renderSVG(r *wfrun.Run, status map[graph.Edge]Status, l layout, width, heig
 			`<path d="M %d %d C %d %d, %d %d, %d %d" fill="none" stroke="%s" stroke-width="2"%s marker-end="url(#arrow)"/>`,
 			x1, y1, (x1+x2)/2, y1+off, (x1+x2)/2, y2+off, x2, y2, statusColor(st), dash)
 	}
-	nodes := r.Graph.Nodes()
+	nodes := g.Nodes()
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	for _, n := range nodes {
 		x, y := coord(n)

@@ -188,6 +188,9 @@ type (
 // RandomSpec generates a random SP-workflow specification.
 func RandomSpec(cfg SpecConfig, rng *rand.Rand) (*Spec, error) { return gen.RandomSpec(cfg, rng) }
 
+// DefaultRunParams mirrors the paper's common run-generation setting.
+func DefaultRunParams() RunParams { return gen.DefaultRunParams() }
+
 // RandomRun executes a random valid run.
 func RandomRun(sp *Spec, p RunParams, rng *rand.Rand) (*Run, error) {
 	return gen.RandomRun(sp, p, rng)

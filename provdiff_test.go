@@ -240,3 +240,80 @@ func TestDiffWithDataFacade(t *testing.T) {
 		t.Fatal("data differences should be highlighted")
 	}
 }
+
+// TestEvolutionFacade exercises the workflow-evolution surface end to
+// end through the public API: mutate a spec, map the versions, project
+// a run across, cross-diff, and round-trip the mapping through the
+// binary codec.
+func TestEvolutionFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	v1, err := RandomSpec(SpecConfig{Edges: 12, SeriesRatio: 1, Forks: 1, Loops: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts, err := MutateSpec(v1, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := muts[len(muts)-1].Spec
+	m, err := SpecEvolve(v1, v2, DefaultEvolveCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost <= 0 {
+		t.Errorf("evolution mapping cost %g, want > 0", m.Cost)
+	}
+	r1, err := RandomRun(v1, DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RandomRun(v2, DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projected, proj, err := ProjectRun(m, r1, Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if projected.Spec != v2 {
+		t.Error("projection landed in the wrong version")
+	}
+	if proj.Cost() < 0 {
+		t.Errorf("projection cost %g", proj.Cost())
+	}
+	res, err := CrossDiff(m, r1, r2, Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance < res.EngineDistance {
+		t.Errorf("cross distance %g below engine distance %g", res.Distance, res.EngineDistance)
+	}
+	// Identity mapping degenerates to the plain diff.
+	r1b, err := RandomRun(v1, DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Distance(r1, r1b, Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := CrossDiff(IdentitySpecMapping(v1), r1, r1b, Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Distance != plain {
+		t.Errorf("identity cross distance %g != plain %g", same.Distance, plain)
+	}
+	// Binary round trip.
+	frame, err := EncodeSpecMappingBinary(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSpecMappingBinary(frame, v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cost != m.Cost || len(back.Pairs) != len(m.Pairs) {
+		t.Errorf("mapping changed across binary round trip")
+	}
+}
