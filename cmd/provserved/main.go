@@ -3,6 +3,7 @@
 // differencing engines and parsed runs warm across requests:
 //
 //	provserved -dir DIR [-addr :8077] [-cache 512] [-demo N] [-seed S] [-preload=true]
+//	           [-index-threshold N] [-landmarks M]
 //
 //	GET    /specs                        list specifications
 //	GET    /specs/{spec}/runs            list runs
@@ -55,6 +56,8 @@ func main() {
 		demo    = flag.Int("demo", 0, "seed a 'demo' spec with N generated runs if absent")
 		seed    = flag.Int64("seed", 1, "random seed for -demo run generation")
 		preload = flag.Bool("preload", true, "warm parsed-run and cohort-matrix caches from snapshots at boot")
+		indexTh = flag.Int("index-threshold", 0, "cohort size at which analytics switch to the metric index (0 = default, negative disables)")
+		marks   = flag.Int("landmarks", 0, "metric-index landmark count (0 = default)")
 	)
 	flag.Parse()
 	st, err := store.Open(*dir)
@@ -66,7 +69,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	handler := server.New(st, server.Options{CacheSize: *cache})
+	handler := server.New(st, server.Options{CacheSize: *cache, IndexThreshold: *indexTh, Landmarks: *marks})
 	if *preload {
 		warmStart(st, handler)
 	}

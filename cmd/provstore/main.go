@@ -12,9 +12,9 @@
 //	provstore -dir DIR evolve SPEC_A SPEC_B [-svg out.svg]
 //	provstore -dir DIR diff NAME RUN1 RUN2 [-cost unit] [-script] [-across NAME2]
 //	provstore -dir DIR matrix NAME [-cost unit]
-//	provstore -dir DIR cluster NAME [-k 2] [-seed 1] [-cost unit]
-//	provstore -dir DIR outliers NAME [-k 3] [-cost unit]
-//	provstore -dir DIR nearest NAME RUN [-k 5] [-cost unit]
+//	provstore -dir DIR cluster NAME [-k 2] [-seed 1] [-cost unit] [-indexed|-exact]
+//	provstore -dir DIR outliers NAME [-k 3] [-cost unit] [-indexed|-exact]
+//	provstore -dir DIR nearest NAME RUN [-k 5] [-cost unit] [-indexed|-exact]
 //
 // "import-dir" bulk-imports every *.xml file of a directory as runs
 // (named by filename) in one pass: parallel parse, one snapshot
@@ -28,9 +28,12 @@
 // a specification together with a UPGMA dendrogram — the cohort view a
 // scientist uses to see which executions behave alike. "cluster",
 // "outliers" and "nearest" are the cohort analytics over the same
-// matrix: k-medoids partitioning (each cluster reported through its
+// cohort: k-medoids partitioning (each cluster reported through its
 // medoid, the most representative execution), knn-distance outlier
-// scores, and nearest-neighbor lookup for one run.
+// scores, and nearest-neighbor lookup for one run. Cohorts of 256+
+// runs answer through the triangle-pruning metric index instead of
+// the dense O(n²) matrix (sampled k-medoids for cluster); -indexed
+// and -exact force either path.
 //
 // provstore is the one-shot CLI over the repository; its serving
 // counterpart is provserved, which keeps the same repository open
@@ -38,6 +41,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -49,6 +53,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/metricindex"
 	"repro/internal/store"
 	"repro/internal/view"
 	"repro/internal/wfrun"
@@ -441,11 +446,29 @@ func clusterCmd(st *store.Store, args []string) {
 	costName := fs.String("cost", "unit", "cost model")
 	k := fs.Int("k", 2, "number of clusters")
 	seed := fs.Int64("seed", 1, "initialization seed")
+	indexed := fs.Bool("indexed", false, "force the metric-index (sampled k-medoids) path")
+	exact := fs.Bool("exact", false, "force the dense-matrix (full PAM) path")
 	if len(args) < 1 {
 		fatal(fmt.Errorf("cluster SPEC [flags]"))
 	}
 	if err := fs.Parse(args[1:]); err != nil {
 		fatal(err)
+	}
+	if err := cli.ValidateK("k", *k); err != nil {
+		fatal(err)
+	}
+	if useIndexedCohort(st, args[0], *indexed, *exact) {
+		ix := cohortIndex(st, args[0], *costName, 2)
+		co := ix.Snapshot()
+		cl, err := cluster.SampledKMedoids(context.Background(), co, *k, *seed, cluster.SampleOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sampled k-medoids over %d runs (k=%d, total distance %g):\n",
+			co.Len(), cl.K, cl.Cost)
+		printClusters(cl, co.Labels())
+		printIndexStats(ix)
+		return
 	}
 	mx := cohortMatrix(st, args[0], *costName, 2)
 	cl, err := cluster.KMedoids(mx.D, *k, *seed)
@@ -454,14 +477,20 @@ func clusterCmd(st *store.Store, args []string) {
 	}
 	fmt.Printf("k-medoids over %d runs (k=%d, total distance %g, silhouette %.3f):\n",
 		len(mx.Labels), cl.K, cl.Cost, cl.Silhouette)
+	printClusters(cl, mx.Labels)
+}
+
+// printClusters renders a clustering with one indented block per
+// cluster, medoids starred.
+func printClusters(cl *cluster.Clustering, labels []string) {
 	for c := 0; c < cl.K; c++ {
-		fmt.Printf("  cluster %d  medoid %s\n", c, mx.Labels[cl.Medoids[c]])
+		fmt.Printf("  cluster %d  medoid %s\n", c, labels[cl.Medoids[c]])
 		for _, i := range cl.Members(c) {
 			marker := " "
 			if i == cl.Medoids[c] {
 				marker = "*"
 			}
-			fmt.Printf("    %s %s\n", marker, mx.Labels[i])
+			fmt.Printf("    %s %s\n", marker, labels[i])
 		}
 	}
 }
@@ -470,11 +499,30 @@ func outliersCmd(st *store.Store, args []string) {
 	fs := flag.NewFlagSet("outliers", flag.ExitOnError)
 	costName := fs.String("cost", "unit", "cost model")
 	k := fs.Int("k", 3, "neighbors per score")
+	indexed := fs.Bool("indexed", false, "force the metric-index path")
+	exact := fs.Bool("exact", false, "force the dense-matrix path")
 	if len(args) < 1 {
 		fatal(fmt.Errorf("outliers SPEC [flags]"))
 	}
 	if err := fs.Parse(args[1:]); err != nil {
 		fatal(err)
+	}
+	if err := cli.ValidateK("k", *k); err != nil {
+		fatal(err)
+	}
+	if useIndexedCohort(st, args[0], *indexed, *exact) {
+		ix := cohortIndex(st, args[0], *costName, 2)
+		co := ix.Snapshot()
+		scores, err := cluster.IndexedOutliers(co, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-20s %10s\n", "run", "knn-score")
+		for _, s := range scores {
+			fmt.Printf("%-20s %10.3f\n", co.Label(s.Index), s.Score)
+		}
+		printIndexStats(ix)
+		return
 	}
 	mx := cohortMatrix(st, args[0], *costName, 2)
 	scores, err := cluster.Outliers(mx.D, *k)
@@ -491,11 +539,34 @@ func nearestCmd(st *store.Store, args []string) {
 	fs := flag.NewFlagSet("nearest", flag.ExitOnError)
 	costName := fs.String("cost", "unit", "cost model")
 	k := fs.Int("k", 5, "neighbors to report")
+	indexed := fs.Bool("indexed", false, "force the metric-index path")
+	exact := fs.Bool("exact", false, "force the dense-matrix path")
 	if len(args) < 2 {
 		fatal(fmt.Errorf("nearest SPEC RUN [flags]"))
 	}
 	if err := fs.Parse(args[2:]); err != nil {
 		fatal(err)
+	}
+	if err := cli.ValidateK("k", *k); err != nil {
+		fatal(err)
+	}
+	if useIndexedCohort(st, args[0], *indexed, *exact) {
+		ix := cohortIndex(st, args[0], *costName, 2)
+		co := ix.Snapshot()
+		idx, ok := co.IndexOf(args[1])
+		if !ok {
+			fatal(fmt.Errorf("unknown run %q of %q", args[1], args[0]))
+		}
+		nn, err := cluster.IndexedNearest(co, idx, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nearest neighbors of %s/%s:\n", args[0], args[1])
+		for _, n := range nn {
+			fmt.Printf("  %-20s %g\n", co.Label(n.Index), n.Distance)
+		}
+		printIndexStats(ix)
+		return
 	}
 	mx := cohortMatrix(st, args[0], *costName, 2)
 	idx := -1
@@ -516,4 +587,63 @@ func nearestCmd(st *store.Store, args []string) {
 	for _, n := range nn {
 		fmt.Printf("  %-20s %g\n", mx.Labels[n.Index], n.Distance)
 	}
+}
+
+// useIndexedCohort decides the analytics path: explicit -indexed or
+// -exact wins, otherwise cohorts at or past the server's default index
+// threshold go through the metric index.
+func useIndexedCohort(st *store.Store, specName string, indexed, exact bool) bool {
+	if indexed && exact {
+		fatal(fmt.Errorf("-indexed and -exact are mutually exclusive"))
+	}
+	if indexed {
+		return true
+	}
+	if exact {
+		return false
+	}
+	names, err := st.ListRuns(specName)
+	if err != nil {
+		fatal(err)
+	}
+	return len(names) >= analysis.DefaultIndexThreshold
+}
+
+// cohortIndex builds a one-shot metric index over all stored runs of a
+// specification: m·n diffs instead of the dense matrix's n(n-1)/2.
+func cohortIndex(st *store.Store, specName, costName string, minRuns int) *metricindex.Index {
+	model, err := cli.ParseCost(costName)
+	if err != nil {
+		fatal(err)
+	}
+	names, err := st.ListRuns(specName)
+	if err != nil {
+		fatal(err)
+	}
+	if len(names) < minRuns {
+		fatal(fmt.Errorf("need at least %d stored runs, have %d", minRuns, len(names)))
+	}
+	runs := make([]*wfrun.Run, len(names))
+	for i, n := range names {
+		if runs[i], err = st.LoadRun(specName, n); err != nil {
+			fatal(err)
+		}
+	}
+	ix := metricindex.New(model, metricindex.Options{})
+	if err := ix.Reset(names, runs); err != nil {
+		fatal(err)
+	}
+	return ix
+}
+
+// printIndexStats reports how much exact differencing the index
+// avoided, mirroring the server's /stats metric_index counters.
+func printIndexStats(ix *metricindex.Index) {
+	exact, pruned := ix.ExactDiffs(), ix.PrunedPairs()
+	total := exact + pruned
+	if total == 0 {
+		return
+	}
+	fmt.Printf("index: %d exact diffs, %d pruned (%.1f%% of %d candidate pairs), %d landmarks\n",
+		exact, pruned, 100*float64(pruned)/float64(total), total, ix.Landmarks())
 }

@@ -1,6 +1,7 @@
 package provdiff
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evolve"
 	"repro/internal/gen"
+	"repro/internal/metricindex"
 	"repro/internal/params"
 	"repro/internal/sptree"
 	"repro/internal/store"
@@ -66,6 +68,80 @@ func Outliers(d [][]float64, k int) ([]OutlierScore, error) { return cluster.Out
 // NearestNeighbors returns the k cohort members closest to item i.
 func NearestNeighbors(d [][]float64, i, k int) ([]Neighbor, error) {
 	return cluster.Nearest(d, i, k)
+}
+
+// Metric-index cohort analytics (internal/metricindex +
+// internal/cluster): sub-quadratic nearest-neighbor, outlier and
+// clustering queries over large cohorts. The index keys runs by the
+// verified edit-distance metric and prunes exact DP diffs with two
+// lower bounds — landmark triangle-inequality gaps and a
+// cost-model-scaled status-histogram L1 gap — so queries touch only
+// the pairs the bounds cannot rule out, with answers byte-identical
+// to the exhaustive ones for nearest/outliers.
+type (
+	// MetricIndex is an incrementally maintained vantage-point index
+	// over a run cohort.
+	MetricIndex = metricindex.Index
+	// MetricIndexOptions tunes landmark count and differencing
+	// fan-out.
+	MetricIndexOptions = metricindex.Options
+	// MetricCohort is an immutable snapshot of a MetricIndex, the
+	// query substrate for the Indexed* analytics.
+	MetricCohort = metricindex.Cohort
+	// SampleOptions tunes SampledKMedoids (sample size, restarts).
+	SampleOptions = cluster.SampleOptions
+	// HybridCohort keeps a cohort dense below a size threshold and
+	// index-backed above it, under the CohortMatrix maintenance
+	// discipline.
+	HybridCohort = analysis.HybridCohort
+	// HybridCohortOptions tunes the representation switch.
+	HybridCohortOptions = analysis.HybridOptions
+)
+
+// NewMetricIndex returns an empty metric index for the given cost
+// model.
+func NewMetricIndex(m CostModel, opts MetricIndexOptions) *MetricIndex {
+	return metricindex.New(m, opts)
+}
+
+// NewHybridCohort returns an empty hybrid cohort for the given cost
+// model; workers caps the differencing fan-out (<= 0 for all cores).
+func NewHybridCohort(m CostModel, workers int, opts HybridCohortOptions) *HybridCohort {
+	return analysis.NewHybridCohort(m, workers, opts)
+}
+
+// KMedoidsContext is KMedoids with cooperative cancellation: the SWAP
+// loop polls ctx between medoid rows.
+func KMedoidsContext(ctx context.Context, d [][]float64, k int, seed int64) (*Clustering, error) {
+	return cluster.KMedoidsContext(ctx, d, k, seed)
+}
+
+// IndexedNearestNeighbors returns the k cohort members closest to
+// item i, byte-identical to NearestNeighbors over the full matrix but
+// diffing only pairs the index bounds cannot prune.
+func IndexedNearestNeighbors(co *MetricCohort, i, k int) ([]Neighbor, error) {
+	return cluster.IndexedNearest(co, i, k)
+}
+
+// IndexedOutliers scores every cohort member by mean distance to its
+// k nearest neighbors without materializing the distance matrix;
+// scores and order match Outliers byte-identically (MeanAll is 0).
+func IndexedOutliers(co *MetricCohort, k int) ([]OutlierScore, error) {
+	return cluster.IndexedOutliers(co, k)
+}
+
+// SampledKMedoids clusters a large cohort by PAM over a deterministic
+// sample, then assigns the full cohort to the chosen medoids using
+// the index bounds; deterministic for a fixed seed.
+func SampledKMedoids(ctx context.Context, co *MetricCohort, k int, seed int64, opts SampleOptions) (*Clustering, error) {
+	return cluster.SampledKMedoids(ctx, co, k, seed, opts)
+}
+
+// HistogramLowerBound returns the status-histogram lower bound on the
+// edit distance of two runs of one specification — 0 when the cost
+// model admits no label-free rate (e.g. Func models).
+func HistogramLowerBound(m CostModel, r1, r2 *Run) (float64, error) {
+	return metricindex.HistogramBound(m, r1, r2)
 }
 
 // Data and parameter differencing (Section I's data dimension).

@@ -90,6 +90,15 @@ func (c *CohortMatrix) Labels() []string {
 	return append([]string(nil), c.labels...)
 }
 
+// Members returns the cohort's names and runs in matrix order (the
+// runs are the shared immutable objects, not copies) — the handoff a
+// representation switch needs to rebuild the same cohort elsewhere.
+func (c *CohortMatrix) Members() ([]string, []*wfrun.Run) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.labels...), append([]*wfrun.Run(nil), c.runs...)
+}
+
 // Has reports whether a run name is in the cohort.
 func (c *CohortMatrix) Has(name string) bool {
 	c.mu.RLock()

@@ -3,6 +3,7 @@
 package cli
 
 import (
+	"fmt"
 	"os"
 
 	"repro/internal/cost"
@@ -10,6 +11,18 @@ import (
 	"repro/internal/wfrun"
 	"repro/internal/wfxml"
 )
+
+// ValidateK rejects non-positive cluster/neighbor counts at the
+// command boundary. The analytics library clamps silently (it serves
+// programmatic callers that compute k), but a human typing -k 0 or
+// -k -3 meant something else and deserves an error naming the flag,
+// the same hardening posture store.ValidateName applies to names.
+func ValidateK(flagName string, k int) error {
+	if k < 1 {
+		return fmt.Errorf("-%s must be at least 1, got %d", flagName, k)
+	}
+	return nil
+}
 
 // ParseCost parses a -cost flag value: "unit", "length" or
 // "power:EPS" with EPS ≤ 1. It delegates to cost.Parse, which owns

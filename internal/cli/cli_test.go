@@ -3,6 +3,7 @@ package cli
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/cost"
@@ -28,6 +29,26 @@ func TestParseCost(t *testing.T) {
 		if _, err := ParseCost(bad); err == nil {
 			t.Fatalf("%q should fail", bad)
 		}
+	}
+}
+
+func TestValidateK(t *testing.T) {
+	for _, ok := range []int{1, 2, 99} {
+		if err := ValidateK("k", ok); err != nil {
+			t.Fatalf("k=%d: %v", ok, err)
+		}
+	}
+	for _, bad := range []int{0, -1, -99} {
+		err := ValidateK("k", bad)
+		if err == nil {
+			t.Fatalf("k=%d should fail", bad)
+		}
+		if !strings.Contains(err.Error(), "-k") || !strings.Contains(err.Error(), "at least 1") {
+			t.Fatalf("k=%d error should name the flag and the floor: %v", bad, err)
+		}
+	}
+	if err := ValidateK("neighbors", 0); err == nil || !strings.Contains(err.Error(), "-neighbors") {
+		t.Fatalf("flag name not threaded through: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -87,6 +88,16 @@ func validateMatrix(d [][]float64) error {
 // exchange lowers the objective. Results are deterministic for a fixed
 // seed; ties break toward lower item indices.
 func KMedoids(d [][]float64, k int, seed int64) (*Clustering, error) {
+	return KMedoidsContext(context.Background(), d, k, seed)
+}
+
+// KMedoidsContext is KMedoids with cancellation: the SWAP phase is
+// O(k·n²) per round and rounds can stack up on large cohorts, so the
+// context is polled before every medoid row and an abandoned request
+// (client gone, server shutting down) stops mid-SWAP instead of
+// running the exchange search to completion. Returns ctx.Err() when
+// cancelled.
+func KMedoidsContext(ctx context.Context, d [][]float64, k int, seed int64) (*Clustering, error) {
 	if err := validateMatrix(d); err != nil {
 		return nil, err
 	}
@@ -169,6 +180,9 @@ func KMedoids(d [][]float64, k int, seed int64) (*Clustering, error) {
 		bestDelta := -1e-12 // require a strict improvement
 		bestM, bestH := -1, -1
 		for mi, m := range medoids {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for h := 0; h < n; h++ {
 				if isMedoid[h] {
 					continue
@@ -190,8 +204,22 @@ func KMedoids(d [][]float64, k int, seed int64) (*Clustering, error) {
 		cost = assignAll(d, medoids, assign)
 	}
 
-	// Canonical presentation: medoids ascending, clusters renumbered
-	// to match, so equal partitions always render identically.
+	medoids, assign = canonicalClusters(medoids, assign)
+	return &Clustering{
+		K:          k,
+		Medoids:    medoids,
+		Assign:     assign,
+		Cost:       cost,
+		Silhouette: silhouette(d, assign, k),
+		Iterations: iters,
+	}, nil
+}
+
+// canonicalClusters sorts the medoids ascending and renumbers the
+// assignment to match, so equal partitions always render identically.
+// The inputs are rewritten in place and returned.
+func canonicalClusters(medoids, assign []int) ([]int, []int) {
+	k := len(medoids)
 	order := make([]int, k)
 	for i := range order {
 		order[i] = i
@@ -206,14 +234,8 @@ func KMedoids(d [][]float64, k int, seed int64) (*Clustering, error) {
 	for i := range assign {
 		assign[i] = renumber[assign[i]]
 	}
-	return &Clustering{
-		K:          k,
-		Medoids:    sortedMedoids,
-		Assign:     assign,
-		Cost:       cost,
-		Silhouette: silhouette(d, assign, k),
-		Iterations: iters,
-	}, nil
+	copy(medoids, sortedMedoids)
+	return medoids, assign
 }
 
 // assignAll assigns every item to its closest medoid (ties toward the

@@ -1,0 +1,432 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Space is a metric cohort answering queries through lower bounds: the
+// contract internal/metricindex's Cohort satisfies. Bound must never
+// exceed Distance (after the implementation's own float slack), and
+// Distance must agree bitwise with the distances a dense matrix of the
+// same cohort would hold — that is what lets the Indexed* queries
+// return byte-identical answers to their matrix counterparts while
+// skipping most exact evaluations. Pruned receives the count of
+// candidate pairs a query eliminated without calling Distance, for the
+// implementation's instrumentation.
+type Space interface {
+	Len() int
+	Bound(i, j int) float64
+	Distance(i, j int) (float64, error)
+	Pruned(n int64)
+}
+
+// Projector is an optional Space refinement: a contractive 1-D
+// projection (|Proj(i) - Proj(j)| ≤ d(i, j)). Queries then enumerate
+// candidates in projection order around the query point and stop
+// outright once the projection gap alone exceeds their pruning radius,
+// instead of bound-testing all n candidates.
+type Projector interface {
+	Proj(i int) float64
+}
+
+// projSlack mirrors the float-safety slack a Space applies to its
+// bounds: projection gaps are lower bounds derived by the same
+// triangle argument, so they get the same conservative haircut before
+// being compared against exact distances.
+const projSlack = 1e-9
+
+func loosenGap(b float64) float64 {
+	b -= projSlack * (1 + b)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// projOrder is a cohort's items sorted by projection, shared across
+// the n queries of an outlier scan.
+type projOrder struct {
+	order []int     // item indices, ascending by projection
+	pos   []int     // pos[item] = index into order
+	proj  []float64 // proj[item]
+}
+
+func buildProjOrder(sp Space) *projOrder {
+	pr, ok := sp.(Projector)
+	if !ok {
+		return nil
+	}
+	n := sp.Len()
+	po := &projOrder{
+		order: make([]int, n),
+		pos:   make([]int, n),
+		proj:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		po.order[i] = i
+		po.proj[i] = pr.Proj(i)
+	}
+	sort.SliceStable(po.order, func(a, b int) bool { return po.proj[po.order[a]] < po.proj[po.order[b]] })
+	for p, item := range po.order {
+		po.pos[item] = p
+	}
+	return po
+}
+
+// knnState is the current top-k of one nearest-neighbor query, kept
+// ascending by (distance, index) — exactly the order Nearest sorts by,
+// so the final slice is the dense answer verbatim.
+type knnState struct {
+	top []Neighbor
+	k   int
+}
+
+func (s *knnState) full() bool { return len(s.top) == s.k }
+
+func (s *knnState) worst() Neighbor { return s.top[len(s.top)-1] }
+
+// prunable reports whether a candidate with lower bound lb can be
+// discarded: with a full top-k of worst entry (wd, wi), the candidate
+// j's true pair (d_j, j) is lexicographically ≥ (lb, j); when that is
+// strictly beyond (wd, wi) the candidate can never enter the final
+// top-k (indices are unique, so the comparison is strict whenever
+// lb > wd, or lb == wd with j on the far side of wi).
+func (s *knnState) prunable(lb float64, j int) bool {
+	if !s.full() {
+		return false
+	}
+	w := s.worst()
+	return lb > w.Distance || (lb == w.Distance && j > w.Index)
+}
+
+func (s *knnState) add(d float64, j int) {
+	nb := Neighbor{Index: j, Distance: d}
+	if s.full() {
+		if w := s.worst(); nb.Distance > w.Distance || (nb.Distance == w.Distance && nb.Index > w.Index) {
+			return
+		}
+		s.top = s.top[:len(s.top)-1]
+	}
+	at := sort.Search(len(s.top), func(p int) bool {
+		t := s.top[p]
+		return t.Distance > nb.Distance || (t.Distance == nb.Distance && t.Index > nb.Index)
+	})
+	s.top = append(s.top, Neighbor{})
+	copy(s.top[at+1:], s.top[at:])
+	s.top[at] = nb
+}
+
+// indexedNearest answers one kNN query over sp, using po (may be nil)
+// for projection-ordered enumeration. k must already be clamped to
+// [1, n-1].
+func indexedNearest(sp Space, po *projOrder, i, k int) ([]Neighbor, error) {
+	n := sp.Len()
+	st := &knnState{top: make([]Neighbor, 0, k), k: k}
+	consider := func(j int) error {
+		if j == i {
+			return nil
+		}
+		if st.prunable(sp.Bound(i, j), j) {
+			sp.Pruned(1)
+			return nil
+		}
+		d, err := sp.Distance(i, j)
+		if err != nil {
+			return err
+		}
+		st.add(d, j)
+		return nil
+	}
+	if po == nil {
+		for j := 0; j < n; j++ {
+			if err := consider(j); err != nil {
+				return nil, err
+			}
+		}
+		return st.top, nil
+	}
+
+	// Expand outward from the query's projection position, nearest
+	// projection first. Once the top-k is full, a side whose next
+	// candidate's (slacked) projection gap strictly exceeds the current
+	// worst distance holds no further contenders at all — the gap only
+	// grows outward — so the whole remainder is pruned in bulk. At
+	// exact equality the candidate could still tie into the top-k by
+	// index, so equality keeps scanning (the per-candidate bound check
+	// settles it).
+	qp := po.proj[i]
+	lo, hi := po.pos[i]-1, po.pos[i]+1
+	outOfReach := func(p int) bool {
+		if !st.full() {
+			return false
+		}
+		return loosenGap(math.Abs(po.proj[po.order[p]]-qp)) > st.worst().Distance
+	}
+	for lo >= 0 || hi < n {
+		fromLow := hi >= n ||
+			(lo >= 0 && math.Abs(po.proj[po.order[lo]]-qp) <= math.Abs(po.proj[po.order[hi]]-qp))
+		p := hi
+		if fromLow {
+			p = lo
+		}
+		if outOfReach(p) {
+			// The gap only grows outward, so everything from p to the
+			// end of its side is out of reach too.
+			if fromLow {
+				sp.Pruned(int64(p + 1))
+				lo = -1
+			} else {
+				sp.Pruned(int64(n - p))
+				hi = n
+			}
+			continue
+		}
+		if fromLow {
+			lo--
+		} else {
+			hi++
+		}
+		if err := consider(po.order[p]); err != nil {
+			return nil, err
+		}
+	}
+	return st.top, nil
+}
+
+// IndexedNearest answers Nearest over a metric index view instead of a
+// dense matrix: the k items closest to item i, ascending by distance
+// with ties toward lower indices, byte-identical to the dense answer.
+// Candidates whose lower bound already places them beyond the running
+// k-th neighbor are never exactly diffed. k is clamped to [0, n-1].
+func IndexedNearest(sp Space, i, k int) ([]Neighbor, error) {
+	n := sp.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty cohort")
+	}
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("cluster: item %d outside cohort of %d items", i, n)
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	return indexedNearest(sp, buildProjOrder(sp), i, k)
+}
+
+// IndexedOutliers answers Outliers over a metric index view: every
+// item scored by mean distance to its k nearest neighbors, sorted
+// most-anomalous first. Scores and order are byte-identical to the
+// dense path (the k nearest distances are summed in the same ascending
+// order); only MeanAll, which would force all n-1 exact distances per
+// item, is left zero. k is clamped to [1, n-1]; a single-item cohort
+// yields one zero score.
+func IndexedOutliers(sp Space, k int) ([]OutlierScore, error) {
+	n := sp.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty cohort")
+	}
+	if n == 1 {
+		return []OutlierScore{{Index: 0}}, nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	po := buildProjOrder(sp)
+	out := make([]OutlierScore, n)
+	for i := 0; i < n; i++ {
+		nb, err := indexedNearest(sp, po, i, k)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for _, v := range nb {
+			sum += v.Distance
+		}
+		out[i] = OutlierScore{Index: i, Score: sum / float64(k)}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out, nil
+}
+
+// SampleOptions tunes SampledKMedoids. The zero value picks a sample
+// of min(n, 40+2k) items (the classic CLARA sizing) and 2 restarts.
+type SampleOptions struct {
+	// SampleSize is the number of items PAM runs on per restart;
+	// <= 0 means min(n, 40+2k).
+	SampleSize int
+	// Restarts is the number of independent samples tried; <= 0
+	// means 2. The restart with the lowest exact full-cohort objective
+	// wins.
+	Restarts int
+}
+
+// SampledKMedoids clusters a cohort without a full distance matrix, in
+// the CLARA/CLARANS tradition: each restart draws a deterministic
+// random sample, runs exact PAM on the sample's (memoized) distance
+// submatrix, then assigns the whole cohort to the sample's medoids
+// with bound-guided pruning — per item, candidate medoids are tried in
+// ascending-bound order and abandoned once a bound exceeds the best
+// exact distance so far. The restart whose full-cohort objective is
+// lowest wins. Cost is the exact PAM objective of the returned
+// medoids; Silhouette is reported as 0 (it would need all pairwise
+// distances, which is the matrix this function exists to avoid).
+// Results are deterministic for a fixed seed.
+func SampledKMedoids(ctx context.Context, sp Space, k int, seed int64, opts SampleOptions) (*Clustering, error) {
+	n := sp.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty cohort")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d outside [1, %d]", k, n)
+	}
+	s := opts.SampleSize
+	if s <= 0 {
+		s = 40 + 2*k
+	}
+	if s > n {
+		s = n
+	}
+	if s < k {
+		s = k
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 2
+	}
+
+	// memo holds exact distances across restarts keyed by ordered pair,
+	// so overlapping samples and repeated medoids never re-diff.
+	memo := map[[2]int]float64{}
+	dist := func(i, j int) (float64, error) {
+		if i == j {
+			return 0, nil
+		}
+		key := [2]int{i, j}
+		if i > j {
+			key = [2]int{j, i}
+		}
+		if d, ok := memo[key]; ok {
+			return d, nil
+		}
+		d, err := sp.Distance(i, j)
+		if err != nil {
+			return 0, err
+		}
+		memo[key] = d
+		return d, nil
+	}
+
+	var best *Clustering
+	for r := 0; r < restarts; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(r)))
+		var sample []int
+		if s == n {
+			sample = make([]int, n)
+			for i := range sample {
+				sample[i] = i
+			}
+		} else {
+			sample = append([]int(nil), rng.Perm(n)[:s]...)
+			sort.Ints(sample)
+		}
+
+		sub := make([][]float64, s)
+		for a := range sub {
+			sub[a] = make([]float64, s)
+		}
+		for a := 0; a < s; a++ {
+			for b := a + 1; b < s; b++ {
+				d, err := dist(sample[a], sample[b])
+				if err != nil {
+					return nil, err
+				}
+				sub[a][b], sub[b][a] = d, d
+			}
+		}
+		cl, err := KMedoidsContext(ctx, sub, k, seed+int64(r))
+		if err != nil {
+			return nil, err
+		}
+		medoids := make([]int, k)
+		for c, m := range cl.Medoids {
+			medoids[c] = sample[m]
+		}
+
+		assign := make([]int, n)
+		cost := 0.0
+		for i := 0; i < n; i++ {
+			if i%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			d, c, err := nearestMedoid(sp, dist, medoids, i)
+			if err != nil {
+				return nil, err
+			}
+			assign[i] = c
+			cost += d
+		}
+		if best == nil || cost < best.Cost {
+			best = &Clustering{
+				K:          k,
+				Medoids:    medoids,
+				Assign:     assign,
+				Cost:       cost,
+				Iterations: cl.Iterations,
+			}
+		}
+	}
+	best.Medoids, best.Assign = canonicalClusters(best.Medoids, best.Assign)
+	return best, nil
+}
+
+// nearestMedoid finds item i's closest medoid exactly while pruning:
+// medoids are tried in ascending lower-bound order and the scan stops
+// once the next bound strictly exceeds the best exact distance found
+// (a bound equal to the best could still win its tie by list position,
+// so equality keeps evaluating). Ties on exact distance resolve toward
+// the earlier medoid in the list, matching assignAll.
+func nearestMedoid(sp Space, dist func(int, int) (float64, error), medoids []int, i int) (float64, int, error) {
+	type cand struct {
+		c  int // medoid list position
+		lb float64
+	}
+	cands := make([]cand, len(medoids))
+	for c, m := range medoids {
+		cands[c] = cand{c: c, lb: sp.Bound(i, m)}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+	bestD, bestC := math.Inf(1), -1
+	for at, cd := range cands {
+		if bestC >= 0 && cd.lb > bestD {
+			sp.Pruned(int64(len(cands) - at))
+			break
+		}
+		d, err := dist(i, medoids[cd.c])
+		if err != nil {
+			return 0, 0, err
+		}
+		if d < bestD || (d == bestD && cd.c < bestC) {
+			bestD, bestC = d, cd.c
+		}
+	}
+	return bestD, bestC, nil
+}

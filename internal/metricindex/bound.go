@@ -1,0 +1,162 @@
+package metricindex
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/spec"
+	"repro/internal/sptree"
+	"repro/internal/wfrun"
+)
+
+// This file implements the histogram lower bound on the run edit
+// distance.
+//
+// The status histogram of a run counts its run-tree Q leaves per
+// homology class (the specification-tree node h(v) each leaf derives
+// from). In any well-formed mapping between two runs, mapped leaves
+// are homologous — they land in the same bucket on both sides — so the
+// leaves the mapping fails to pair number at least the L1 gap between
+// the two histograms. Every edit operation inserts or deletes one
+// elementary path of length l, which accounts for exactly l unmapped
+// leaves and costs γ(l, src, dst); summing over the operations of an
+// optimal edit script,
+//
+//	d(r1, r2) = Σ γ(l_i, ·) ≥ Σ l_i · min_l γ(l, ·)/l ≥ rate · L1(h1, h2)
+//
+// where rate = min over achievable operation lengths l of γ(l, ·)/l,
+// minimized over terminal labels. Operation lengths are branch-free
+// execution lengths of specification subtrees (X and W_TG in
+// internal/naive both price exactly those), and every such length is
+// at most the maximum achievable length of the specification root — so
+// minimizing γ(l)/l over l = 1..Lmax is sound.
+//
+// The rate is model-specific: 1 for the length model (the bound is
+// exact leaf accounting), 1/Lmax for unit cost, Lmax^(ε-1) for
+// sublinear powers. For label-dependent models the label minimum must
+// also be taken; for models we cannot analyze (cost.Func, unknown
+// implementations) the rate is 0, which soundly disables the
+// histogram bound and leaves triangle pruning on its own.
+
+// statusHistogram counts the run's Q leaves per specification-node ID.
+// Specification IDs are dense preorder, so specN = CountNodes() of the
+// specification tree covers every class.
+func statusHistogram(r *wfrun.Run, specN int) []int32 {
+	h := make([]int32, specN)
+	r.Tree.Walk(func(v *sptree.Node) bool {
+		if v.IsLeaf() && v.Spec != nil && v.Spec.ID >= 0 && v.Spec.ID < specN {
+			h[v.Spec.ID]++
+		}
+		return true
+	})
+	return h
+}
+
+// histL1 returns Σ |a[i] - b[i]| over the shared prefix plus the tail
+// of the longer histogram (differing lengths only arise across
+// specifications, which the index rejects, but stay safe).
+func histL1(a, b []int32) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		d := int64(a[i]) - int64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	for _, v := range a[n:] {
+		sum += int64(v)
+	}
+	for _, v := range b[n:] {
+		sum += int64(v)
+	}
+	return float64(sum)
+}
+
+// maxOpLength is the largest elementary-path length any edit operation
+// on runs of sp can have: the maximum branch-free execution length of
+// the specification root.
+func maxOpLength(sp *spec.Spec) int {
+	ls := sp.AchievableLengths(sp.Tree)
+	if len(ls) == 0 {
+		return sp.G.NumEdges()
+	}
+	return ls[len(ls)-1] // AchievableLengths is ascending
+}
+
+// labelFreeRate is min over l = 1..maxLen of m.PathCost(l, "", "")/l
+// for models whose cost ignores terminal labels; 0 for models it
+// cannot vouch for.
+func labelFreeRate(m cost.Model, maxLen int) float64 {
+	switch m.(type) {
+	case cost.Unit, cost.Length, cost.Power:
+	default:
+		return 0
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	rate := m.PathCost(1, "", "")
+	for l := 2; l <= maxLen; l++ {
+		if r := m.PathCost(l, "", "") / float64(l); r < rate {
+			rate = r
+		}
+	}
+	if rate < 0 {
+		return 0
+	}
+	return rate
+}
+
+// lowerBoundRate derives the histogram-bound rate for a model over
+// runs of sp. A rate of 0 disables the histogram bound (it is always a
+// valid, vacuous lower bound).
+func lowerBoundRate(m cost.Model, sp *spec.Spec) float64 {
+	maxLen := maxOpLength(sp)
+	switch w := m.(type) {
+	case cost.Unit, cost.Length, cost.Power:
+		return labelFreeRate(m, maxLen)
+	case cost.Weighted:
+		// PathCost = Base(l) · (w_src + w_dst)/2 with absent labels
+		// weighing 1, so every operation costs at least
+		// min(1, min declared weight) times the base price.
+		minW := 1.0
+		for _, v := range w.W {
+			if v < minW {
+				minW = v
+			}
+		}
+		if minW <= 0 {
+			return 0
+		}
+		return minW * labelFreeRate(w.Base, maxLen)
+	default:
+		return 0
+	}
+}
+
+// HistogramBound returns the histogram lower bound on the edit
+// distance between two runs of the same specification under model m:
+// a number never exceeding the exact Engine/naive distance. It
+// recomputes histograms and rate from scratch — the property-test
+// entry point; Index queries use the precomputed per-run forms.
+func HistogramBound(m cost.Model, r1, r2 *wfrun.Run) (float64, error) {
+	if r1 == nil || r2 == nil || r1.Tree == nil || r2.Tree == nil {
+		return 0, fmt.Errorf("metricindex: runs lack annotated SP-trees")
+	}
+	if r1.Spec == nil || r1.Spec != r2.Spec {
+		return 0, fmt.Errorf("metricindex: runs belong to different specifications")
+	}
+	rate := lowerBoundRate(m, r1.Spec)
+	if rate == 0 {
+		return 0, nil
+	}
+	specN := r1.Spec.Tree.CountNodes()
+	h1 := statusHistogram(r1, specN)
+	h2 := statusHistogram(r2, specN)
+	return rate * histL1(h1, h2), nil
+}

@@ -2,10 +2,14 @@ package server
 
 // Cohort analytics handlers: k-medoids clustering, knn outlier
 // scoring and nearest-neighbor queries over the incrementally
-// maintained per-spec distance matrix (cohortcache.go). The matrix is
-// the expensive part — O(n) engine diffs per import, O(n²) only on
-// first touch — while the analytics themselves are polynomial in the
-// cohort size, so these handlers stay interactive even for large runs.
+// maintained per-spec cohort (cohortcache.go). Small cohorts answer
+// from the dense distance matrix; cohorts past the index threshold
+// answer from the metric index, where triangle and histogram lower
+// bounds prune most exact diffs — byte-identically for nearest and
+// outliers, and via sampled k-medoids for clustering. ?exact=1 forces
+// the dense-matrix path at any size (a one-shot O(n²) fan-out when the
+// cohort is indexed), without changing any cache key the normal path
+// uses — exact responses simply bypass the result LRU.
 
 import (
 	"fmt"
@@ -31,28 +35,40 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
-// cohortMatrixFor resolves the synced distance matrix for an analytics
+// exactParam reports whether the request carries the ?exact= escape
+// hatch.
+func exactParam(r *http.Request) bool {
+	return r.URL.Query().Get("exact") != ""
+}
+
+// cohortViewFor resolves the synced cohort view for an analytics
 // request, writing the error response itself on failure. minRuns
-// guards the degenerate cohorts each endpoint cannot answer on.
-func (s *Server) cohortMatrixFor(w http.ResponseWriter, r *http.Request, specName string, m cost.Model, minRuns int) (*analysis.Matrix, bool) {
+// guards the degenerate cohorts each endpoint cannot answer on. With
+// exact set, an index-backed cohort is replaced by a one-shot dense
+// matrix bound to the request context.
+func (s *Server) cohortViewFor(w http.ResponseWriter, r *http.Request, specName string, m cost.Model, minRuns int, exact bool) (*analysis.CohortView, bool) {
 	if _, err := s.st.LoadSpec(specName); err != nil {
 		s.storeError(w, err)
 		return nil, false
 	}
-	mx, err := s.cohortSnapshot(specName, m)
+	v, err := s.cohortView(specName, m)
 	if err != nil {
 		s.storeError(w, err)
 		return nil, false
 	}
-	have := 0
-	if mx != nil {
-		have = len(mx.Labels)
-	}
-	if have < minRuns {
-		s.httpError(w, fmt.Errorf("cohort analytics on %q needs at least %d stored runs, have %d", specName, minRuns, have), http.StatusBadRequest)
+	if v.Len() < minRuns {
+		s.httpError(w, fmt.Errorf("cohort analytics on %q needs at least %d stored runs, have %d", specName, minRuns, v.Len()), http.StatusBadRequest)
 		return nil, false
 	}
-	return mx, true
+	if exact && v.Indexed() {
+		mx, err := s.exactCohortMatrix(r.Context(), specName, m)
+		if err != nil {
+			s.storeError(w, err)
+			return nil, false
+		}
+		v = &analysis.CohortView{Matrix: mx}
+	}
+	return v, true
 }
 
 type clusterGroup struct {
@@ -69,13 +85,17 @@ type clusterPayload struct {
 	Cost_      float64        `json:"total_distance"`
 	Silhouette float64        `json:"silhouette"`
 	Iterations int            `json:"iterations"`
+	Indexed    bool           `json:"indexed,omitempty"`
 	Cached     bool           `json:"cached"`
 }
 
 // handleCluster partitions the spec's stored runs into k clusters by
-// PAM over the edit-distance matrix. The medoid of each cluster is its
-// most representative execution — the paper's notion of a "typical"
-// run generalized from the whole cohort to each behavioral group.
+// PAM over the edit-distance matrix — sampled k-medoids once the
+// cohort answers from the metric index (silhouette is then 0; pass
+// ?exact=1 for full PAM at any size). The medoid of each cluster is
+// its most representative execution — the paper's notion of a
+// "typical" run generalized from the whole cohort to each behavioral
+// group.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	ns, ok := s.names(w, r, "spec")
 	if !ok {
@@ -96,28 +116,37 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	seed := int64(seed64)
+	exact := exactParam(r)
 	key := cacheKey{spec: ns[0], runA: fmt.Sprintf("k=%d", k), runB: fmt.Sprintf("seed=%d", seed), cost: m.Name(), kind: kindCluster}
-	if v, ok := s.cache.get(key); ok {
-		p := v.(clusterPayload)
-		p.Cached = true
-		writeJSON(w, p)
-		return
+	if !exact {
+		if v, ok := s.cache.get(key); ok {
+			p := v.(clusterPayload)
+			p.Cached = true
+			writeJSON(w, p)
+			return
+		}
 	}
 	gen := s.cache.generation()
-	mx, ok := s.cohortMatrixFor(w, r, ns[0], m, 2)
+	v, ok := s.cohortViewFor(w, r, ns[0], m, 2, exact)
 	if !ok {
 		return
 	}
-	cl, err := cluster.KMedoids(mx.D, k, seed)
+	var cl *cluster.Clustering
+	labels := v.Labels()
+	if v.Indexed() {
+		cl, err = cluster.SampledKMedoids(r.Context(), v.Index, k, seed, cluster.SampleOptions{})
+	} else {
+		cl, err = cluster.KMedoidsContext(r.Context(), v.Matrix.D, k, seed)
+	}
 	if err != nil {
 		s.httpError(w, err, http.StatusBadRequest)
 		return
 	}
 	groups := make([]clusterGroup, cl.K)
 	for c := 0; c < cl.K; c++ {
-		groups[c].Medoid = mx.Labels[cl.Medoids[c]]
+		groups[c].Medoid = labels[cl.Medoids[c]]
 		for _, i := range cl.Members(c) {
-			groups[c].Runs = append(groups[c].Runs, mx.Labels[i])
+			groups[c].Runs = append(groups[c].Runs, labels[i])
 		}
 	}
 	p := clusterPayload{
@@ -129,15 +158,18 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		Cost_:      cl.Cost,
 		Silhouette: cl.Silhouette,
 		Iterations: cl.Iterations,
+		Indexed:    v.Indexed(),
 	}
-	s.cache.addIfGen(key, p, gen)
+	if !exact {
+		s.cache.addIfGen(key, p, gen)
+	}
 	writeJSON(w, p)
 }
 
 type outlierJSON struct {
 	Run     string  `json:"run"`
 	Score   float64 `json:"score"`
-	MeanAll float64 `json:"mean_all"`
+	MeanAll float64 `json:"mean_all,omitempty"`
 }
 
 type outliersPayload struct {
@@ -145,11 +177,15 @@ type outliersPayload struct {
 	Cost      string        `json:"cost"`
 	Neighbors int           `json:"neighbors"`
 	Outliers  []outlierJSON `json:"outliers"`
+	Indexed   bool          `json:"indexed,omitempty"`
 	Cached    bool          `json:"cached"`
 }
 
 // handleOutliers scores every stored run by its mean edit distance to
-// its k nearest cohort members, most anomalous first.
+// its k nearest cohort members, most anomalous first. Indexed cohorts
+// produce byte-identical scores and order; only the contextual
+// mean_all field is omitted (it would force every pairwise diff —
+// pass ?exact=1 to get it back).
 func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
 	ns, ok := s.names(w, r, "spec")
 	if !ok {
@@ -164,29 +200,40 @@ func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, err, http.StatusBadRequest)
 		return
 	}
+	exact := exactParam(r)
 	key := cacheKey{spec: ns[0], runA: fmt.Sprintf("k=%d", k), cost: m.Name(), kind: kindOutliers}
-	if v, ok := s.cache.get(key); ok {
-		p := v.(outliersPayload)
-		p.Cached = true
-		writeJSON(w, p)
-		return
+	if !exact {
+		if v, ok := s.cache.get(key); ok {
+			p := v.(outliersPayload)
+			p.Cached = true
+			writeJSON(w, p)
+			return
+		}
 	}
 	gen := s.cache.generation()
-	mx, ok := s.cohortMatrixFor(w, r, ns[0], m, 2)
+	v, ok := s.cohortViewFor(w, r, ns[0], m, 2, exact)
 	if !ok {
 		return
 	}
-	scores, err := cluster.Outliers(mx.D, k)
+	var scores []cluster.OutlierScore
+	labels := v.Labels()
+	if v.Indexed() {
+		scores, err = cluster.IndexedOutliers(v.Index, k)
+	} else {
+		scores, err = cluster.Outliers(v.Matrix.D, k)
+	}
 	if err != nil {
 		s.httpError(w, err, http.StatusBadRequest)
 		return
 	}
 	out := make([]outlierJSON, len(scores))
 	for i, sc := range scores {
-		out[i] = outlierJSON{Run: mx.Labels[sc.Index], Score: sc.Score, MeanAll: sc.MeanAll}
+		out[i] = outlierJSON{Run: labels[sc.Index], Score: sc.Score, MeanAll: sc.MeanAll}
 	}
-	p := outliersPayload{Spec: ns[0], Cost: m.Name(), Neighbors: k, Outliers: out}
-	s.cache.addIfGen(key, p, gen)
+	p := outliersPayload{Spec: ns[0], Cost: m.Name(), Neighbors: k, Outliers: out, Indexed: v.Indexed()}
+	if !exact {
+		s.cache.addIfGen(key, p, gen)
+	}
 	writeJSON(w, p)
 }
 
@@ -200,12 +247,14 @@ type nearestPayload struct {
 	Cost      string         `json:"cost"`
 	Run       string         `json:"run"`
 	Neighbors []neighborJSON `json:"neighbors"`
+	Indexed   bool           `json:"indexed,omitempty"`
 	Cached    bool           `json:"cached"`
 }
 
 // handleNearest returns the k stored runs closest to ?run= — "show me
 // executions like this one", the interactive counterpart of the
-// cohort matrix.
+// cohort matrix. Indexed cohorts answer byte-identically while exactly
+// diffing only the candidates the lower bounds cannot rule out.
 func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 	ns, ok := s.names(w, r, "spec")
 	if !ok {
@@ -225,20 +274,24 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, err, http.StatusBadRequest)
 		return
 	}
+	exact := exactParam(r)
 	key := cacheKey{spec: ns[0], runA: runName, runB: fmt.Sprintf("k=%d", k), cost: m.Name(), kind: kindNearest}
-	if v, ok := s.cache.get(key); ok {
-		p := v.(nearestPayload)
-		p.Cached = true
-		writeJSON(w, p)
-		return
+	if !exact {
+		if v, ok := s.cache.get(key); ok {
+			p := v.(nearestPayload)
+			p.Cached = true
+			writeJSON(w, p)
+			return
+		}
 	}
 	gen := s.cache.generation()
-	mx, ok := s.cohortMatrixFor(w, r, ns[0], m, 2)
+	v, ok := s.cohortViewFor(w, r, ns[0], m, 2, exact)
 	if !ok {
 		return
 	}
+	labels := v.Labels()
 	idx := -1
-	for i, l := range mx.Labels {
+	for i, l := range labels {
 		if l == runName {
 			idx = i
 			break
@@ -248,16 +301,23 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, fmt.Errorf("unknown run %q of %q", runName, ns[0]), http.StatusNotFound)
 		return
 	}
-	nn, err := cluster.Nearest(mx.D, idx, k)
+	var nn []cluster.Neighbor
+	if v.Indexed() {
+		nn, err = cluster.IndexedNearest(v.Index, idx, k)
+	} else {
+		nn, err = cluster.Nearest(v.Matrix.D, idx, k)
+	}
 	if err != nil {
 		s.httpError(w, err, http.StatusBadRequest)
 		return
 	}
 	out := make([]neighborJSON, len(nn))
 	for i, n := range nn {
-		out[i] = neighborJSON{Run: mx.Labels[n.Index], Distance: n.Distance}
+		out[i] = neighborJSON{Run: labels[n.Index], Distance: n.Distance}
 	}
-	p := nearestPayload{Spec: ns[0], Cost: m.Name(), Run: runName, Neighbors: out}
-	s.cache.addIfGen(key, p, gen)
+	p := nearestPayload{Spec: ns[0], Cost: m.Name(), Run: runName, Neighbors: out, Indexed: v.Indexed()}
+	if !exact {
+		s.cache.addIfGen(key, p, gen)
+	}
 	writeJSON(w, p)
 }

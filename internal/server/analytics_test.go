@@ -179,7 +179,7 @@ func TestCohortMatrixIncrementalOverHTTP(t *testing.T) {
 	if e == nil {
 		t.Fatal("cohort entry missing")
 	}
-	base := e.cm.DiffCalls()
+	base := e.hc.DiffCalls()
 	if base != 6 { // 4*3/2 pairs
 		t.Fatalf("initial build = %d diffs, want 6", base)
 	}
@@ -197,12 +197,12 @@ func TestCohortMatrixIncrementalOverHTTP(t *testing.T) {
 	if len(after.Neighbors) != 4 {
 		t.Fatalf("after import: %+v", after)
 	}
-	if got := e.cm.DiffCalls() - base; got != 4 {
+	if got := e.hc.DiffCalls() - base; got != 4 {
 		t.Fatalf("incremental import performed %d diffs, want exactly 4", got)
 	}
 
 	// Delete it again: zero additional diffs.
-	mid := e.cm.DiffCalls()
+	mid := e.hc.DiffCalls()
 	if rec := do(t, srv, "DELETE", "/specs/pa/runs/fresh", nil, nil); rec.Code != 200 {
 		t.Fatalf("delete = %d", rec.Code)
 	}
@@ -216,7 +216,7 @@ func TestCohortMatrixIncrementalOverHTTP(t *testing.T) {
 			t.Fatalf("deleted run still served: %+v", final)
 		}
 	}
-	if got := e.cm.DiffCalls() - mid; got != 0 {
+	if got := e.hc.DiffCalls() - mid; got != 0 {
 		t.Fatalf("delete performed %d diffs, want 0", got)
 	}
 

@@ -141,11 +141,11 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Warm builds the incremental cohort matrix (and thus the engine
+// Warm builds the incremental cohort (and thus the engine
 // shards and parsed-run rows) for every specification under the unit
 // cost model — the provserved boot path after Store.PreloadAll, so
 // the first analytics request of every spec is served from a warm
-// matrix instead of paying the O(n²) build inline.
+// cohort instead of paying the full build inline.
 func (s *Server) Warm() error {
 	specs, err := s.st.ListSpecs()
 	if err != nil {
@@ -159,7 +159,7 @@ func (s *Server) Warm() error {
 		if len(names) < 2 {
 			continue
 		}
-		if _, err := s.cohortSnapshot(name, cost.Unit{}); err != nil {
+		if _, err := s.cohortView(name, cost.Unit{}); err != nil {
 			return err
 		}
 	}

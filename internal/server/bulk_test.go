@@ -150,7 +150,7 @@ func TestBulkImportSingleRebuild(t *testing.T) {
 	if e == nil {
 		t.Fatal("no cohort entry")
 	}
-	if got := e.cm.Rebuilds(); got != 1 {
+	if got := e.hc.Rebuilds(); got != 1 {
 		t.Fatalf("initial build count = %d, want 1", got)
 	}
 
@@ -165,10 +165,10 @@ func TestBulkImportSingleRebuild(t *testing.T) {
 			t.Fatalf("cluster after bulk = %d", rec.Code)
 		}
 	}
-	if got := e.cm.Rebuilds(); got != 2 {
+	if got := e.hc.Rebuilds(); got != 2 {
 		t.Fatalf("rebuilds after bulk import = %d, want 2 (one initial + one for the whole batch)", got)
 	}
-	if n := e.cm.Len(); n != 10 {
+	if n := e.hc.Len(); n != 10 {
 		t.Fatalf("cohort size after bulk = %d, want 10", n)
 	}
 
@@ -184,7 +184,7 @@ func TestBulkImportSingleRebuild(t *testing.T) {
 			t.Fatalf("cluster after single import = %d", rec.Code)
 		}
 	}
-	if got := e.cm.Rebuilds(); got != 2 {
+	if got := e.hc.Rebuilds(); got != 2 {
 		t.Fatalf("single-run imports caused full rebuilds: %d, want still 2", got)
 	}
 }
@@ -276,7 +276,7 @@ func TestBulkImportClusterRace(t *testing.T) {
 	wg.Wait()
 	// Settled state: the incremental matrix covers exactly the stored
 	// runs.
-	mx, err := srv.cohortSnapshot("pa", cost.Unit{})
+	v, err := srv.cohortView("pa", cost.Unit{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestBulkImportClusterRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mx.Labels) != len(runs) {
-		t.Fatalf("settled matrix has %d rows, store has %d runs", len(mx.Labels), len(runs))
+	if v.Len() != len(runs) {
+		t.Fatalf("settled cohort has %d rows, store has %d runs", v.Len(), len(runs))
 	}
 }

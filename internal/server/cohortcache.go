@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"io/fs"
 	"sync"
@@ -10,23 +11,25 @@ import (
 	"repro/internal/wfrun"
 )
 
-// cohortEntry is the server's long-lived incremental distance matrix
-// for one (specification, cost model) pair. The matrix persists across
+// cohortEntry is the server's long-lived incremental cohort state for
+// one (specification, cost model) pair: a HybridCohort that keeps a
+// dense distance matrix for small cohorts and switches to the metric
+// index past the configured threshold. The cohort persists across
 // requests — importing one run into an n-run cohort differences only
-// the n new pairs — and is kept honest through generation-checked
+// the incremental pairs — and is kept honest through generation-checked
 // invalidation: every store run-change bumps gen and records the run
-// as dirty, and a request only trusts the matrix after replaying the
+// as dirty, and a request only trusts the cohort after replaying the
 // dirty set for the generation it captured. A row computed from a run
 // that changed mid-sync can therefore be *served* to the request that
 // raced the change (the change was concurrent, either order is
 // linearizable) but can never be *retained*: the bumped generation
 // forces the next request to replace it.
 type cohortEntry struct {
-	// syncMu serializes sync passes (and thus all matrix mutations).
+	// syncMu serializes sync passes (and thus all cohort mutations).
 	syncMu sync.Mutex
-	cm     *analysis.CohortMatrix
-	inited bool  // cm has had its initial full build
-	synced int64 // generation the matrix content reflects
+	hc     *analysis.HybridCohort
+	inited bool  // hc has had its initial full build
+	synced int64 // generation the cohort content reflects
 
 	// stateMu guards the invalidation state; it is taken by the store
 	// hook and nests inside syncMu on the sync path.
@@ -40,19 +43,20 @@ type cohortEntry struct {
 
 // maxCohortEntries bounds the entry map: its keys include the ?cost=
 // parameter, which untrusted clients control. Past the cap, requests
-// fall back to one-shot matrices instead of growing the map.
+// fall back to one-shot cohorts instead of growing the map.
 const maxCohortEntries = 64
 
-// cohortCaches holds all live cohort matrices, keyed like enginePools
-// by spec + NUL + cost-model name.
+// cohortCaches holds all live cohorts, keyed like enginePools by
+// spec + NUL + cost-model name.
 type cohortCaches struct {
 	mu      sync.Mutex
 	entries map[string]*cohortEntry
 	workers int
+	hybrid  analysis.HybridOptions
 }
 
-func newCohortCaches(workers int) *cohortCaches {
-	return &cohortCaches{entries: make(map[string]*cohortEntry), workers: workers}
+func newCohortCaches(workers int, hybrid analysis.HybridOptions) *cohortCaches {
+	return &cohortCaches{entries: make(map[string]*cohortEntry), workers: workers, hybrid: hybrid}
 }
 
 // entry returns the cohort entry for (spec, model), creating it on
@@ -67,12 +71,23 @@ func (cc *cohortCaches) entry(specName string, m cost.Model) *cohortEntry {
 			return nil
 		}
 		e = &cohortEntry{
-			cm:    analysis.NewCohortMatrix(m, cc.workers),
+			hc:    analysis.NewHybridCohort(m, cc.workers, cc.hybrid),
 			dirty: make(map[string]bool),
 		}
 		cc.entries[key] = e
 	}
 	return e
+}
+
+// all snapshots every live entry (for stats aggregation).
+func (cc *cohortCaches) all() []*cohortEntry {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	out := make([]*cohortEntry, 0, len(cc.entries))
+	for _, e := range cc.entries {
+		out = append(out, e)
+	}
+	return out
 }
 
 // entriesForSpec snapshots the live cohort entries of one spec (its
@@ -90,9 +105,9 @@ func (cc *cohortCaches) entriesForSpec(specName string) []*cohortEntry {
 	return hit
 }
 
-// invalidate records a run change: every cohort matrix of the spec
-// (under any cost model) marks the run dirty and advances its
-// generation. Runs outside the store hook goroutine's locks.
+// invalidate records a run change: every cohort of the spec (under any
+// cost model) marks the run dirty and advances its generation. Runs
+// outside the store hook goroutine's locks.
 func (cc *cohortCaches) invalidate(specName, runName string) {
 	for _, e := range cc.entriesForSpec(specName) {
 		e.stateMu.Lock()
@@ -102,11 +117,11 @@ func (cc *cohortCaches) invalidate(specName, runName string) {
 	}
 }
 
-// invalidateBulk records a coalesced bulk import: every cohort matrix
-// of the spec advances its generation once and schedules one full
-// rebuild, however many runs the batch carried — importing n runs
-// costs one O(n²) Reset instead of n O(n) incremental rows (n(n-1)/2
-// diffs either way, but one fan-out, one engine warm-up, one publish).
+// invalidateBulk records a coalesced bulk import: every cohort of the
+// spec advances its generation once and schedules one full rebuild,
+// however many runs the batch carried — importing n runs costs one
+// Reset instead of n incremental rows (the same diff total, but one
+// fan-out, one engine warm-up, one publish).
 func (cc *cohortCaches) invalidateBulk(specName string, runNames []string) {
 	for _, e := range cc.entriesForSpec(specName) {
 		e.stateMu.Lock()
@@ -116,7 +131,7 @@ func (cc *cohortCaches) invalidateBulk(specName string, runNames []string) {
 	}
 }
 
-// count reports how many cohort matrices are live.
+// count reports how many cohorts are live.
 func (cc *cohortCaches) count() int {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
@@ -148,22 +163,23 @@ func (s *Server) cohortRuns(specName string) ([]string, []*wfrun.Run, error) {
 	return outNames, runs, nil
 }
 
-// cohortSnapshot returns an up-to-date distance matrix for the spec
-// under the given model, incrementally synced against the store.
-func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix, error) {
+// cohortView returns an up-to-date view of the spec's cohort under the
+// given model — dense matrix below the index threshold, metric index
+// above — incrementally synced against the store.
+func (s *Server) cohortView(specName string, m cost.Model) (*analysis.CohortView, error) {
 	e := s.cohorts.entry(specName, m)
 	if e == nil {
-		// Entry map at capacity: compute a one-shot matrix without
+		// Entry map at capacity: compute a one-shot cohort without
 		// retaining it.
 		names, runs, err := s.cohortRuns(specName)
 		if err != nil {
 			return nil, err
 		}
-		cm := analysis.NewCohortMatrix(m, s.cohorts.workers)
-		if err := cm.Reset(names, runs); err != nil {
+		hc := analysis.NewHybridCohort(m, s.cohorts.workers, s.cohorts.hybrid)
+		if err := hc.Reset(names, runs); err != nil {
 			return nil, err
 		}
-		return cm.Snapshot(), nil
+		return hc.View(), nil
 	}
 
 	e.syncMu.Lock()
@@ -178,7 +194,7 @@ func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix
 	e.stateMu.Unlock()
 
 	if e.inited && e.synced == gen {
-		return e.cm.Snapshot(), nil
+		return e.hc.View(), nil
 	}
 
 	// restoreDirty puts unapplied invalidations back on error, so a
@@ -198,16 +214,16 @@ func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix
 			restoreDirty()
 			return nil, err
 		}
-		if err := e.cm.Reset(names, runs); err != nil {
+		if err := e.hc.Reset(names, runs); err != nil {
 			restoreDirty()
 			return nil, err
 		}
 		e.inited = true
 	} else {
-		// Changed or deleted runs leave the matrix first; whatever
-		// still exists on disk is then (re-)added, one O(n) row each.
+		// Changed or deleted runs leave the cohort first; whatever
+		// still exists on disk is then (re-)added incrementally.
 		for name := range dirty {
-			e.cm.Remove(name)
+			e.hc.Remove(name)
 		}
 		names, err := s.st.ListRuns(specName)
 		if err != nil {
@@ -215,7 +231,7 @@ func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix
 			return nil, err
 		}
 		for _, name := range names {
-			if e.cm.Has(name) {
+			if e.hc.Has(name) {
 				continue
 			}
 			r, err := s.st.LoadRun(specName, name)
@@ -226,7 +242,7 @@ func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix
 				restoreDirty()
 				return nil, err
 			}
-			if err := e.cm.Add(name, r); err != nil {
+			if err := e.hc.Add(name, r); err != nil {
 				restoreDirty()
 				return nil, err
 			}
@@ -236,5 +252,25 @@ func (s *Server) cohortSnapshot(specName string, m cost.Model) (*analysis.Matrix
 	// gen past the captured value, so they stay unsynced and the next
 	// request reconciles them.
 	e.synced = gen
-	return e.cm.Snapshot(), nil
+	return e.hc.View(), nil
+}
+
+// exactCohortMatrix is the ?exact= escape hatch: a dense distance
+// matrix at any cohort size. When the synced cohort is already dense
+// its matrix is reused; an indexed cohort gets a one-shot O(n²)
+// fan-out bound to the request context (the caller asked for the full
+// bill, but not past the client hanging up).
+func (s *Server) exactCohortMatrix(ctx context.Context, specName string, m cost.Model) (*analysis.Matrix, error) {
+	v, err := s.cohortView(specName, m)
+	if err != nil {
+		return nil, err
+	}
+	if !v.Indexed() {
+		return v.Matrix, nil
+	}
+	names, runs, err := s.cohortRuns(specName)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.DistanceMatrixWith(runs, names, m, analysis.Options{Workers: s.cohorts.workers, Context: ctx})
 }

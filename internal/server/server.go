@@ -77,6 +77,14 @@ type Options struct {
 	CacheSize int
 	// CohortWorkers caps the cohort fan-out; <= 0 means GOMAXPROCS.
 	CohortWorkers int
+	// IndexThreshold is the cohort size at which the analytics
+	// endpoints switch from the dense distance matrix to the metric
+	// index: 0 means analysis.DefaultIndexThreshold, negative disables
+	// indexing (always dense).
+	IndexThreshold int
+	// Landmarks is the metric index's landmark count; <= 0 means
+	// metricindex.DefaultLandmarks.
+	Landmarks int
 }
 
 // DefaultCacheSize is the diff-result LRU capacity used by provserved
@@ -110,7 +118,10 @@ func New(st *store.Store, opts Options) *Server {
 		st:      st,
 		pools:   newEnginePools(),
 		cache:   newResultCache(opts.CacheSize),
-		cohorts: newCohortCaches(opts.CohortWorkers),
+		cohorts: newCohortCaches(opts.CohortWorkers, analysis.HybridOptions{
+			IndexThreshold: opts.IndexThreshold,
+			Landmarks:      opts.Landmarks,
+		}),
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
@@ -566,6 +577,17 @@ type engineStats struct {
 	ReuseRate float64 `json:"reuse_rate"`
 }
 
+type metricIndexStats struct {
+	// IndexedCohorts counts live cohorts currently answering from the
+	// metric index rather than a dense matrix.
+	IndexedCohorts int `json:"indexed_cohorts"`
+	// ExactDiffs and PrunedPairs aggregate the cohorts' counters: how
+	// many pairs were exactly differenced versus eliminated by a lower
+	// bound, across maintenance and queries.
+	ExactDiffs  int64 `json:"exact_diffs"`
+	PrunedPairs int64 `json:"pruned_pairs"`
+}
+
 type statsPayload struct {
 	UptimeSeconds  float64          `json:"uptime_seconds"`
 	Requests       map[string]int64 `json:"requests"`
@@ -573,6 +595,7 @@ type statsPayload struct {
 	Cache          cacheStats       `json:"cache"`
 	Engines        engineStats      `json:"engines"`
 	CohortMatrices int              `json:"cohort_matrices"`
+	MetricIndex    metricIndexStats `json:"metric_index"`
 }
 
 // Stats snapshots the service counters (also served at /stats).
@@ -586,6 +609,14 @@ func (s *Server) Stats() statsPayload {
 	}
 	if gets > 0 {
 		es.ReuseRate = float64(es.Reused) / float64(gets)
+	}
+	var mi metricIndexStats
+	for _, e := range s.cohorts.all() {
+		if e.hc.Indexed() {
+			mi.IndexedCohorts++
+		}
+		mi.ExactDiffs += e.hc.DiffCalls()
+		mi.PrunedPairs += e.hc.PrunedPairs()
 	}
 	return statsPayload{
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -606,6 +637,7 @@ func (s *Server) Stats() statsPayload {
 			"stats":    s.reqStats.Load(),
 		},
 		CohortMatrices: s.cohorts.count(),
+		MetricIndex:    mi,
 		Errors:         s.errCount.Load(),
 		Cache:          s.cache.snapshot(),
 		Engines:        es,

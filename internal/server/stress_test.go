@@ -170,7 +170,7 @@ func TestCohortAnalyticsRaceStress(t *testing.T) {
 	}
 	// And the long-lived matrix itself agrees cell-for-cell.
 	e := srv.cohorts.entry("pa", cost.Unit{})
-	mx := e.cm.Snapshot()
+	mx := e.hc.Snapshot()
 	if len(mx.Labels) != len(fresh.Labels) {
 		t.Fatalf("matrix has %d members, disk has %d", len(mx.Labels), len(fresh.Labels))
 	}
