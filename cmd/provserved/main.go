@@ -4,20 +4,37 @@
 //
 //	provserved -dir DIR [-addr :8077] [-cache 512] [-demo N] [-seed S] [-preload=true]
 //	           [-index-threshold N] [-landmarks M]
+//	           [-ingest-queue 1024] [-ingest-batch 64] [-ingest-maxwait 0]
 //
-//	GET    /specs                        list specifications
-//	GET    /specs/{spec}/runs            list runs
-//	POST   /specs/{spec}/runs/{run}      import a run (XML body)
-//	POST   /specs/{spec}/runs:bulk       bulk-import a cohort (tar or NDJSON)
-//	GET    /specs/{spec}/export          export spec + runs as a tar stream
-//	DELETE /specs/{spec}/runs/{run}      delete a run
-//	GET    /diff/{spec}/{a}/{b}          distance + edit script (?cost=unit|length|power:EPS)
-//	                                     (?across=SPEC2 for cross-version diffs)
-//	GET    /diff/{spec}/{a}/{b}/svg      side-by-side SVG diff rendering
-//	GET    /specs/{a}/evolve/{b}         spec-evolution mapping between versions
-//	GET    /specs/{a}/evolve/{b}/svg     spec overlay (deleted red, inserted green)
-//	GET    /cohort/{spec}                distance matrix + dendrogram (?stream=1)
-//	GET    /stats                        request/cache/engine-pool counters
+// The API is versioned under /v1; the unversioned routes of earlier
+// releases still answer identically but carry a Deprecation header:
+//
+//	GET    /v1/specs                          list specifications
+//	GET    /v1/specs/{spec}/runs              list runs
+//	POST   /v1/specs/{spec}/runs/{run}        import a run (XML body; ?async=1
+//	                                          returns 202 + a ticket)
+//	POST   /v1/specs/{spec}/runs:bulk         bulk-import a cohort (tar or NDJSON)
+//	GET    /v1/specs/{spec}/export            export spec + runs as a tar stream
+//	DELETE /v1/specs/{spec}/runs/{run}        delete a run
+//	GET    /v1/specs/{spec}/diff/{a}/{b}      distance + edit script (?cost=unit|length|power:EPS)
+//	                                          (?across=SPEC2 for cross-version diffs)
+//	GET    /v1/specs/{spec}/diff/{a}/{b}/svg  side-by-side SVG diff rendering
+//	GET    /v1/specs/{a}/evolve/{b}           spec-evolution mapping between versions
+//	GET    /v1/specs/{a}/evolve/{b}/svg       spec overlay (deleted red, inserted green)
+//	GET    /v1/specs/{spec}/cohort            distance matrix + dendrogram (?stream=1)
+//	GET    /v1/specs/{spec}/cluster           k-medoids partitioning
+//	GET    /v1/specs/{spec}/outliers          knn outlier scores
+//	GET    /v1/specs/{spec}/nearest           nearest neighbors (?run=)
+//	GET    /v1/tickets/{id}                   async ingest ticket status
+//	GET    /v1/stats                          request/cache/engine/ingest counters
+//	GET    /v1/healthz                        liveness probe
+//
+// Single-run imports flow through a group-commit pipeline: concurrent
+// importers coalesce into one snapshot append + one manifest save per
+// batch. -ingest-queue bounds the backlog (past it clients get 429),
+// -ingest-batch caps runs per commit, and -ingest-maxwait adds an
+// optional linger window for batching under bursty async load (0
+// commits as soon as the queue drains).
 //
 // -demo N seeds an empty repository with the paper's protein
 // annotation workflow ("demo") and N random runs, plus a mutated,
@@ -58,6 +75,9 @@ func main() {
 		preload = flag.Bool("preload", true, "warm parsed-run and cohort-matrix caches from snapshots at boot")
 		indexTh = flag.Int("index-threshold", 0, "cohort size at which analytics switch to the metric index (0 = default, negative disables)")
 		marks   = flag.Int("landmarks", 0, "metric-index landmark count (0 = default)")
+		inQueue = flag.Int("ingest-queue", 0, "group-commit ingest queue depth (0 = default 1024); full queue answers 429")
+		inBatch = flag.Int("ingest-batch", 0, "max runs per ingest group-commit (0 = default 64)")
+		inWait  = flag.Duration("ingest-maxwait", 0, "ingest batcher linger window (0 commits as soon as the queue drains)")
 	)
 	flag.Parse()
 	st, err := store.Open(*dir)
@@ -69,7 +89,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	handler := server.New(st, server.Options{CacheSize: *cache, IndexThreshold: *indexTh, Landmarks: *marks})
+	handler := server.New(st, server.Options{
+		CacheSize:      *cache,
+		IndexThreshold: *indexTh,
+		Landmarks:      *marks,
+		IngestQueue:    *inQueue,
+		IngestBatch:    *inBatch,
+		IngestMaxWait:  *inWait,
+	})
 	if *preload {
 		warmStart(st, handler)
 	}
@@ -96,6 +123,9 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("provserved: shutdown: %v", err)
 	}
+	// The listener is closed; drain the ingest queue so every accepted
+	// import is committed before the process (and the store) go away.
+	handler.Close()
 }
 
 // warmStart rebuilds the in-memory caches before the listener opens:

@@ -45,7 +45,7 @@ type HybridCohort struct {
 	landmarks int
 
 	mu      sync.RWMutex
-	cm      *CohortMatrix     // exactly one of cm/ix is non-nil
+	cm      *CohortMatrix // exactly one of cm/ix is non-nil
 	ix      *metricindex.Index
 	version int64
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/wfrun"
 	"repro/internal/wfxml"
 )
@@ -22,6 +23,14 @@ func ValidateK(flagName string, k int) error {
 		return fmt.Errorf("-%s must be at least 1, got %d", flagName, k)
 	}
 	return nil
+}
+
+// ValidateName rejects spec/run names that could escape the
+// repository layout — the one validator every untrusted boundary
+// (CLI flags, HTTP path values, ?name= and ?run= parameters) shares.
+// It delegates to store.ValidateName, which owns the rules.
+func ValidateName(name string) error {
+	return store.ValidateName(name)
 }
 
 // ParseCost parses a -cost flag value: "unit", "length" or

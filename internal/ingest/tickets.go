@@ -1,0 +1,208 @@
+package ingest
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Ticket states, in lifecycle order. A ticket is pending until every
+// run it covers has a result; it then resolves to committed (all runs
+// landed) or failed (at least one did not).
+const (
+	StatePending   = "pending"
+	StateCommitted = "committed"
+	StateFailed    = "failed"
+)
+
+// DefaultTicketRetention bounds how many resolved tickets a Registry
+// keeps for polling before the oldest are evicted. Pending tickets
+// are never evicted (their population is already bounded by the
+// ingest queue depth).
+const DefaultTicketRetention = 256
+
+// RunStatus is the per-run progress of an async ingest ticket.
+type RunStatus struct {
+	Run   string `json:"run"`
+	State string `json:"state"` // pending | committed | failed
+	Error string `json:"error,omitempty"`
+	Nodes int    `json:"nodes,omitempty"`
+	Edges int    `json:"edges,omitempty"`
+}
+
+// Ticket tracks one asynchronous ingest request (a single run or a
+// whole bulk batch) from 202 Accepted to its terminal state.
+type Ticket struct {
+	ID      string
+	Spec    string
+	created time.Time
+
+	reg *Registry
+
+	mu       sync.Mutex
+	runs     []RunStatus
+	idx      map[string]int
+	pending  int
+	resolved time.Time
+}
+
+// View is a consistent snapshot of a ticket for serialization.
+type View struct {
+	ID      string      `json:"ticket"`
+	Spec    string      `json:"spec"`
+	State   string      `json:"state"`
+	Total   int         `json:"total"`
+	Done    int         `json:"done"`
+	Runs    []RunStatus `json:"runs"`
+	Created time.Time   `json:"created"`
+}
+
+// resolve records one run's commit result; the last pending run
+// transitions the ticket to its terminal state and reports it to the
+// registry for retention accounting. Called by the batcher (never
+// while the registry lock is held — see Registry.Get for the lock
+// order).
+func (t *Ticket) resolve(run string, res Result) {
+	t.mu.Lock()
+	i, ok := t.idx[run]
+	if !ok || t.runs[i].State != StatePending {
+		t.mu.Unlock()
+		return
+	}
+	if res.Err != nil {
+		t.runs[i].State = StateFailed
+		t.runs[i].Error = res.Err.Error()
+	} else {
+		t.runs[i].State = StateCommitted
+		t.runs[i].Nodes = res.Nodes
+		t.runs[i].Edges = res.Edges
+	}
+	t.pending--
+	done := t.pending == 0
+	if done {
+		t.resolved = time.Now()
+	}
+	t.mu.Unlock()
+	if done && t.reg != nil {
+		t.reg.noteResolved(t.ID)
+	}
+}
+
+// Fail resolves one run of the ticket with an error outside any
+// commit — the path for jobs that never made it onto the queue.
+func (t *Ticket) Fail(run string, err error) {
+	t.resolve(run, Result{Err: err})
+}
+
+// state computes the ticket-level state; caller holds t.mu.
+func (t *Ticket) state() string {
+	if t.pending > 0 {
+		return StatePending
+	}
+	for _, rs := range t.runs {
+		if rs.State == StateFailed {
+			return StateFailed
+		}
+	}
+	return StateCommitted
+}
+
+// Snapshot returns a consistent view of the ticket.
+func (t *Ticket) Snapshot() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	runs := make([]RunStatus, len(t.runs))
+	copy(runs, t.runs)
+	return View{
+		ID:      t.ID,
+		Spec:    t.Spec,
+		State:   t.state(),
+		Total:   len(t.runs),
+		Done:    len(t.runs) - t.pending,
+		Runs:    runs,
+		Created: t.created,
+	}
+}
+
+// Registry issues and retains tickets. Resolved tickets are kept in
+// FIFO order up to the retention bound so clients have a polling
+// window; pending tickets live until they resolve.
+type Registry struct {
+	mu       sync.Mutex
+	byID     map[string]*Ticket
+	resolved []string // resolution order, oldest first
+	retain   int
+}
+
+// NewRegistry builds a registry retaining up to retain resolved
+// tickets (<= 0 means DefaultTicketRetention).
+func NewRegistry(retain int) *Registry {
+	if retain <= 0 {
+		retain = DefaultTicketRetention
+	}
+	return &Registry{byID: make(map[string]*Ticket), retain: retain}
+}
+
+// New issues a pending ticket covering the named runs, registered for
+// polling immediately.
+func (g *Registry) New(specName string, runNames []string) *Ticket {
+	t := &Ticket{
+		ID:      newTicketID(),
+		Spec:    specName,
+		created: time.Now(),
+		reg:     g,
+		runs:    make([]RunStatus, len(runNames)),
+		idx:     make(map[string]int, len(runNames)),
+		pending: len(runNames),
+	}
+	for i, name := range runNames {
+		t.runs[i] = RunStatus{Run: name, State: StatePending}
+		t.idx[name] = i
+	}
+	g.mu.Lock()
+	g.byID[t.ID] = t
+	g.mu.Unlock()
+	return t
+}
+
+// Get looks a ticket up by ID. The ticket pointer is returned with no
+// locks held, so callers may Snapshot it freely.
+func (g *Registry) Get(id string) (*Ticket, bool) {
+	g.mu.Lock()
+	t, ok := g.byID[id]
+	g.mu.Unlock()
+	return t, ok
+}
+
+// noteResolved records a terminal transition and evicts the oldest
+// resolved tickets past the retention bound.
+func (g *Registry) noteResolved(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.resolved = append(g.resolved, id)
+	for len(g.resolved) > g.retain {
+		delete(g.byID, g.resolved[0])
+		g.resolved = g.resolved[1:]
+	}
+}
+
+// Counts reports how many tickets are pending and how many resolved
+// ones are retained for polling.
+func (g *Registry) Counts() (pending, retained int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	retained = len(g.resolved)
+	pending = len(g.byID) - retained
+	return pending, retained
+}
+
+// newTicketID returns an unguessable identifier; ticket URLs are
+// capability-style (knowing the ID is the authorization to poll it).
+func newTicketID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("ingest: crypto/rand unavailable: " + err.Error())
+	}
+	return "t" + hex.EncodeToString(b[:])
+}

@@ -14,32 +14,11 @@ package server
 import (
 	"fmt"
 	"net/http"
-	"strconv"
 
 	"repro/internal/analysis"
 	"repro/internal/cluster"
 	"repro/internal/cost"
-	"repro/internal/store"
 )
-
-// intParam parses an optional integer query parameter.
-func intParam(r *http.Request, name string, def int) (int, error) {
-	v := r.URL.Query().Get(name)
-	if v == "" {
-		return def, nil
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s=%q: want an integer", name, v)
-	}
-	return n, nil
-}
-
-// exactParam reports whether the request carries the ?exact= escape
-// hatch.
-func exactParam(r *http.Request) bool {
-	return r.URL.Query().Get("exact") != ""
-}
 
 // cohortViewFor resolves the synced cohort view for an analytics
 // request, writing the error response itself on failure. minRuns
@@ -101,22 +80,14 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	m, ok := s.costModel(w, r)
-	if !ok {
+	q := s.query(r)
+	m := q.cost()
+	k := q.intVal("k", 2)
+	seed := q.seed()
+	exact := q.flag("exact")
+	if !q.valid(w) {
 		return
 	}
-	k, err := intParam(r, "k", 2)
-	if err != nil {
-		s.httpError(w, err, http.StatusBadRequest)
-		return
-	}
-	seed64, err := intParam(r, "seed", 1)
-	if err != nil {
-		s.httpError(w, err, http.StatusBadRequest)
-		return
-	}
-	seed := int64(seed64)
-	exact := exactParam(r)
 	key := cacheKey{spec: ns[0], runA: fmt.Sprintf("k=%d", k), runB: fmt.Sprintf("seed=%d", seed), cost: m.Name(), kind: kindCluster}
 	if !exact {
 		if v, ok := s.cache.get(key); ok {
@@ -132,6 +103,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var cl *cluster.Clustering
+	var err error
 	labels := v.Labels()
 	if v.Indexed() {
 		cl, err = cluster.SampledKMedoids(r.Context(), v.Index, k, seed, cluster.SampleOptions{})
@@ -191,16 +163,13 @@ func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	m, ok := s.costModel(w, r)
-	if !ok {
+	q := s.query(r)
+	m := q.cost()
+	k := q.intVal("k", 3)
+	exact := q.flag("exact")
+	if !q.valid(w) {
 		return
 	}
-	k, err := intParam(r, "k", 3)
-	if err != nil {
-		s.httpError(w, err, http.StatusBadRequest)
-		return
-	}
-	exact := exactParam(r)
 	key := cacheKey{spec: ns[0], runA: fmt.Sprintf("k=%d", k), cost: m.Name(), kind: kindOutliers}
 	if !exact {
 		if v, ok := s.cache.get(key); ok {
@@ -216,6 +185,7 @@ func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var scores []cluster.OutlierScore
+	var err error
 	labels := v.Labels()
 	if v.Indexed() {
 		scores, err = cluster.IndexedOutliers(v.Index, k)
@@ -260,21 +230,14 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	m, ok := s.costModel(w, r)
-	if !ok {
+	q := s.query(r)
+	m := q.cost()
+	runName := q.name("run")
+	k := q.intVal("k", 5)
+	exact := q.flag("exact")
+	if !q.valid(w) {
 		return
 	}
-	runName := r.URL.Query().Get("run")
-	if err := store.ValidateName(runName); err != nil {
-		s.httpError(w, fmt.Errorf("run: %w", err), http.StatusBadRequest)
-		return
-	}
-	k, err := intParam(r, "k", 5)
-	if err != nil {
-		s.httpError(w, err, http.StatusBadRequest)
-		return
-	}
-	exact := exactParam(r)
 	key := cacheKey{spec: ns[0], runA: runName, runB: fmt.Sprintf("k=%d", k), cost: m.Name(), kind: kindNearest}
 	if !exact {
 		if v, ok := s.cache.get(key); ok {
@@ -302,6 +265,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var nn []cluster.Neighbor
+	var err error
 	if v.Indexed() {
 		nn, err = cluster.IndexedNearest(v.Index, idx, k)
 	} else {

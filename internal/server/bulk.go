@@ -9,11 +9,12 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/ingest"
 	"repro/internal/store"
 )
 
 // maxBulkBytes bounds a whole bulk-import request body; individual
-// documents stay bounded by maxImportBytes.
+// documents stay bounded by the per-document import limit.
 const maxBulkBytes = 256 << 20
 
 // bulkRunJSON is one NDJSON line of a streaming bulk import.
@@ -24,15 +25,18 @@ type bulkRunJSON struct {
 
 // handleBulkImport ingests a whole cohort in one request:
 //
-//	POST /specs/{spec}/runs:bulk
+//	POST /v1/specs/{spec}/runs:bulk
 //
 // The body is either a tar archive of <run>.xml files (any layout;
 // names come from the base filename) or, with Content-Type
-// application/x-ndjson, a stream of {"name":…,"xml":…} lines. All
-// documents are parsed and derived concurrently through the store's
-// bulk path, written with their snapshot frames, and announced with a
-// single coalesced change notification per spec — so however many
-// runs arrive, the incremental cohort matrices rebuild exactly once.
+// application/x-ndjson, a stream of {"name":…,"xml":…} lines. By
+// default all documents are parsed and derived concurrently through
+// the store's bulk path, written with their snapshot frames, and
+// announced with a single coalesced change notification per spec —
+// so however many runs arrive, the cohort matrices resync exactly
+// once. With ?async=1 the parsed batch is instead fanned onto the
+// group-commit pipeline under one ticket and the response is 202 +
+// the ticket to poll.
 func (s *Server) handleBulkImport(w http.ResponseWriter, r *http.Request) {
 	ns, ok := s.names(w, r, "spec")
 	if !ok {
@@ -52,7 +56,7 @@ func (s *Server) handleBulkImport(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/jsonl") {
 		runs, err = readRunNDJSON(body)
 	} else {
-		runs, err = store.ReadRunTar(body, maxImportBytes, maxBulkBytes)
+		runs, err = store.ReadRunTar(body, s.maxImportBytes(), maxBulkBytes)
 	}
 	if err != nil {
 		s.httpError(w, err, http.StatusBadRequest)
@@ -62,16 +66,22 @@ func (s *Server) handleBulkImport(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, fmt.Errorf("bulk import carried no runs"), http.StatusBadRequest)
 		return
 	}
+	if s.query(r).flag("async") {
+		s.asyncBulkImport(w, specName, runs)
+		return
+	}
 	stats, err := s.st.ImportRuns(specName, runs, s.opts.CohortWorkers)
 	if err != nil {
-		// Partial imports report what landed alongside the error.
+		// Partial imports report what landed inside the envelope.
 		s.errCount.Add(1)
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusBadRequest)
-		json.NewEncoder(w).Encode(map[string]any{
-			"error":    err.Error(),
-			"imported": stats.Imported,
-		})
+		code := storeStatus(err)
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(errorEnvelope{Error: errorDetail{
+			Code:     errorCode(code),
+			Message:  err.Error(),
+			Imported: stats.Imported,
+		}})
 		return
 	}
 	// Content-Type must precede WriteHeader or it is dropped.
@@ -86,12 +96,45 @@ func (s *Server) handleBulkImport(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// asyncBulkImport enqueues a whole bulk batch under one ticket. A
+// duplicate name is a 409 up front (one ticket entry per run); if the
+// queue fills midway the remaining runs resolve failed on the ticket
+// rather than blocking — the client asked for fire-and-poll.
+func (s *Server) asyncBulkImport(w http.ResponseWriter, specName string, runs []store.RunData) {
+	names := make([]string, len(runs))
+	seen := make(map[string]bool, len(runs))
+	for i, rd := range runs {
+		if seen[rd.Name] {
+			s.httpError(w, fmt.Errorf("run %q appears twice in bulk import: %w", rd.Name, store.ErrDuplicateRun), http.StatusConflict)
+			return
+		}
+		seen[rd.Name] = true
+		names[i] = rd.Name
+	}
+	t := s.tickets.New(specName, names)
+	for i, rd := range runs {
+		if err := s.ingest.Enqueue(&ingest.Job{Spec: specName, Run: rd.Name, XML: rd.XML, Ticket: t}); err != nil {
+			if i == 0 {
+				// Nothing in flight yet: refuse the whole request so the
+				// client can simply retry it.
+				for _, name := range names {
+					t.Fail(name, err)
+				}
+				s.enqueueError(w, err)
+				return
+			}
+			t.Fail(rd.Name, err)
+		}
+	}
+	s.writeTicketAccepted(w, t)
+}
+
 // readRunNDJSON collects runs from an NDJSON stream.
 func readRunNDJSON(r io.Reader) ([]store.RunData, error) {
 	sc := bufio.NewScanner(r)
 	// Headroom above the per-run XML limit: JSON escaping can more
 	// than double the document, plus the envelope fields.
-	sc.Buffer(make([]byte, 64<<10), 2*maxImportBytes+(1<<20))
+	sc.Buffer(make([]byte, 64<<10), 2*defaultMaxImportBytes+(1<<20))
 	var runs []store.RunData
 	line := 0
 	for sc.Scan() {

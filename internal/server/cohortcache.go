@@ -36,8 +36,10 @@ type cohortEntry struct {
 	stateMu sync.Mutex
 	gen     int64
 	dirty   map[string]bool
-	// full marks the whole cohort stale (bulk import): the next sync
-	// does one Reset instead of one Remove+Add per dirty run.
+	// full marks the whole cohort stale: the next sync does one Reset
+	// instead of one Remove+Add per dirty run. It is set by a failed
+	// sync restoring a promoted batch; batches themselves only mark
+	// dirty runs and the sync pass promotes large ones (cohortView).
 	full bool
 }
 
@@ -117,16 +119,21 @@ func (cc *cohortCaches) invalidate(specName, runName string) {
 	}
 }
 
-// invalidateBulk records a coalesced bulk import: every cohort of the
-// spec advances its generation once and schedules one full rebuild,
-// however many runs the batch carried — importing n runs costs one
-// Reset instead of n incremental rows (the same diff total, but one
-// fan-out, one engine warm-up, one publish).
+// invalidateBulk records a coalesced batch change (bulk import or a
+// group-commit from the ingest pipeline): every cohort of the spec
+// advances its generation once and marks the batch's runs dirty. How
+// the batch is replayed — one Remove+Add per dirty run, or one full
+// Reset — is decided at sync time against the live cohort size (see
+// cohortView): a pipeline batch of a few runs into a large cohort
+// stays incremental, while a bulk import that rivals the cohort pays
+// one Reset instead of n re-adds.
 func (cc *cohortCaches) invalidateBulk(specName string, runNames []string) {
 	for _, e := range cc.entriesForSpec(specName) {
 		e.stateMu.Lock()
 		e.gen++
-		e.full = true
+		for _, name := range runNames {
+			e.dirty[name] = true
+		}
 		e.stateMu.Unlock()
 	}
 }
@@ -195,6 +202,14 @@ func (s *Server) cohortView(specName string, m cost.Model) (*analysis.CohortView
 
 	if e.inited && e.synced == gen {
 		return e.hc.View(), nil
+	}
+
+	// Replay strategy: a dirty set that rivals the live cohort is
+	// cheaper to Reset in one fan-out than to Remove+Add row by row
+	// (bulk imports land here); a small batch — a lone re-import or
+	// one group-commit from the ingest pipeline — stays incremental.
+	if e.inited && !full && 2*len(dirty) >= e.hc.Len() {
+		full = true
 	}
 
 	// restoreDirty puts unapplied invalidations back on error, so a

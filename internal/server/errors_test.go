@@ -1,0 +1,251 @@
+package server
+
+// Uniform error-envelope coverage: every failure mode the service can
+// produce — client errors, missing resources, conflicts, oversized
+// documents, backpressure, storage faults, shutdown, and even the
+// mux's own unknown-path/method-mismatch responses — must answer with
+// {"error":{"code":...,"message":...}} and nothing else.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/ingest"
+	"repro/internal/store"
+)
+
+// wantEnvelope asserts a response is exactly the error envelope with
+// the given status and code, and returns the decoded detail.
+func wantEnvelope(t *testing.T, rec *httptest.ResponseRecorder, status int, code string) errorDetail {
+	t.Helper()
+	if rec.Code != status {
+		t.Fatalf("status = %d, want %d (body %q)", rec.Code, status, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &top); err != nil {
+		t.Fatalf("body %q is not JSON: %v", rec.Body.String(), err)
+	}
+	if len(top) != 1 || top["error"] == nil {
+		t.Fatalf("body %q is not a bare error envelope", rec.Body.String())
+	}
+	var d errorDetail
+	if err := json.Unmarshal(top["error"], &d); err != nil {
+		t.Fatalf("error detail %q: %v", top["error"], err)
+	}
+	if d.Code != code {
+		t.Errorf("error code = %q, want %q (message %q)", d.Code, code, d.Message)
+	}
+	if d.Message == "" {
+		t.Error("error message is empty")
+	}
+	return d
+}
+
+// seedServerAt is seedServer over a caller-owned directory, for tests
+// that need to reach under the store.
+func seedServerAt(t *testing.T, dir string, n int, opts Options) (*Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := gen.Catalog("PA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSpec("pa", pa); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := st.LoadSpec("pa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SaveRun("pa", fmt.Sprintf("r%d", i), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(st, opts), st
+}
+
+func TestErrorEnvelopes(t *testing.T) {
+	srv, st := seedServer(t, 2, Options{CacheSize: 8, MaxImportBytes: 512})
+	ndjsonDup := func() []byte {
+		line, err := json.Marshal(map[string]string{"name": "dupz", "xml": "<run/>"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(append(line, '\n'), line...)
+	}()
+	_ = st
+
+	cases := []struct {
+		name        string
+		method      string
+		target      string
+		body        []byte
+		contentType string
+		status      int
+		code        string
+	}{
+		{name: "bad int param", method: "GET", target: "/v1/specs/pa/cluster?k=abc", status: 400, code: "bad_request"},
+		{name: "bad cost param", method: "GET", target: "/v1/specs/pa/diff/r0/r1?cost=bogus", status: 400, code: "bad_request"},
+		{name: "unknown spec", method: "GET", target: "/v1/specs/nosuch/runs", status: 404, code: "not_found"},
+		{name: "unknown run", method: "GET", target: "/v1/specs/pa/diff/r0/nosuch", status: 404, code: "not_found"},
+		{name: "unknown ticket", method: "GET", target: "/v1/tickets/tdeadbeef", status: 404, code: "not_found"},
+		{name: "duplicate bulk name", method: "POST", target: "/v1/specs/pa/runs:bulk", body: ndjsonDup, contentType: "application/x-ndjson", status: 409, code: "conflict"},
+		{name: "oversized document", method: "POST", target: "/v1/specs/pa/runs/big", body: make([]byte, 4096), status: 413, code: "payload_too_large"},
+		{name: "unknown path", method: "GET", target: "/v1/nope", status: 404, code: "not_found"},
+		{name: "method mismatch", method: "PUT", target: "/v1/specs", status: 405, code: "method_not_allowed"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req := httptest.NewRequest(c.method, c.target, bytesReader(c.body))
+			if c.contentType != "" {
+				req.Header.Set("Content-Type", c.contentType)
+			}
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			wantEnvelope(t, rec, c.status, c.code)
+		})
+	}
+}
+
+func bytesReader(b []byte) io.Reader {
+	if b == nil {
+		return http.NoBody
+	}
+	return io.NopCloser(newSliceReader(b))
+}
+
+func newSliceReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// TestEnvelope429Backpressure swaps in a pipeline whose commit is
+// gated shut, fills its one-deep queue, and asserts the overflow
+// answer: 429, rate_limited, Retry-After.
+func TestEnvelope429Backpressure(t *testing.T) {
+	srv, _ := seedServer(t, 0, Options{})
+	body := []byte("<run/>") // never parsed: the gate holds every commit
+	gate := make(chan struct{})
+	blocked := ingest.New(func(jobs []*ingest.Job) []ingest.Result {
+		<-gate
+		return make([]ingest.Result, len(jobs))
+	}, ingest.Options{QueueDepth: 1, BatchSize: 1})
+	srv.ingest.Close()
+	srv.ingest = blocked
+	defer func() {
+		close(gate)
+		blocked.Close()
+	}()
+
+	var got429 *httptest.ResponseRecorder
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		rec := do(t, srv, "POST", "/v1/specs/pa/runs/bp?async=1", body, nil)
+		switch rec.Code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			got429 = rec
+		default:
+			t.Fatalf("post %d = %d %q", i, rec.Code, rec.Body.String())
+		}
+	}
+	if accepted == 0 {
+		t.Error("no post was accepted before the queue filled")
+	}
+	if got429 == nil {
+		t.Fatal("five posts against a one-deep gated queue never drew a 429")
+	}
+	wantEnvelope(t, got429, http.StatusTooManyRequests, "rate_limited")
+	if got := got429.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+}
+
+// TestEnvelope500CommitFault forces the storage side of a batched
+// commit to fail (the run's XML path is occupied by a directory): the
+// document was valid, so the client gets the service's 500, not a 400.
+func TestEnvelope500CommitFault(t *testing.T) {
+	dir := t.TempDir()
+	srv, st := seedServerAt(t, dir, 1, Options{})
+	body := encodeRun(t, st, 777)
+	if err := os.MkdirAll(filepath.Join(dir, "pa", "runs", "evil500.xml"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, srv, "POST", "/v1/specs/pa/runs/evil500", body, nil)
+	wantEnvelope(t, rec, http.StatusInternalServerError, "internal")
+}
+
+// TestEnvelope503AfterClose: a drained pipeline refuses new imports
+// with 503/unavailable while reads keep answering.
+func TestEnvelope503AfterClose(t *testing.T) {
+	srv, st := seedServer(t, 2, Options{})
+	body := encodeRun(t, st, 778)
+	srv.Close()
+	rec := do(t, srv, "POST", "/v1/specs/pa/runs/late", body, nil)
+	wantEnvelope(t, rec, http.StatusServiceUnavailable, "unavailable")
+	if rec := do(t, srv, "GET", "/v1/specs/pa/runs", nil, nil); rec.Code != http.StatusOK {
+		t.Errorf("read after Close = %d, want 200", rec.Code)
+	}
+}
+
+// poisonedBody fails the test if anything reads it: boundary
+// validation must reject bad names BEFORE touching the body.
+type poisonedBody struct{ t *testing.T }
+
+func (p poisonedBody) Read([]byte) (int, error) {
+	p.t.Error("handler read the request body before validating names")
+	return 0, io.EOF
+}
+
+// TestIngestBoundaryValidation pins the fix for the import-path
+// asymmetry: both POST shapes (?name= and path value) validate the
+// run name at the boundary, without reading the body, under /v1 and
+// the legacy alias alike.
+func TestIngestBoundaryValidation(t *testing.T) {
+	srv, _ := seedServer(t, 0, Options{})
+	targets := []string{
+		"/v1/specs/pa/runs?name=..%2Fevil",
+		"/v1/specs/pa/runs/..%2Fevil",
+		"/v1/specs/pa/runs", // name missing entirely
+		"/specs/pa/runs?name=..%2Fevil",
+		"/specs/pa/runs/..%2Fevil",
+		"/v1/specs/..%2Fevil/runs/ok", // spec side of the same boundary
+	}
+	for _, target := range targets {
+		t.Run(target, func(t *testing.T) {
+			req := httptest.NewRequest("POST", target, poisonedBody{t})
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			wantEnvelope(t, rec, http.StatusBadRequest, "bad_request")
+		})
+	}
+}

@@ -12,29 +12,39 @@
 //     keyed by (spec, runA, runB, cost), invalidated through
 //     store.OnRunChange when a run is re-imported or deleted;
 //   - cohort matrices fan out over a worker pool and can stream
-//     per-pair progress to the client as NDJSON.
+//     per-pair progress to the client as NDJSON;
+//   - single-run imports flow through a group-commit pipeline
+//     (internal/ingest): concurrent importers coalesce into one
+//     segment append + one manifest save + one change notification
+//     per batch, synchronously (default) or async via tickets.
 //
-// Endpoints (all JSON unless noted):
+// The API is versioned under /v1 (all JSON unless noted):
 //
-//	GET    /specs                        list specifications
-//	GET    /specs/{spec}/runs            list runs of a specification
-//	POST   /specs/{spec}/runs/{run}      import a run (XML body)
-//	POST   /specs/{spec}/runs:bulk       bulk-import a cohort (tar or NDJSON)
-//	GET    /specs/{spec}/export          export spec + runs as a tar stream
-//	DELETE /specs/{spec}/runs/{run}      delete a run
-//	GET    /diff/{spec}/{a}/{b}          distance + edit script (?cost=)
-//	                                     (?across=SPEC2: cross-version diff, run b
-//	                                     taken from the lineage-linked SPEC2)
-//	GET    /diff/{spec}/{a}/{b}/svg      side-by-side SVG rendering
-//	GET    /specs/{a}/evolve/{b}         spec-evolution mapping between versions
-//	GET    /specs/{a}/evolve/{b}/svg     spec overlay (deleted red, inserted green)
-//	GET    /cohort/{spec}                distance matrix + dendrogram
-//	                                     (?cost=, ?stream=1 for NDJSON progress)
-//	GET    /specs/{spec}/cluster         k-medoids partitioning (?k=, ?seed=, ?cost=)
-//	GET    /specs/{spec}/outliers        knn outlier scores (?k=, ?cost=)
-//	GET    /specs/{spec}/nearest         nearest neighbors (?run=, ?k=, ?cost=)
-//	GET    /stats                        service counters
-//	GET    /healthz                      liveness probe
+//	GET    /v1/specs                          list specifications
+//	GET    /v1/specs/{spec}/runs              list runs of a specification
+//	POST   /v1/specs/{spec}/runs              import a run (XML body, ?name=, ?async=1)
+//	POST   /v1/specs/{spec}/runs/{run}        import a run (XML body, ?async=1)
+//	POST   /v1/specs/{spec}/runs:bulk         bulk-import a cohort (tar or NDJSON, ?async=1)
+//	GET    /v1/specs/{spec}/export            export spec + runs as a tar stream
+//	DELETE /v1/specs/{spec}/runs/{run}        delete a run
+//	GET    /v1/specs/{spec}/diff/{a}/{b}      distance + edit script (?cost=, ?across=)
+//	GET    /v1/specs/{spec}/diff/{a}/{b}/svg  side-by-side SVG diff rendering
+//	GET    /v1/specs/{spec}/cohort            distance matrix + dendrogram (?cost=, ?stream=1)
+//	GET    /v1/specs/{a}/evolve/{b}           spec-evolution mapping between versions
+//	GET    /v1/specs/{a}/evolve/{b}/svg       spec overlay (deleted red, inserted green)
+//	GET    /v1/specs/{spec}/cluster           k-medoids partitioning (?k=, ?seed=, ?cost=)
+//	GET    /v1/specs/{spec}/outliers          knn outlier scores (?k=, ?cost=)
+//	GET    /v1/specs/{spec}/nearest           nearest neighbors (?run=, ?k=, ?cost=)
+//	GET    /v1/tickets/{id}                   async ingest ticket status
+//	GET    /v1/stats                          service counters
+//	GET    /v1/healthz                        liveness probe
+//
+// The pre-/v1 routes (same paths minus the prefix, plus the old
+// /diff/{spec}/{a}/{b} and /cohort/{spec} shapes) remain as deprecated
+// aliases: they are served by the same handlers byte-for-byte and
+// carry "Deprecation: true" plus a successor-version Link header (see
+// routes.go). Errors everywhere use one JSON envelope,
+// {"error":{"code":...,"message":...}} (see errors.go).
 //
 // The three cohort-analytics endpoints share one incrementally
 // maintained distance matrix per (spec, cost model): importing a run
@@ -45,10 +55,8 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
-	"io/fs"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -57,13 +65,14 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cost"
 	"repro/internal/edit"
+	"repro/internal/ingest"
 	"repro/internal/store"
 	"repro/internal/view"
-	"repro/internal/wfxml"
 )
 
-// maxImportBytes bounds a POSTed run XML document.
-const maxImportBytes = 32 << 20
+// defaultMaxImportBytes bounds a POSTed run XML document unless
+// Options.MaxImportBytes overrides it.
+const defaultMaxImportBytes = 32 << 20
 
 // progressWriteTimeout bounds each streamed NDJSON write; a client
 // that stops reading gets its connection failed instead of stalling
@@ -85,6 +94,25 @@ type Options struct {
 	// Landmarks is the metric index's landmark count; <= 0 means
 	// metricindex.DefaultLandmarks.
 	Landmarks int
+	// IngestQueue bounds the group-commit queue; past it imports get
+	// 429. <= 0 means ingest.DefaultQueueDepth.
+	IngestQueue int
+	// IngestBatch caps how many runs one pipeline commit carries;
+	// <= 0 means ingest.DefaultBatchSize.
+	IngestBatch int
+	// IngestMaxWait is the batcher's linger window; 0 (default)
+	// flushes as soon as the queue runs dry.
+	IngestMaxWait time.Duration
+	// MaxImportBytes bounds one run XML document; <= 0 means the
+	// 32 MiB default.
+	MaxImportBytes int64
+	// TicketRetention bounds resolved async tickets kept for polling;
+	// <= 0 means ingest.DefaultTicketRetention.
+	TicketRetention int
+	// DirectIngest bypasses the group-commit pipeline and imports
+	// synchronously inline (the pre-pipeline behavior) — the baseline
+	// arm of the sustained-ingest benchmark and differential tests.
+	DirectIngest bool
 }
 
 // DefaultCacheSize is the diff-result LRU capacity used by provserved
@@ -93,11 +121,14 @@ const DefaultCacheSize = 512
 
 // Server serves a provenance repository over HTTP. It is safe for
 // concurrent use; create it with New and mount it as an http.Handler.
+// Call Close on shutdown to drain the ingest pipeline.
 type Server struct {
 	st      *store.Store
 	pools   *enginePools
 	cache   *resultCache
 	cohorts *cohortCaches
+	ingest  *ingest.Pipeline
+	tickets *ingest.Registry
 	opts    Options
 	mux     *http.ServeMux
 	started time.Time
@@ -105,7 +136,7 @@ type Server struct {
 	reqDiff, reqSVG, reqCohort, reqSpecs, reqRuns atomic.Int64
 	reqImport, reqDelete, reqStats                atomic.Int64
 	reqCluster, reqOutliers, reqNearest           atomic.Int64
-	reqBulk, reqExport, reqEvolve                 atomic.Int64
+	reqBulk, reqExport, reqEvolve, reqTickets     atomic.Int64
 	errCount                                      atomic.Int64
 }
 
@@ -115,78 +146,53 @@ type Server struct {
 // Store invalidate cached diffs immediately.
 func New(st *store.Store, opts Options) *Server {
 	s := &Server{
-		st:      st,
-		pools:   newEnginePools(),
-		cache:   newResultCache(opts.CacheSize),
+		st:    st,
+		pools: newEnginePools(),
+		cache: newResultCache(opts.CacheSize),
 		cohorts: newCohortCaches(opts.CohortWorkers, analysis.HybridOptions{
 			IndexThreshold: opts.IndexThreshold,
 			Landmarks:      opts.Landmarks,
 		}),
+		tickets: ingest.NewRegistry(opts.TicketRetention),
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	s.ingest = s.newIngest()
 	st.OnRunChange(s.cache.invalidateRun)
 	st.OnRunChange(s.cohorts.invalidate)
-	// Bulk imports arrive coalesced: per-run invalidation for the pair
-	// cache (each named run's entries are stale), one full-rebuild mark
-	// for the cohort matrices (one Reset however many runs landed).
+	// Batched imports arrive coalesced: per-run invalidation for the
+	// pair cache (each named run's entries are stale), one batched
+	// mark for the cohort matrices — the sync pass replays it
+	// incrementally or as one Reset, whichever is cheaper.
 	st.OnRunsBulkChange(func(specName string, runNames []string) {
 		for _, run := range runNames {
 			s.cache.invalidateRun(specName, run)
 		}
 		s.cohorts.invalidateBulk(specName, runNames)
 	})
-	s.mux.HandleFunc("GET /specs", s.count(&s.reqSpecs, s.handleSpecs))
-	s.mux.HandleFunc("GET /specs/{spec}/runs", s.count(&s.reqRuns, s.handleRuns))
-	s.mux.HandleFunc("POST /specs/{spec}/runs", s.count(&s.reqImport, s.handleImport))
-	s.mux.HandleFunc("POST /specs/{spec}/runs/{run}", s.count(&s.reqImport, s.handleImport))
-	s.mux.HandleFunc("POST /specs/{spec}/runs:bulk", s.count(&s.reqBulk, s.handleBulkImport))
-	s.mux.HandleFunc("GET /specs/{spec}/export", s.count(&s.reqExport, s.handleExport))
-	s.mux.HandleFunc("DELETE /specs/{spec}/runs/{run}", s.count(&s.reqDelete, s.handleDelete))
-	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}", s.count(&s.reqDiff, s.handleDiff))
-	s.mux.HandleFunc("GET /diff/{spec}/{a}/{b}/svg", s.count(&s.reqSVG, s.handleDiffSVG))
-	s.mux.HandleFunc("GET /cohort/{spec}", s.count(&s.reqCohort, s.handleCohort))
-	s.mux.HandleFunc("GET /specs/{a}/evolve/{b}", s.count(&s.reqEvolve, s.handleEvolve))
-	s.mux.HandleFunc("GET /specs/{a}/evolve/{b}/svg", s.count(&s.reqEvolve, s.handleEvolveSVG))
-	s.mux.HandleFunc("GET /specs/{spec}/cluster", s.count(&s.reqCluster, s.handleCluster))
-	s.mux.HandleFunc("GET /specs/{spec}/outliers", s.count(&s.reqOutliers, s.handleOutliers))
-	s.mux.HandleFunc("GET /specs/{spec}/nearest", s.count(&s.reqNearest, s.handleNearest))
-	s.mux.HandleFunc("GET /stats", s.count(&s.reqStats, s.handleStats))
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		io.WriteString(w, `{"ok":true}`+"\n")
-	})
+	s.registerRoutes()
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Responses the mux generates on
+// its own — 404 for unknown paths, 405 for method mismatches — are
+// rewritten into the uniform error envelope; requests that resolve to
+// a registered route reach their handler untouched.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		s.mux.ServeHTTP(&muxErrorWriter{w: w, s: s}, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) count(c *atomic.Int64, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		c.Add(1)
-		h(w, r)
+// maxImportBytes resolves the per-document size bound.
+func (s *Server) maxImportBytes() int64 {
+	if s.opts.MaxImportBytes > 0 {
+		return s.opts.MaxImportBytes
 	}
-}
-
-// httpError maps service errors onto status codes: missing specs/runs
-// are 404, everything else a caller can fix is 400.
-func (s *Server) httpError(w http.ResponseWriter, err error, code int) {
-	s.errCount.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
-func (s *Server) storeError(w http.ResponseWriter, err error) {
-	if errors.Is(err, fs.ErrNotExist) {
-		s.httpError(w, err, http.StatusNotFound)
-		return
-	}
-	s.httpError(w, err, http.StatusBadRequest)
+	return defaultMaxImportBytes
 }
 
 // names extracts and validates the named path values; a validation
@@ -197,7 +203,7 @@ func (s *Server) names(w http.ResponseWriter, r *http.Request, keys ...string) (
 	out := make([]string, len(keys))
 	for i, k := range keys {
 		v := r.PathValue(k)
-		if err := store.ValidateName(v); err != nil {
+		if err := cli.ValidateName(v); err != nil {
 			s.httpError(w, fmt.Errorf("%s: %w", k, err), http.StatusBadRequest)
 			return nil, false
 		}
@@ -206,25 +212,16 @@ func (s *Server) names(w http.ResponseWriter, r *http.Request, keys ...string) (
 	return out, true
 }
 
-// costModel parses the ?cost= query parameter (default unit).
-func (s *Server) costModel(w http.ResponseWriter, r *http.Request) (cost.Model, bool) {
-	name := r.URL.Query().Get("cost")
-	if name == "" {
-		name = "unit"
-	}
-	m, err := cli.ParseCost(name)
-	if err != nil {
-		s.httpError(w, err, http.StatusBadRequest)
-		return nil, false
-	}
-	return m, true
-}
-
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, `{"ok":true}`+"\n")
 }
 
 // --- repository browsing -------------------------------------------
@@ -270,45 +267,6 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		runs = []string{}
 	}
 	writeJSON(w, map[string]any{"spec": ns[0], "runs": runs})
-}
-
-// handleImport stores the XML run in the request body under
-// /specs/{spec}/runs/{run} (or ?name= on the collection URL).
-func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
-	ns, ok := s.names(w, r, "spec")
-	if !ok {
-		return
-	}
-	specName := ns[0]
-	runName := r.PathValue("run")
-	if runName == "" {
-		runName = r.URL.Query().Get("name")
-	}
-	if err := store.ValidateName(runName); err != nil {
-		s.httpError(w, fmt.Errorf("run: %w", err), http.StatusBadRequest)
-		return
-	}
-	sp, err := s.st.LoadSpec(specName)
-	if err != nil {
-		s.storeError(w, err)
-		return
-	}
-	run, err := wfxml.DecodeRun(http.MaxBytesReader(w, r.Body, maxImportBytes), sp)
-	if err != nil {
-		s.httpError(w, err, http.StatusBadRequest)
-		return
-	}
-	if err := s.st.SaveRun(specName, runName, run); err != nil {
-		s.storeError(w, err)
-		return
-	}
-	// Content-Type must precede WriteHeader or it is dropped.
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string]any{
-		"spec": specName, "run": runName,
-		"nodes": run.NumNodes(), "edges": run.NumEdges(),
-	})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -407,11 +365,13 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	m, ok := s.costModel(w, r)
-	if !ok {
+	q := s.query(r)
+	m := q.cost()
+	across := q.optionalName("across")
+	if !q.valid(w) {
 		return
 	}
-	if across := r.URL.Query().Get("across"); across != "" {
+	if across != "" {
 		// Cross-version comparison: run b belongs to the
 		// lineage-linked specification named by ?across=.
 		s.crossDiff(w, ns[0], ns[1], ns[2], across, m)
@@ -433,8 +393,9 @@ func (s *Server) handleDiffSVG(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	m, ok := s.costModel(w, r)
-	if !ok {
+	q := s.query(r)
+	m := q.cost()
+	if !q.valid(w) {
 		return
 	}
 	key := cacheKey{spec: ns[0], runA: ns[1], runB: ns[2], cost: m.Name(), kind: kindSVG}
@@ -490,8 +451,10 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	m, ok := s.costModel(w, r)
-	if !ok {
+	q := s.query(r)
+	m := q.cost()
+	stream := q.flag("stream")
+	if !q.valid(w) {
 		return
 	}
 	if _, err := s.st.LoadSpec(ns[0]); err != nil {
@@ -513,7 +476,6 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 	// matrix nobody will read, with the progress callback writing
 	// into a dead connection.
 	opts := analysis.Options{Workers: s.opts.CohortWorkers, Context: r.Context()}
-	stream := r.URL.Query().Get("stream") != ""
 	var rc *http.ResponseController
 	if stream {
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -588,12 +550,33 @@ type metricIndexStats struct {
 	PrunedPairs int64 `json:"pruned_pairs"`
 }
 
+// ingestStats mirrors the pipeline + ticket counters into /stats; the
+// slow-commit fields are the fsync watchdog (commits slower than the
+// pipeline's threshold).
+type ingestStats struct {
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Enqueued      int64   `json:"enqueued"`
+	Rejected      int64   `json:"rejected"`
+	Committed     int64   `json:"committed"`
+	Failed        int64   `json:"failed"`
+	Batches       int64   `json:"batches"`
+	MaxBatch      int64   `json:"max_batch"`
+	AvgBatch      float64 `json:"avg_batch"`
+	SlowCommits   int64   `json:"slow_commits"`
+	LastCommitMS  float64 `json:"last_commit_ms"`
+
+	TicketsPending  int `json:"tickets_pending"`
+	TicketsRetained int `json:"tickets_retained"`
+}
+
 type statsPayload struct {
 	UptimeSeconds  float64          `json:"uptime_seconds"`
 	Requests       map[string]int64 `json:"requests"`
 	Errors         int64            `json:"errors"`
 	Cache          cacheStats       `json:"cache"`
 	Engines        engineStats      `json:"engines"`
+	Ingest         ingestStats      `json:"ingest"`
 	CohortMatrices int              `json:"cohort_matrices"`
 	MetricIndex    metricIndexStats `json:"metric_index"`
 }
@@ -618,6 +601,21 @@ func (s *Server) Stats() statsPayload {
 		mi.ExactDiffs += e.hc.DiffCalls()
 		mi.PrunedPairs += e.hc.PrunedPairs()
 	}
+	ps := s.ingest.Stats()
+	ig := ingestStats{
+		QueueDepth:    ps.QueueDepth,
+		QueueCapacity: ps.QueueCapacity,
+		Enqueued:      ps.Enqueued,
+		Rejected:      ps.Rejected,
+		Committed:     ps.Committed,
+		Failed:        ps.Failed,
+		Batches:       ps.Batches,
+		MaxBatch:      ps.MaxBatch,
+		AvgBatch:      ps.AvgBatch,
+		SlowCommits:   ps.SlowCommits,
+		LastCommitMS:  ps.LastCommitMS,
+	}
+	ig.TicketsPending, ig.TicketsRetained = s.tickets.Counts()
 	return statsPayload{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests: map[string]int64{
@@ -634,10 +632,12 @@ func (s *Server) Stats() statsPayload {
 			"bulk":     s.reqBulk.Load(),
 			"export":   s.reqExport.Load(),
 			"evolve":   s.reqEvolve.Load(),
+			"tickets":  s.reqTickets.Load(),
 			"stats":    s.reqStats.Load(),
 		},
 		CohortMatrices: s.cohorts.count(),
 		MetricIndex:    mi,
+		Ingest:         ig,
 		Errors:         s.errCount.Load(),
 		Cache:          s.cache.snapshot(),
 		Engines:        es,

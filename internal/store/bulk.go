@@ -3,6 +3,7 @@ package store
 import (
 	"archive/tar"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -23,6 +24,19 @@ import (
 type RunData struct {
 	Name string
 	XML  []byte
+}
+
+// ErrDuplicateRun marks a batch that names the same run more than
+// once; HTTP callers map it onto 409 Conflict.
+var ErrDuplicateRun = errors.New("store: duplicate run name in batch")
+
+// ParsedRun is one pre-parsed run of a batched commit: the
+// authoritative XML bytes together with the run decoded from exactly
+// those bytes (the parsed-run cache invariant).
+type ParsedRun struct {
+	Name string
+	XML  []byte
+	Run  *wfrun.Run
 }
 
 // ImportStats summarizes a bulk import.
@@ -64,7 +78,7 @@ func (s *Store) ImportRuns(specName string, runs []RunData, workers int) (Import
 			return stats, err
 		}
 		if seen[rd.Name] {
-			return stats, fmt.Errorf("store: run %q appears twice in bulk import", rd.Name)
+			return stats, fmt.Errorf("run %q appears twice in bulk import: %w", rd.Name, ErrDuplicateRun)
 		}
 		seen[rd.Name] = true
 	}
@@ -109,35 +123,79 @@ func (s *Store) ImportRuns(specName string, runs []RunData, workers int) (Import
 		}
 	}
 
-	// Phase 2: write the XML files, then snapshot the whole batch in
-	// one segment append + one manifest save, publish the cache, and
-	// notify once.
+	// Phase 2 is the shared batched commit.
+	batch := make([]ParsedRun, len(runs))
+	for i, rd := range runs {
+		batch[i] = ParsedRun{Name: rd.Name, XML: rd.XML, Run: parsed[i]}
+	}
+	return s.ImportParsed(specName, batch)
+}
+
+// ImportParsed is the group-commit half of the bulk import, shared
+// with the server's ingest pipeline: runs that are already parsed
+// (each Run decoded from exactly its XML bytes) are written as
+// authoritative XML, snapshotted in ONE fsynced segment append + ONE
+// manifest save, published to the parsed-run cache, and announced
+// with ONE coalesced OnRunsBulkChange notification — the per-run
+// OnRunChange hooks do not fire.
+//
+// Names are validated and checked for duplicates (ErrDuplicateRun) up
+// front. A mid-write failure keeps the runs already fully written
+// (they are individually valid), snapshots and announces them, and
+// returns the error alongside the partial ImportStats.
+func (s *Store) ImportParsed(specName string, runs []ParsedRun) (ImportStats, error) {
+	stats := ImportStats{Spec: specName}
+	if err := validName(specName); err != nil {
+		return stats, err
+	}
+	if len(runs) == 0 {
+		return stats, nil
+	}
+	seen := make(map[string]bool, len(runs))
+	for _, pr := range runs {
+		if err := validName(pr.Name); err != nil {
+			return stats, err
+		}
+		if seen[pr.Name] {
+			return stats, fmt.Errorf("run %q appears twice in batch: %w", pr.Name, ErrDuplicateRun)
+		}
+		seen[pr.Name] = true
+		if pr.Run == nil {
+			return stats, fmt.Errorf("store: run %q has no parsed form", pr.Name)
+		}
+	}
+	if _, err := s.LoadSpec(specName); err != nil {
+		return stats, err
+	}
 	if err := os.MkdirAll(s.runsDir(specName), 0o755); err != nil {
 		return stats, fmt.Errorf("store: %w", err)
 	}
 	batch := make([]snapBatchItem, 0, len(runs))
-	for i, rd := range runs {
-		path := s.runPath(specName, rd.Name)
-		if err := os.WriteFile(path, rd.XML, 0o644); err != nil {
+	for _, pr := range runs {
+		path := s.runPath(specName, pr.Name)
+		if err := os.WriteFile(path, pr.XML, 0o644); err != nil {
 			// A failed write may have left a truncated document; remove
 			// it so the run cannot poison later listings and cohorts.
 			os.Remove(path)
 			return s.bulkAbort(stats, specName, batch, err)
 		}
-		size, mod, err := s.xmlFingerprint(specName, rd.Name)
+		size, mod, err := s.xmlFingerprint(specName, pr.Name)
 		if err != nil {
 			os.Remove(path)
 			return s.bulkAbort(stats, specName, batch, fmt.Errorf("store: %w", err))
 		}
-		batch = append(batch, snapBatchItem{name: rd.Name, run: parsed[i], xmlSize: size, xmlNanos: mod})
+		batch = append(batch, snapBatchItem{name: pr.Name, run: pr.Run, xmlSize: size, xmlNanos: mod})
 		s.mu.Lock()
-		s.runs[runKey(specName, rd.Name)] = parsed[i]
+		s.runs[runKey(specName, pr.Name)] = pr.Run
 		s.mu.Unlock()
-		stats.Imported = append(stats.Imported, rd.Name)
-		stats.Nodes += parsed[i].NumNodes()
-		stats.Edges += parsed[i].NumEdges()
+		stats.Imported = append(stats.Imported, pr.Name)
+		stats.Nodes += pr.Run.NumNodes()
+		stats.Edges += pr.Run.NumEdges()
 	}
-	_ = s.writeRunSnapshotBatch(specName, batch) // best-effort cache
+	// The segment append is fsynced: for pipeline clients the batch
+	// commit IS the durability point they were promised. Snapshot
+	// failures stay best-effort (the XML on disk is authoritative).
+	_ = s.writeRunSnapshotBatch(specName, batch, true)
 	s.notifyBulkChange(specName, stats.Imported)
 	return stats, nil
 }
@@ -148,7 +206,7 @@ func (s *Store) ImportRuns(specName string, runs []RunData, workers int) (Import
 // cannot miss the partial import.
 func (s *Store) bulkAbort(stats ImportStats, specName string, batch []snapBatchItem, err error) (ImportStats, error) {
 	if len(stats.Imported) > 0 {
-		_ = s.writeRunSnapshotBatch(specName, batch)
+		_ = s.writeRunSnapshotBatch(specName, batch, true)
 		s.notifyBulkChange(specName, stats.Imported)
 	}
 	return stats, err

@@ -263,14 +263,18 @@ type snapBatchItem struct {
 func (s *Store) writeRunSnapshot(specName, runName string, r *wfrun.Run, size, mod int64) error {
 	return s.writeRunSnapshotBatch(specName, []snapBatchItem{
 		{name: runName, run: r, xmlSize: size, xmlNanos: mod},
-	})
+	}, false)
 }
 
 // writeRunSnapshotBatch appends many runs in one pass: frames are
 // encoded up front, the segment is opened once, and the manifest is
 // rewritten once however many runs the batch carries — bulk imports
-// would otherwise pay one full-manifest rewrite per run.
-func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem) error {
+// would otherwise pay one full-manifest rewrite per run. With durable
+// set the segment is fsynced before the manifest records the frames —
+// the group-commit durability point of the ingest pipeline. The
+// write-behind cache paths leave it unset; they can always re-parse
+// the authoritative XML.
+func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem, durable bool) error {
 	if s.noSnapshot || len(items) == 0 {
 		return nil
 	}
@@ -318,6 +322,12 @@ func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem) er
 		}
 		st.manifest.Live += int64(len(records[i]))
 		off += int64(len(records[i]))
+	}
+	if durable {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	if err := f.Close(); err != nil {
 		return err

@@ -53,8 +53,13 @@ func Derive(sp *spec.Spec, g *graph.Graph, edgeRef map[graph.Edge]graph.Edge) (*
 		return nil, fmt.Errorf("wfrun: derived tree is invalid: %w", err)
 	}
 	run := &Run{Spec: sp, Tree: root, Graph: g}
-	for e := range d.implicit {
-		run.ImplicitEdges = append(run.ImplicitEdges, e)
+	// Graph insertion order, not map order: ImplicitEdges feeds the
+	// snapshot codec, so two parses of the same document must list the
+	// implicit edges identically for frames to be byte-stable.
+	for _, e := range g.Edges() {
+		if d.implicit[e] {
+			run.ImplicitEdges = append(run.ImplicitEdges, e)
+		}
 	}
 	return run, nil
 }
