@@ -7,6 +7,7 @@
 //	provstore -dir DIR import-dir NAME DIR [-workers N]
 //	provstore -dir DIR export NAME OUT.tar
 //	provstore -dir DIR snapshot [NAME]
+//	provstore -dir DIR verify [NAME...]
 //	provstore -dir DIR ls [NAME]
 //	provstore -dir DIR put-version PARENT CHILD spec.xml
 //	provstore -dir DIR evolve SPEC_A SPEC_B [-svg out.svg]
@@ -23,6 +24,10 @@
 // import-dir or the service's POST /specs/{spec}/runs:bulk endpoint.
 // "snapshot" materializes the store's binary snapshot layer so the
 // next cold open (or provserved boot) skips XML parsing entirely.
+// "verify" re-hashes every live snapshot frame against the Merkle
+// provenance ledger and exits nonzero naming the first divergent
+// batch if anything — a flipped byte, a rewritten record, a dropped
+// ledger line — no longer matches the attested history.
 //
 // "matrix" prints the pairwise distance matrix over all stored runs of
 // a specification together with a UPGMA dendrogram — the cohort view a
@@ -82,6 +87,8 @@ func main() {
 		export(st, args[1:])
 	case "snapshot":
 		snapshot(st, args[1:])
+	case "verify":
+		verify(st, args[1:])
 	case "gen-run":
 		genRun(st, args[1:])
 	case "ls":
@@ -106,7 +113,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|import-dir|export|snapshot|gen-run|ls|put-version|evolve|diff|matrix|cluster|outliers|nearest ...")
+	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|import-dir|export|snapshot|verify|gen-run|ls|put-version|evolve|diff|matrix|cluster|outliers|nearest ...")
 	os.Exit(2)
 }
 
@@ -205,6 +212,39 @@ func snapshot(st *store.Store, args []string) {
 		fmt.Printf("%s: %d runs snapshotted (%d written, %d fresh, %d live bytes)\n",
 			name, stats.Runs, stats.Written, stats.Fresh, stats.LiveBytes)
 	}
+}
+
+// verify re-hashes every live snapshot frame against the provenance
+// ledger and validates each spec's hash chain. Any divergence exits
+// nonzero, naming the first divergent batch.
+func verify(st *store.Store, args []string) {
+	report, err := st.VerifyLedger(args...)
+	if err != nil {
+		fatal(err)
+	}
+	heads, root, err := st.LedgerHeads()
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(heads))
+	for name := range heads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s: %d batches, head %s\n", name, heads[name].Batches, heads[name].Head)
+	}
+	fmt.Printf("repository root %s\n", root)
+	fmt.Printf("verified %d specs, %d batches, %d runs\n", report.Specs, report.Batches, report.Runs)
+	if !report.OK() {
+		for _, issue := range report.Issues {
+			fmt.Fprintln(os.Stderr, "provstore: DIVERGENT", issue.String())
+		}
+		fmt.Fprintf(os.Stderr, "provstore: first divergent batch: spec %s batch %d\n",
+			report.Issues[0].Spec, report.Issues[0].Batch)
+		os.Exit(1)
+	}
+	fmt.Println("ledger OK")
 }
 
 func genRun(st *store.Store, args []string) {

@@ -224,6 +224,35 @@ func ReadRunTar(r io.Reader, maxRun, maxTotal int64) ([]RunData, error) {
 	return store.ReadRunTar(r, maxRun, maxTotal)
 }
 
+// Tamper-evident provenance ledger (internal/ledger + the store's
+// snapshot layer): every group-committed batch of runs becomes one
+// Merkle tree over the content hashes of its codec frames, chained
+// onto the spec's previous ledger head. Store.RunProof produces the
+// inclusion proof of a run's current frame, Store.LedgerHeads the
+// per-spec heads plus the repository root, and Store.VerifyLedger the
+// full re-hash of live frames against the attested history.
+type (
+	// RunProof is a self-contained Merkle inclusion proof: leaf hash,
+	// L/R sibling path, batch root, and the chain to the ledger head.
+	RunProof = store.RunProof
+	// SpecLedger summarizes one spec's ledger (head hash, batch count).
+	SpecLedger = store.SpecLedger
+	// LedgerVerifyReport is the outcome of a Store.VerifyLedger pass.
+	LedgerVerifyReport = store.VerifyReport
+	// LedgerVerifyIssue is one divergence a verify pass found.
+	LedgerVerifyIssue = store.VerifyIssue
+)
+
+// VerifyRunProof replays a RunProof client-side — leaf up the sibling
+// path to the batch root, then along the chain — returning the ledger
+// head it implies. Compare it against the spec's published head.
+func VerifyRunProof(p *RunProof) (string, error) { return store.VerifyProof(p) }
+
+// FrameContentHash is the canonical SHA-256 content address of an
+// encoded codec frame (run, spec or spec-mapping) — the identity the
+// ledger attests.
+func FrameContentHash(frame []byte) [32]byte { return codec.ContentHash(frame) }
+
 // Workflow evolution (internal/evolve): specs change between versions
 // — modules renamed, inserted, deleted; series edges split; parallel
 // branches duplicated — and runs collected under different versions

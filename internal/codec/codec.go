@@ -18,6 +18,7 @@
 package codec
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -77,6 +78,42 @@ func unframe(magic string, data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("codec: checksum mismatch")
 	}
 	return payload, nil
+}
+
+// ContentHash is the canonical content address of an encoded frame:
+// the SHA-256 digest of the frame bytes exactly as written, header
+// included. Because the encoders are deterministic (maps are emitted
+// in sorted order, trees in preorder), two frames hash equal iff they
+// encode the same logical document under the same format version —
+// which is what lets the store dedup re-imports and the ledger treat
+// the hash as the identity of a committed run.
+func ContentHash(data []byte) [sha256.Size]byte {
+	return sha256.Sum256(data)
+}
+
+// FrameSize reports the total byte length of the frame starting at
+// data[0] — header plus declared payload — without validating the
+// checksum. It accepts any of the three frame magics, so a scanner can
+// walk a log of concatenated frames record by record. An unknown
+// magic, unknown version or truncated/oversized declared length is an
+// error: the scanner cannot know where the next record starts.
+func FrameSize(data []byte) (int, error) {
+	if len(data) < headerLen {
+		return 0, fmt.Errorf("codec: frame truncated (%d bytes)", len(data))
+	}
+	switch string(data[:4]) {
+	case magicSpec, magicRun, magicMapping:
+	default:
+		return 0, fmt.Errorf("codec: bad magic %q", data[:4])
+	}
+	if data[4] != Version {
+		return 0, fmt.Errorf("codec: format version %d, want %d", data[4], Version)
+	}
+	n := binary.LittleEndian.Uint32(data[5:])
+	if n > maxFrameLen || int(n) > len(data)-headerLen {
+		return 0, fmt.Errorf("codec: declared payload length %d exceeds remaining %d bytes", n, len(data)-headerLen)
+	}
+	return headerLen + int(n), nil
 }
 
 // --- primitive writers/readers --------------------------------------

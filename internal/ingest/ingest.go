@@ -34,6 +34,10 @@ type Result struct {
 	Err   error
 	Nodes int
 	Edges int
+	// Hash is the hex content hash of the committed codec frame, as
+	// attested to the provenance ledger (empty when the snapshot layer
+	// is disabled).
+	Hash string
 }
 
 // Job is one run import traveling through the pipeline. Exactly one

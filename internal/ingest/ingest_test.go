@@ -286,3 +286,67 @@ func TestTicketRetentionEviction(t *testing.T) {
 		t.Fatalf("counts = (%d pending, %d retained), want (1, 2)", p, r)
 	}
 }
+
+// TestTicketDuplicateRunNames is the regression test for the
+// pending-leak: a bulk ticket naming the same run more than once used
+// to collapse the duplicates into one index slot, so the second
+// resolve found the slot already terminal, returned without
+// decrementing pending, and the ticket stayed pending forever. Each
+// duplicate must hold its own slot and the ticket must reach a
+// terminal state after exactly one resolve per slot.
+func TestTicketDuplicateRunNames(t *testing.T) {
+	reg := NewRegistry(4)
+	tk := reg.New("pa", []string{"a", "a", "b"})
+	tk.resolve("a", Result{Nodes: 1})
+	tk.resolve("a", Result{Err: errors.New("second write rejected")})
+	if got := tk.Snapshot(); got.State != StatePending || got.Done != 2 {
+		t.Fatalf("after both a-resolves: %+v", got)
+	}
+	tk.resolve("b", Result{Nodes: 2})
+	got := tk.Snapshot()
+	if got.State != StateFailed {
+		t.Fatalf("duplicate-name ticket never reached a terminal state: %+v", got)
+	}
+	if got.Done != 3 {
+		t.Fatalf("done = %d, want 3", got.Done)
+	}
+	// Resolves land on the duplicate slots in input order.
+	if got.Runs[0].State != StateCommitted || got.Runs[1].State != StateFailed {
+		t.Fatalf("duplicate slots resolved out of order: %+v", got.Runs)
+	}
+	if p, r := reg.Counts(); p != 0 || r != 1 {
+		t.Fatalf("counts = (%d pending, %d retained), want (0, 1)", p, r)
+	}
+}
+
+// TestTicketDuplicateRunNamesThroughPipeline drives the same shape
+// end to end: duplicate-name jobs sharing one ticket, committed by
+// the batcher, polled to a terminal state.
+func TestTicketDuplicateRunNamesThroughPipeline(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		batches [][]string
+	)
+	p := New(okCommit(&batches, &mu), Options{QueueDepth: 8, BatchSize: 4, MaxWait: time.Millisecond})
+	defer p.Close()
+	reg := NewRegistry(4)
+	tk := reg.New("s", []string{"dup", "dup", "other"})
+	for _, run := range []string{"dup", "dup", "other"} {
+		if err := p.Enqueue(&Job{Spec: "s", Run: run, Ticket: tk}); err != nil {
+			t.Fatalf("enqueue %s: %v", run, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := tk.Snapshot(); got.State != StatePending {
+			if got.State != StateCommitted || got.Done != 3 {
+				t.Fatalf("terminal ticket = %+v", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ticket still pending after commits: %+v", tk.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -29,6 +29,9 @@ type RunStatus struct {
 	Error string `json:"error,omitempty"`
 	Nodes int    `json:"nodes,omitempty"`
 	Edges int    `json:"edges,omitempty"`
+	// Hash is the committed frame's content hash (the run's ledger
+	// identity), when the commit path produced one.
+	Hash string `json:"hash,omitempty"`
 }
 
 // Ticket tracks one asynchronous ingest request (a single run or a
@@ -40,9 +43,14 @@ type Ticket struct {
 
 	reg *Registry
 
-	mu       sync.Mutex
-	runs     []RunStatus
-	idx      map[string]int
+	mu   sync.Mutex
+	runs []RunStatus
+	// idx queues the still-pending slot indices of each run name, in
+	// input order. Duplicate names in one batch therefore hold distinct
+	// slots and each resolve consumes exactly one — indexing by bare
+	// name used to collapse duplicates, leaving the ticket's pending
+	// count stuck above zero forever.
+	idx      map[string][]int
 	pending  int
 	resolved time.Time
 }
@@ -65,11 +73,13 @@ type View struct {
 // order).
 func (t *Ticket) resolve(run string, res Result) {
 	t.mu.Lock()
-	i, ok := t.idx[run]
-	if !ok || t.runs[i].State != StatePending {
+	q := t.idx[run]
+	if len(q) == 0 {
 		t.mu.Unlock()
 		return
 	}
+	i := q[0]
+	t.idx[run] = q[1:]
 	if res.Err != nil {
 		t.runs[i].State = StateFailed
 		t.runs[i].Error = res.Err.Error()
@@ -77,6 +87,7 @@ func (t *Ticket) resolve(run string, res Result) {
 		t.runs[i].State = StateCommitted
 		t.runs[i].Nodes = res.Nodes
 		t.runs[i].Edges = res.Edges
+		t.runs[i].Hash = res.Hash
 	}
 	t.pending--
 	done := t.pending == 0
@@ -153,12 +164,12 @@ func (g *Registry) New(specName string, runNames []string) *Ticket {
 		created: time.Now(),
 		reg:     g,
 		runs:    make([]RunStatus, len(runNames)),
-		idx:     make(map[string]int, len(runNames)),
+		idx:     make(map[string][]int, len(runNames)),
 		pending: len(runNames),
 	}
 	for i, name := range runNames {
 		t.runs[i] = RunStatus{Run: name, State: StatePending}
-		t.idx[name] = i
+		t.idx[name] = append(t.idx[name], i)
 	}
 	g.mu.Lock()
 	g.byID[t.ID] = t

@@ -1,0 +1,363 @@
+// Package ledger implements the tamper-evident Merkle ledger that
+// turns the store's snapshot layer into a verifiable history. Each
+// group-committed batch of runs becomes one Merkle tree whose leaves
+// are the content hashes of the committed codec frames; the batch root
+// is chained onto the previous ledger head, so the head after batch N
+// commits to every frame in batches 1..N. A per-run inclusion proof is
+// the classic leaf-to-root sibling path plus the chain of later batch
+// roots, and a whole-repository root folds the per-spec heads together
+// so one hash covers everything.
+//
+// All hashing is domain-separated SHA-256: leaves, interior nodes,
+// chain links and the repository root each prepend a distinct tag
+// byte, so a value from one level can never be replayed at another
+// (the standard second-preimage defence for Merkle trees).
+//
+// The on-disk form is an append-only log of JSON-line batch records
+// (one per group commit). Records are self-delimiting lines, so a
+// torn final line — a crash mid-append — is recognised and ignored,
+// while any earlier malformed line is evidence of tampering.
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Hash is a SHA-256 digest. The zero value is the chain seed: the
+// "previous head" of a spec's very first batch.
+type Hash [sha256.Size]byte
+
+// Zero is the chain seed / absent-hash sentinel.
+var Zero Hash
+
+// Domain-separation tags. Every hash in the ledger is
+// SHA-256(tag || ...), with a distinct tag per level.
+const (
+	tagLeaf  = 0x00 // leaf: H(0x00 || frame content hash)
+	tagNode  = 0x01 // interior: H(0x01 || left || right)
+	tagChain = 0x02 // chain link: H(0x02 || prev head || batch root)
+	tagRepo  = 0x03 // repository root over per-spec heads
+)
+
+// Hex renders the digest as lowercase hex.
+func (h Hash) Hex() string { return hex.EncodeToString(h[:]) }
+
+// IsZero reports whether h is the zero (seed) hash.
+func (h Hash) IsZero() bool { return h == Zero }
+
+// Parse decodes a lowercase-hex digest.
+func Parse(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Zero, fmt.Errorf("ledger: bad hash %q: %w", s, err)
+	}
+	if len(b) != sha256.Size {
+		return Zero, fmt.Errorf("ledger: bad hash length %d, want %d", len(b), sha256.Size)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// Leaf maps a frame content hash onto its Merkle leaf.
+func Leaf(content Hash) Hash {
+	return sha256.Sum256(append([]byte{tagLeaf}, content[:]...))
+}
+
+// node combines two child hashes into their parent.
+func node(left, right Hash) Hash {
+	buf := make([]byte, 1, 1+2*sha256.Size)
+	buf[0] = tagNode
+	buf = append(buf, left[:]...)
+	buf = append(buf, right[:]...)
+	return sha256.Sum256(buf)
+}
+
+// Extend chains a batch root onto the previous ledger head.
+func Extend(prev, root Hash) Hash {
+	buf := make([]byte, 1, 1+2*sha256.Size)
+	buf[0] = tagChain
+	buf = append(buf, prev[:]...)
+	buf = append(buf, root[:]...)
+	return sha256.Sum256(buf)
+}
+
+// Root computes the Merkle root over leaf hashes. An odd node at any
+// level is promoted unchanged (no duplication — duplication admits
+// trivial second preimages). Root of an empty batch is Zero; callers
+// never commit empty batches.
+func Root(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return Zero
+	}
+	level := append([]Hash(nil), leaves...)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, node(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Step is one hop of an inclusion proof: the sibling hash and which
+// side of the running hash it sits on ("L" = sibling is the left
+// operand, "R" = the right).
+type Step struct {
+	Dir     string `json:"dir"`
+	Sibling string `json:"hash"`
+}
+
+// Prove returns the leaf-to-root sibling path for leaves[idx]. Levels
+// where the node is promoted without a sibling contribute no step.
+func Prove(leaves []Hash, idx int) ([]Step, error) {
+	if idx < 0 || idx >= len(leaves) {
+		return nil, fmt.Errorf("ledger: proof index %d out of range [0,%d)", idx, len(leaves))
+	}
+	var steps []Step
+	level := append([]Hash(nil), leaves...)
+	for len(level) > 1 {
+		sib := idx ^ 1
+		if sib < len(level) {
+			dir := "R"
+			if sib < idx {
+				dir = "L"
+			}
+			steps = append(steps, Step{Dir: dir, Sibling: level[sib].Hex()})
+		}
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, node(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+		idx /= 2
+	}
+	return steps, nil
+}
+
+// FoldProof replays an inclusion path from a leaf hash, returning the
+// implied batch root.
+func FoldProof(leaf Hash, steps []Step) (Hash, error) {
+	h := leaf
+	for _, st := range steps {
+		sib, err := Parse(st.Sibling)
+		if err != nil {
+			return Zero, err
+		}
+		switch st.Dir {
+		case "L":
+			h = node(sib, h)
+		case "R":
+			h = node(h, sib)
+		default:
+			return Zero, fmt.Errorf("ledger: bad proof direction %q", st.Dir)
+		}
+	}
+	return h, nil
+}
+
+// RepoRoot folds per-spec ledger heads into one repository-wide root.
+// Specs are taken in sorted-name order with length-prefixed names, so
+// the root is deterministic and unambiguous. An empty repository has
+// root Zero.
+func RepoRoot(specs []string, heads map[string]Hash) Hash {
+	if len(specs) == 0 {
+		return Zero
+	}
+	buf := []byte{tagRepo}
+	for _, name := range specs {
+		var n [4]byte
+		n[0] = byte(len(name))
+		n[1] = byte(len(name) >> 8)
+		n[2] = byte(len(name) >> 16)
+		n[3] = byte(len(name) >> 24)
+		buf = append(buf, n[:]...)
+		buf = append(buf, name...)
+		h := heads[name]
+		buf = append(buf, h[:]...)
+	}
+	return sha256.Sum256(buf)
+}
+
+// BatchLeaf names one committed frame inside a batch record: the run
+// it belongs to and the hex content hash of its codec frame.
+type BatchLeaf struct {
+	Run  string `json:"run"`
+	Hash string `json:"hash"`
+}
+
+// Record is one group commit in a spec's append-only ledger log.
+// Seq numbers start at 1 and are contiguous; Prev is the head before
+// this batch, Head = Extend(Prev, Root) the head after it.
+type Record struct {
+	Seq  int64       `json:"seq"`
+	Prev string      `json:"prev"`
+	Root string      `json:"root"`
+	Head string      `json:"head"`
+	Runs []BatchLeaf `json:"runs"`
+}
+
+// NewRecord assembles and hashes the record for one committed batch.
+func NewRecord(seq int64, prev Hash, leaves []BatchLeaf) (Record, error) {
+	if len(leaves) == 0 {
+		return Record{}, fmt.Errorf("ledger: empty batch")
+	}
+	lh, err := leafHashes(leaves)
+	if err != nil {
+		return Record{}, err
+	}
+	root := Root(lh)
+	return Record{
+		Seq:  seq,
+		Prev: prev.Hex(),
+		Root: root.Hex(),
+		Head: Extend(prev, root).Hex(),
+		Runs: leaves,
+	}, nil
+}
+
+func leafHashes(leaves []BatchLeaf) ([]Hash, error) {
+	out := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		content, err := Parse(l.Hash)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: run %q: %w", l.Run, err)
+		}
+		out[i] = Leaf(content)
+	}
+	return out, nil
+}
+
+// LeafHashes returns the Merkle leaves of the record's batch.
+func (r Record) LeafHashes() ([]Hash, error) { return leafHashes(r.Runs) }
+
+// Check recomputes the record's root and head against the expected
+// previous head, reporting the first inconsistency. A passing check
+// means the record is internally consistent AND correctly chained.
+func (r Record) Check(prev Hash) error {
+	if r.Prev != prev.Hex() {
+		return fmt.Errorf("ledger: batch %d prev hash %s does not chain onto head %s", r.Seq, r.Prev, prev.Hex())
+	}
+	lh, err := r.LeafHashes()
+	if err != nil {
+		return fmt.Errorf("ledger: batch %d: %w", r.Seq, err)
+	}
+	if got := Root(lh).Hex(); got != r.Root {
+		return fmt.Errorf("ledger: batch %d root mismatch: recorded %s, recomputed %s", r.Seq, r.Root, got)
+	}
+	root, err := Parse(r.Root)
+	if err != nil {
+		return fmt.Errorf("ledger: batch %d: %w", r.Seq, err)
+	}
+	if got := Extend(prev, root).Hex(); got != r.Head {
+		return fmt.Errorf("ledger: batch %d head mismatch: recorded %s, recomputed %s", r.Seq, r.Head, got)
+	}
+	return nil
+}
+
+// Append writes the record as one JSON line at the end of the log,
+// fsyncing when durable. The write is a single O_APPEND write of a
+// complete line, so concurrent readers see either the old log or the
+// old log plus one whole record — and a crash mid-write leaves a torn
+// final line that ReadLog discards.
+func Append(path string, rec Record, durable bool) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return err
+	}
+	if durable {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// ReadLog loads every record of a spec's ledger log in order. A
+// missing file is an empty ledger. A torn final line (crash during
+// append) is silently dropped; a malformed line anywhere else is
+// returned as an error alongside the records that precede it, so a
+// verifier can report the first divergent batch while an appender can
+// still continue the chain from the last good record.
+func ReadLog(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	var recs []Record
+	r := bufio.NewReaderSize(f, 64<<10)
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(bytes.TrimSpace(line)) > 0 {
+				// Torn tail: an append that never completed. Not tampering.
+				return recs, nil
+			}
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec Record
+		if uerr := json.Unmarshal(line, &rec); uerr != nil {
+			return recs, fmt.Errorf("ledger: record at line %d malformed: %w", lineNo, uerr)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// VerifyChain checks seq contiguity, chaining and per-record roots
+// across a full log. On failure it returns the 1-based seq of the
+// first divergent batch; seq 0 with a nil error means the chain is
+// sound.
+func VerifyChain(recs []Record) (int64, error) {
+	prev := Zero
+	for i, rec := range recs {
+		if rec.Seq != int64(i)+1 {
+			return int64(i) + 1, fmt.Errorf("ledger: batch at position %d has seq %d, want %d", i, rec.Seq, int64(i)+1)
+		}
+		if err := rec.Check(prev); err != nil {
+			return rec.Seq, err
+		}
+		head, err := Parse(rec.Head)
+		if err != nil {
+			return rec.Seq, err
+		}
+		prev = head
+	}
+	return 0, nil
+}

@@ -103,10 +103,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Content-Type must precede WriteHeader or it is dropped.
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, map[string]any{
+	body201 := map[string]any{
 		"spec": specName, "run": runName,
 		"nodes": res.Nodes, "edges": res.Edges,
-	})
+	}
+	if res.Hash != "" {
+		body201["hash"] = res.Hash
+	}
+	writeJSON(w, body201)
 }
 
 // directImport is the pre-pipeline synchronous path, selected by
@@ -249,12 +253,16 @@ func (s *Server) commitBatch(jobs []*ingest.Job) []ingest.Result {
 			}
 			stats, err := s.st.ImportParsed(specName, prs)
 			landed := make(map[string]bool, len(stats.Imported))
-			for _, name := range stats.Imported {
+			hashes := make(map[string]string, len(stats.Hashes))
+			for k, name := range stats.Imported {
 				landed[name] = true
+				if k < len(stats.Hashes) {
+					hashes[name] = stats.Hashes[k]
+				}
 			}
 			for _, i := range wave {
 				if err == nil || landed[jobs[i].Run] {
-					results[i] = ingest.Result{Nodes: parsed[i].NumNodes(), Edges: parsed[i].NumEdges()}
+					results[i] = ingest.Result{Nodes: parsed[i].NumNodes(), Edges: parsed[i].NumEdges(), Hash: hashes[jobs[i].Run]}
 				} else {
 					results[i].Err = commitError{err}
 				}

@@ -1,0 +1,42 @@
+package server
+
+// Provenance ledger surface: per-run Merkle inclusion proofs. The
+// matching commitments — per-spec ledger heads and the repository
+// root — are published in /v1/stats, so a client can verify a proof
+// end to end without trusting this server: fold the leaf up the
+// sibling path to the batch root, chain prev + root + later roots to
+// the head, and compare against the published head.
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/cli"
+	"repro/internal/store"
+)
+
+// handleProof serves GET /v1/specs/{spec}/runs/{run}/proof.
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	specName := r.PathValue("spec")
+	if err := cli.ValidateName(specName); err != nil {
+		s.httpError(w, fmt.Errorf("spec: %w", err), http.StatusBadRequest)
+		return
+	}
+	runName := r.PathValue("run")
+	if err := cli.ValidateName(runName); err != nil {
+		s.httpError(w, fmt.Errorf("run: %w", err), http.StatusBadRequest)
+		return
+	}
+	p, err := s.st.RunProof(specName, runName)
+	if err != nil {
+		s.storeError(w, err)
+		return
+	}
+	// Self-check before serving: a proof that does not fold to its own
+	// head would only confuse clients — better a loud 500 here.
+	if _, err := store.VerifyProof(p); err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, p)
+}

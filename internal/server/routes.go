@@ -66,6 +66,8 @@ func (s *Server) routeTable() []apiRoute {
 			Doc: "knn outlier scores (?k=, ?cost=)", handler: s.count(&s.reqOutliers, s.handleOutliers)},
 		{Method: "GET", Path: "/specs/{spec}/nearest", Legacy: "/specs/{spec}/nearest",
 			Doc: "nearest neighbors (?run=, ?k=, ?cost=)", handler: s.count(&s.reqNearest, s.handleNearest)},
+		{Method: "GET", Path: "/specs/{spec}/runs/{run}/proof",
+			Doc: "Merkle inclusion proof against the provenance ledger", handler: s.count(&s.reqProof, s.handleProof)},
 		{Method: "GET", Path: "/tickets/{id}",
 			Doc: "async ingest ticket status", handler: s.count(&s.reqTickets, s.handleTicket)},
 		{Method: "GET", Path: "/stats", Legacy: "/stats",

@@ -35,8 +35,9 @@
 //	GET    /v1/specs/{spec}/cluster           k-medoids partitioning (?k=, ?seed=, ?cost=)
 //	GET    /v1/specs/{spec}/outliers          knn outlier scores (?k=, ?cost=)
 //	GET    /v1/specs/{spec}/nearest           nearest neighbors (?run=, ?k=, ?cost=)
+//	GET    /v1/specs/{spec}/runs/{run}/proof  Merkle inclusion proof from the provenance ledger
 //	GET    /v1/tickets/{id}                   async ingest ticket status
-//	GET    /v1/stats                          service counters
+//	GET    /v1/stats                          service counters (incl. ledger heads + repository root)
 //	GET    /v1/healthz                        liveness probe
 //
 // The pre-/v1 routes (same paths minus the prefix, plus the old
@@ -137,6 +138,7 @@ type Server struct {
 	reqImport, reqDelete, reqStats                atomic.Int64
 	reqCluster, reqOutliers, reqNearest           atomic.Int64
 	reqBulk, reqExport, reqEvolve, reqTickets     atomic.Int64
+	reqProof                                      atomic.Int64
 	errCount                                      atomic.Int64
 }
 
@@ -570,6 +572,14 @@ type ingestStats struct {
 	TicketsRetained int `json:"tickets_retained"`
 }
 
+// ledgerStats publishes the provenance ledger's commitments: every
+// spec's chain head plus the repository root folded over them. A
+// client holding a RunProof needs exactly this to anchor the proof.
+type ledgerStats struct {
+	RepoRoot string                      `json:"repo_root"`
+	Specs    map[string]store.SpecLedger `json:"specs"`
+}
+
 type statsPayload struct {
 	UptimeSeconds  float64          `json:"uptime_seconds"`
 	Requests       map[string]int64 `json:"requests"`
@@ -579,6 +589,7 @@ type statsPayload struct {
 	Ingest         ingestStats      `json:"ingest"`
 	CohortMatrices int              `json:"cohort_matrices"`
 	MetricIndex    metricIndexStats `json:"metric_index"`
+	Ledger         ledgerStats      `json:"ledger"`
 }
 
 // Stats snapshots the service counters (also served at /stats).
@@ -616,6 +627,10 @@ func (s *Server) Stats() statsPayload {
 		LastCommitMS:  ps.LastCommitMS,
 	}
 	ig.TicketsPending, ig.TicketsRetained = s.tickets.Counts()
+	ls := ledgerStats{Specs: map[string]store.SpecLedger{}}
+	if heads, root, err := s.st.LedgerHeads(); err == nil {
+		ls.RepoRoot, ls.Specs = root, heads
+	}
 	return statsPayload{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests: map[string]int64{
@@ -633,11 +648,13 @@ func (s *Server) Stats() statsPayload {
 			"export":   s.reqExport.Load(),
 			"evolve":   s.reqEvolve.Load(),
 			"tickets":  s.reqTickets.Load(),
+			"proof":    s.reqProof.Load(),
 			"stats":    s.reqStats.Load(),
 		},
 		CohortMatrices: s.cohorts.count(),
 		MetricIndex:    mi,
 		Ingest:         ig,
+		Ledger:         ls,
 		Errors:         s.errCount.Load(),
 		Cache:          s.cache.snapshot(),
 		Engines:        es,

@@ -45,6 +45,10 @@ type ImportStats struct {
 	Imported []string // run names, in input order
 	Nodes    int      // total run-graph nodes imported
 	Edges    int      // total run-graph edges imported
+	// Hashes holds the hex content hash of each imported run's codec
+	// frame, aligned with Imported — the run's ledger identity. Empty
+	// when the snapshot layer is disabled or its write failed.
+	Hashes []string
 }
 
 // ImportRuns imports a batch of runs into a specification in one
@@ -179,12 +183,12 @@ func (s *Store) ImportParsed(specName string, runs []ParsedRun) (ImportStats, er
 			os.Remove(path)
 			return s.bulkAbort(stats, specName, batch, err)
 		}
-		size, mod, err := s.xmlFingerprint(specName, pr.Name)
+		fp, err := s.fingerprintXML(specName, pr.Name, pr.XML)
 		if err != nil {
 			os.Remove(path)
 			return s.bulkAbort(stats, specName, batch, fmt.Errorf("store: %w", err))
 		}
-		batch = append(batch, snapBatchItem{name: pr.Name, run: pr.Run, xmlSize: size, xmlNanos: mod})
+		batch = append(batch, snapBatchItem{name: pr.Name, run: pr.Run, fp: fp})
 		s.mu.Lock()
 		s.runs[runKey(specName, pr.Name)] = pr.Run
 		s.mu.Unlock()
@@ -195,7 +199,7 @@ func (s *Store) ImportParsed(specName string, runs []ParsedRun) (ImportStats, er
 	// The segment append is fsynced: for pipeline clients the batch
 	// commit IS the durability point they were promised. Snapshot
 	// failures stay best-effort (the XML on disk is authoritative).
-	_ = s.writeRunSnapshotBatch(specName, batch, true)
+	stats.Hashes, _ = s.writeRunSnapshotBatch(specName, batch, true)
 	s.notifyBulkChange(specName, stats.Imported)
 	return stats, nil
 }
@@ -206,7 +210,7 @@ func (s *Store) ImportParsed(specName string, runs []ParsedRun) (ImportStats, er
 // cannot miss the partial import.
 func (s *Store) bulkAbort(stats ImportStats, specName string, batch []snapBatchItem, err error) (ImportStats, error) {
 	if len(stats.Imported) > 0 {
-		_ = s.writeRunSnapshotBatch(specName, batch, true)
+		stats.Hashes, _ = s.writeRunSnapshotBatch(specName, batch, true)
 		s.notifyBulkChange(specName, stats.Imported)
 	}
 	return stats, err

@@ -1,0 +1,431 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// proofJSON marshals a run's proof for byte-for-byte comparisons.
+func proofJSON(t *testing.T, s *Store, run string) []byte {
+	t.Helper()
+	p, err := s.RunProof("pa", run)
+	if err != nil {
+		t.Fatalf("proof %s: %v", run, err)
+	}
+	if _, err := VerifyProof(p); err != nil {
+		t.Fatalf("proof %s does not verify: %v", run, err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func requireVerifyOK(t *testing.T, s *Store) VerifyReport {
+	t.Helper()
+	report, err := s.VerifyLedger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("verify found divergence: %+v", report.Issues)
+	}
+	return report
+}
+
+// TestLedgerAttestsAndProves covers the happy path: a bulk import is
+// one ledger batch, every run's proof verifies and anchors to the
+// published head, and the repository root folds the per-spec heads.
+func TestLedgerAttestsAndProves(t *testing.T) {
+	dir := seedDir(t, 0)
+	s := reopen(t, dir)
+	batch := genRunXML(t, s, 5, 11, "w")
+	stats, err := s.ImportRuns("pa", batch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Hashes) != 5 {
+		t.Fatalf("import returned %d hashes, want 5", len(stats.Hashes))
+	}
+	heads, root, err := s.LedgerHeads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heads["pa"].Batches != 1 {
+		t.Fatalf("batches = %d, want 1", heads["pa"].Batches)
+	}
+	if root == "" || strings.Trim(root, "0") == "" {
+		t.Fatalf("repo root empty: %q", root)
+	}
+	for i, rd := range batch {
+		p, err := s.RunProof("pa", rd.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Hash != stats.Hashes[i] {
+			t.Fatalf("proof hash %s != import hash %s", p.Hash, stats.Hashes[i])
+		}
+		if p.Batch != 1 || p.BatchSize != 5 || p.Index != i {
+			t.Fatalf("proof shape = batch %d size %d index %d", p.Batch, p.BatchSize, p.Index)
+		}
+		head, err := VerifyProof(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if head != heads["pa"].Head {
+			t.Fatalf("proof head %s != published head %s", head, heads["pa"].Head)
+		}
+	}
+	report := requireVerifyOK(t, s)
+	if report.Specs != 1 || report.Batches != 1 || report.Runs != 5 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+// TestLedgerDedupOnReimport: re-importing byte-identical runs must
+// not grow the segment (the frames are content-addressed) while still
+// re-attesting the batch in a new ledger record.
+func TestLedgerDedupOnReimport(t *testing.T) {
+	dir := seedDir(t, 0)
+	s := reopen(t, dir)
+	batch := genRunXML(t, s, 4, 3, "d")
+	if _, err := s.ImportRuns("pa", batch, 2); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "pa", "snapshot", "runs.seg")
+	before, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ImportRuns("pa", batch, 2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("identical re-import grew segment: %d -> %d bytes", before.Size(), after.Size())
+	}
+	heads, _, err := s.LedgerHeads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heads["pa"].Batches != 2 {
+		t.Fatalf("re-import did not append a batch: %d", heads["pa"].Batches)
+	}
+	for _, rd := range batch {
+		p, err := s.RunProof("pa", rd.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Batch != 2 {
+			t.Fatalf("re-attested run still proves against batch %d", p.Batch)
+		}
+		if _, err := VerifyProof(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireVerifyOK(t, s)
+}
+
+// TestLedgerChainAcrossRestart: a cold store continues the chain
+// instead of restarting it, and everything committed before the
+// restart still proves.
+func TestLedgerChainAcrossRestart(t *testing.T) {
+	dir := seedDir(t, 0)
+	s := reopen(t, dir)
+	if _, err := s.ImportRuns("pa", genRunXML(t, s, 3, 5, "a"), 2); err != nil {
+		t.Fatal(err)
+	}
+	headsBefore, rootBefore, err := s.LedgerHeads()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := reopen(t, dir)
+	heads, root, err := s2.LedgerHeads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != rootBefore || heads["pa"] != headsBefore["pa"] {
+		t.Fatalf("restart changed ledger: %+v -> %+v", headsBefore, heads)
+	}
+	if _, err := s2.ImportRuns("pa", genRunXML(t, s2, 2, 6, "b"), 2); err != nil {
+		t.Fatal(err)
+	}
+	heads, _, err = s2.LedgerHeads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heads["pa"].Batches != 2 {
+		t.Fatalf("post-restart import did not chain: batches = %d", heads["pa"].Batches)
+	}
+	for _, run := range []string{"a0", "a1", "a2", "b0", "b1"} {
+		proofJSON(t, s2, run)
+	}
+	requireVerifyOK(t, s2)
+}
+
+// TestStaleSnapshotSameSizeSameMtime is the regression test for the
+// fingerprint bug: rewriting a run's XML with same-length content and
+// the original mtime (os.Chtimes) used to slip past the size+mtime
+// fingerprint, serving the stale snapshot. The content hash must
+// demote the entry to a re-parse.
+func TestStaleSnapshotSameSizeSameMtime(t *testing.T) {
+	dir := seedDir(t, 1)
+	s := reopen(t, dir)
+	if _, err := s.Snapshot("pa"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "pa", "runs", "r0.xml")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same length, different content: break the document's last closing
+	// tag so a real re-parse must fail loudly.
+	i := bytes.LastIndex(data, []byte("</"))
+	if i < 0 {
+		t.Fatal("no closing tag in run XML")
+	}
+	mutated := append([]byte(nil), data...)
+	mutated[i] = 'X'
+	if len(mutated) != len(data) || bytes.Equal(mutated, data) {
+		t.Fatal("mutation did not preserve length or did nothing")
+	}
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the original mtime: the stat fingerprint is now identical.
+	if err := os.Chtimes(path, fi.ModTime(), fi.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != fi.Size() || !after.ModTime().Equal(fi.ModTime()) {
+		t.Fatalf("rewrite changed the stat fingerprint; test is not exercising the hash")
+	}
+
+	cold := reopen(t, dir)
+	if cold.hasFreshSnapshot("pa", "r0") {
+		t.Fatal("same-size same-mtime rewrite still counts as fresh")
+	}
+	if _, err := cold.LoadRun("pa", "r0"); err == nil {
+		t.Fatal("LoadRun served a stale snapshot instead of re-parsing the rewritten XML")
+	}
+}
+
+// TestSameContentMtimeDriftStaysFresh: the flip side of hash-based
+// freshness — rewriting identical bytes with a new mtime must NOT
+// demote the snapshot (stat drift, same content).
+func TestSameContentMtimeDriftStaysFresh(t *testing.T) {
+	dir := seedDir(t, 1)
+	s := reopen(t, dir)
+	if _, err := s.Snapshot("pa"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "pa", "runs", "r0.xml")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	cold := reopen(t, dir)
+	if !cold.hasFreshSnapshot("pa", "r0") {
+		t.Fatal("identical content with drifted mtime demoted the snapshot")
+	}
+	pre, err := cold.Preload("pa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.FromXML != 0 {
+		t.Fatalf("preload re-parsed %d runs despite identical content", pre.FromXML)
+	}
+}
+
+// TestCompactionPreservesProofs: compaction rewrites the segment but
+// must not touch history — every inclusion proof is byte-for-byte
+// identical across it, and verify stays green.
+func TestCompactionPreservesProofs(t *testing.T) {
+	dir := seedDir(t, 0)
+	s := reopen(t, dir)
+	if _, err := s.ImportRuns("pa", genRunXML(t, s, 6, 9, "c"), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Dead bytes: drop one run, overwrite another with fresh content.
+	if err := s.DeleteRun("pa", "c0"); err != nil {
+		t.Fatal(err)
+	}
+	redo := genRunXML(t, s, 2, 77, "c")[1:] // fresh content for c1
+	if _, err := s.ImportRuns("pa", redo, 1); err != nil {
+		t.Fatal(err)
+	}
+	live := []string{"c1", "c2", "c3", "c4", "c5"}
+	before := make(map[string][]byte, len(live))
+	for _, run := range live {
+		before[run] = proofJSON(t, s, run)
+	}
+
+	st := s.snap("pa")
+	st.mu.Lock()
+	st.manifest.Dead = compactMinDeadBytes + 1
+	err := s.maybeCompactLocked("pa", st)
+	st.mu.Unlock()
+	if err != nil {
+		t.Fatalf("compaction: %v", err)
+	}
+
+	for _, run := range live {
+		after := proofJSON(t, s, run)
+		if !bytes.Equal(before[run], after) {
+			t.Fatalf("compaction changed proof of %s:\n before %s\n after  %s", run, before[run], after)
+		}
+	}
+	requireVerifyOK(t, s)
+}
+
+// TestCrashedCompactionLeavesVerifyGreen simulates dying between the
+// segment rewrite and the manifest save: the rewritten segment is on
+// disk but the manifest still holds pre-compaction offsets. Offsets
+// are stale, content is not — verify must fall back to scanning and
+// stay green, and loads must still work.
+func TestCrashedCompactionLeavesVerifyGreen(t *testing.T) {
+	dir := seedDir(t, 0)
+	s := reopen(t, dir)
+	if _, err := s.ImportRuns("pa", genRunXML(t, s, 5, 13, "k"), 2); err != nil {
+		t.Fatal(err)
+	}
+	// A hole at the front guarantees compaction shifts every offset.
+	if err := s.DeleteRun("pa", "k0"); err != nil {
+		t.Fatal(err)
+	}
+	manifestPath := filepath.Join(dir, "pa", "snapshot", "manifest.json")
+	preCompaction, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.snap("pa")
+	st.mu.Lock()
+	st.manifest.Dead = compactMinDeadBytes + 1
+	err = s.maybeCompactLocked("pa", st)
+	st.mu.Unlock()
+	if err != nil {
+		t.Fatalf("compaction: %v", err)
+	}
+	// "Crash": the manifest save never happened.
+	if err := os.WriteFile(manifestPath, preCompaction, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := reopen(t, dir)
+	requireVerifyOK(t, cold)
+	for _, run := range []string{"k1", "k2", "k3", "k4"} {
+		if _, err := cold.LoadRun("pa", run); err != nil {
+			t.Fatalf("load %s after crashed compaction: %v", run, err)
+		}
+		proofJSON(t, cold, run)
+	}
+}
+
+// TestVerifyDetectsFlippedByte: one flipped byte in any live segment
+// record — frame body, record header or embedded name — must turn
+// verify red, naming the batch.
+func TestVerifyDetectsFlippedByte(t *testing.T) {
+	dir := seedDir(t, 0)
+	s := reopen(t, dir)
+	if _, err := s.ImportRuns("pa", genRunXML(t, s, 3, 21, "f"), 2); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "pa", "snapshot", "runs.seg")
+	orig, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, 1, len(orig) / 2, len(orig) - 1} {
+		tampered := append([]byte(nil), orig...)
+		tampered[pos] ^= 0x01
+		if err := os.WriteFile(seg, tampered, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		report, err := reopen(t, dir).VerifyLedger("pa")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.OK() {
+			t.Fatalf("flipped byte at offset %d not detected", pos)
+		}
+		if report.Issues[0].Batch <= 0 {
+			t.Fatalf("issue does not name a batch: %+v", report.Issues[0])
+		}
+	}
+	// Restore: clean state verifies again.
+	if err := os.WriteFile(seg, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	requireVerifyOK(t, reopen(t, dir))
+}
+
+// TestVerifyDetectsLedgerTampering: rewriting a committed batch
+// record breaks either its own root or the next record's chain link.
+func TestVerifyDetectsLedgerTampering(t *testing.T) {
+	dir := seedDir(t, 0)
+	s := reopen(t, dir)
+	if _, err := s.ImportRuns("pa", genRunXML(t, s, 2, 31, "t"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ImportRuns("pa", genRunXML(t, s, 2, 32, "u"), 1); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "pa", "snapshot", "ledger.log")
+	orig, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(orig), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 ledger records, got %d", len(lines))
+	}
+	// Flip one hex digit inside the first record.
+	tampered := bytes.Replace(orig, []byte(`"seq":1`), []byte(`"seq":9`), 1)
+	if bytes.Equal(tampered, orig) {
+		t.Fatal("tampering had no effect")
+	}
+	if err := os.WriteFile(logPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := reopen(t, dir).VerifyLedger("pa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("rewritten ledger record not detected")
+	}
+}
+
+// TestVerifyUnknownSpec: naming a spec that does not exist is an
+// error, not a silent pass.
+func TestVerifyUnknownSpec(t *testing.T) {
+	s := reopen(t, seedDir(t, 0))
+	if _, err := s.VerifyLedger("nope"); err == nil {
+		t.Fatal("verify of unknown spec succeeded")
+	}
+}

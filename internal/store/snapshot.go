@@ -1,7 +1,9 @@
 package store
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/codec"
+	"repro/internal/ledger"
 	"repro/internal/spec"
 	"repro/internal/wfrun"
 )
@@ -41,8 +44,11 @@ import (
 // XML re-parse (which then repairs the snapshot write-behind). Losing
 // the snapshot directory can never lose data.
 
-// manifestVersion guards the manifest JSON schema itself.
-const manifestVersion = 1
+// manifestVersion guards the manifest JSON schema itself. Version 2
+// added content hashing (frame hash, XML hash, ledger batch seq); a
+// version-1 manifest is discarded wholesale, its segment bytes counted
+// dead, and every run re-snapshots — with hashes — on its next load.
+const manifestVersion = 2
 
 // compactMinDeadBytes and compactMinDeadRatio bound segment garbage:
 // a manifest save triggers compaction once the segment holds at least
@@ -61,9 +67,17 @@ type snapEntry struct {
 	Nodes  int   `json:"nodes"`
 	Edges  int   `json:"edges"`
 	// XMLSize and XMLModNanos fingerprint the authoritative XML file
-	// the frame was derived from; a mismatch demotes the entry.
-	XMLSize     int64 `json:"xml_size"`
-	XMLModNanos int64 `json:"xml_mod_nanos"`
+	// the frame was derived from; XMLSHA256 is the digest of its bytes
+	// and is what freshness actually rests on — size+mtime alone miss a
+	// same-length rewrite inside the filesystem's mtime granularity.
+	XMLSize     int64  `json:"xml_size"`
+	XMLModNanos int64  `json:"xml_mod_nanos"`
+	XMLSHA256   string `json:"xml_sha256"`
+	// Hash is the hex SHA-256 content hash of the codec frame (the
+	// frame's ledger identity); Batch is the seq of the ledger record
+	// that most recently committed it.
+	Hash  string `json:"hash"`
+	Batch int64  `json:"batch"`
 }
 
 // snapManifest is the JSON document at snapshot/manifest.json.
@@ -82,6 +96,11 @@ type snapState struct {
 	mu       sync.Mutex
 	manifest *snapManifest
 	loaded   bool
+	// Ledger append cursor: seq and head of the last record in
+	// ledger.log, loaded lazily alongside the manifest.
+	ledgerLoaded bool
+	ledgerSeq    int64
+	ledgerHead   ledger.Hash
 }
 
 func (s *Store) snapDir(specName string) string {
@@ -95,6 +114,9 @@ func (s *Store) segmentPath(specName string) string {
 }
 func (s *Store) specBinPath(specName string) string {
 	return filepath.Join(s.snapDir(specName), "spec.bin")
+}
+func (s *Store) ledgerPath(specName string) string {
+	return filepath.Join(s.snapDir(specName), "ledger.log")
 }
 
 // snap returns the snapshot state for a spec, creating it on first
@@ -152,20 +174,55 @@ func (s *Store) saveManifestLocked(specName string, st *snapState) error {
 	return os.Rename(tmp, s.manifestPath(specName))
 }
 
-// xmlFingerprint stats a run's XML file.
-func (s *Store) xmlFingerprint(specName, runName string) (size, modNanos int64, err error) {
+// xmlFP fingerprints a run's authoritative XML file: stat identity
+// plus a content digest. The digest is what validation trusts — stat
+// fields are recorded for diagnostics and cannot promote a stale
+// entry, only the hash can.
+type xmlFP struct {
+	size     int64
+	modNanos int64
+	sha      string
+}
+
+// xmlFingerprint stats and digests a run's XML file.
+func (s *Store) xmlFingerprint(specName, runName string) (xmlFP, error) {
+	path := s.runPath(specName, runName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return xmlFP{}, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return xmlFP{}, err
+	}
+	sum := sha256.Sum256(data)
+	return xmlFP{size: fi.Size(), modNanos: fi.ModTime().UnixNano(), sha: hex.EncodeToString(sum[:])}, nil
+}
+
+// fingerprintXML digests already-read XML bytes plus the stat of the
+// file they were just written to — the import paths hold the bytes in
+// memory and need not read them back.
+func (s *Store) fingerprintXML(specName, runName string, data []byte) (xmlFP, error) {
 	fi, err := os.Stat(s.runPath(specName, runName))
 	if err != nil {
-		return 0, 0, err
+		return xmlFP{}, err
 	}
-	return fi.Size(), fi.ModTime().UnixNano(), nil
+	sum := sha256.Sum256(data)
+	return xmlFP{size: fi.Size(), modNanos: fi.ModTime().UnixNano(), sha: hex.EncodeToString(sum[:])}, nil
+}
+
+// fresh reports whether a manifest entry still describes this XML.
+// Content hash decides; an entry written before hashing existed (empty
+// XMLSHA256) is never fresh.
+func (e snapEntry) fresh(fp xmlFP) bool {
+	return e.XMLSHA256 != "" && e.XMLSHA256 == fp.sha
 }
 
 // hasFreshSnapshot reports whether a run has a live manifest entry of
-// the current codec version whose fingerprint matches the XML on disk
-// — the cheap freshness probe (no segment read, no decode) behind
-// Snapshot's idempotency. A frame that is fresh by this test but
-// corrupt on disk still self-heals on the next load.
+// the current codec version whose XML content hash matches the disk —
+// the freshness probe (no segment read, no decode) behind Snapshot's
+// idempotency. A frame that is fresh by this test but corrupt on disk
+// still self-heals on the next load.
 func (s *Store) hasFreshSnapshot(specName, runName string) bool {
 	if s.noSnapshot {
 		return false
@@ -178,8 +235,8 @@ func (s *Store) hasFreshSnapshot(specName, runName string) bool {
 	if !ok || e.Codec != codec.Version {
 		return false
 	}
-	size, mod, err := s.xmlFingerprint(specName, runName)
-	return err == nil && size == e.XMLSize && mod == e.XMLModNanos
+	fp, err := s.xmlFingerprint(specName, runName)
+	return err == nil && e.fresh(fp)
 }
 
 // segmentRecord frames one run inside the segment file: the run name,
@@ -220,8 +277,8 @@ func (s *Store) loadRunSnapshot(specName, runName string, sp *spec.Spec) (*wfrun
 	if !ok || e.Codec != codec.Version {
 		return nil, false
 	}
-	size, mod, err := s.xmlFingerprint(specName, runName)
-	if err != nil || size != e.XMLSize || mod != e.XMLModNanos {
+	fp, err := s.xmlFingerprint(specName, runName)
+	if err != nil || !e.fresh(fp) {
 		return nil, false
 	}
 	f, err := os.Open(s.segmentPath(specName))
@@ -246,10 +303,9 @@ func (s *Store) loadRunSnapshot(specName, runName string, sp *spec.Spec) (*wfrun
 
 // snapBatchItem is one run of a batched snapshot append.
 type snapBatchItem struct {
-	name     string
-	run      *wfrun.Run
-	xmlSize  int64
-	xmlNanos int64
+	name string
+	run  *wfrun.Run
+	fp   xmlFP
 }
 
 // writeRunSnapshot appends a freshly parsed run to the segment and
@@ -260,10 +316,11 @@ type snapBatchItem struct {
 // entry demotes itself to a miss instead of serving a stale frame.
 // Errors are returned for callers that care (Snapshot); the LoadRun
 // path treats them as best-effort.
-func (s *Store) writeRunSnapshot(specName, runName string, r *wfrun.Run, size, mod int64) error {
-	return s.writeRunSnapshotBatch(specName, []snapBatchItem{
-		{name: runName, run: r, xmlSize: size, xmlNanos: mod},
+func (s *Store) writeRunSnapshot(specName, runName string, r *wfrun.Run, fp xmlFP) error {
+	_, err := s.writeRunSnapshotBatch(specName, []snapBatchItem{
+		{name: runName, run: r, fp: fp},
 	}, false)
+	return err
 }
 
 // writeRunSnapshotBatch appends many runs in one pass: frames are
@@ -274,68 +331,162 @@ func (s *Store) writeRunSnapshot(specName, runName string, r *wfrun.Run, size, m
 // the group-commit durability point of the ingest pipeline. The
 // write-behind cache paths leave it unset; they can always re-parse
 // the authoritative XML.
-func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem, durable bool) error {
+//
+// The batch is also one ledger record: every item's frame content
+// hash becomes a Merkle leaf, the batch root is chained onto the
+// spec's ledger head, and the record is appended to ledger.log before
+// the manifest commits to it. The write order — segment (fsynced),
+// ledger (fsynced), manifest — means a crash at any boundary leaves
+// the previous manifest pointing at still-valid append-only state.
+//
+// A run whose name AND frame hash match its live manifest entry is
+// deduped: the old segment bytes are reused (valid forever under
+// append-only + compaction-of-live), no new frame is written, and the
+// run is simply re-attested in the new batch record. Bulk re-imports
+// of identical runs therefore cost hashing, not segment growth.
+//
+// Returns the hex content hash of each item's frame, aligned with
+// items.
+func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem, durable bool) ([]string, error) {
 	if s.noSnapshot || len(items) == 0 {
-		return nil
+		return nil, nil
 	}
 	records := make([][]byte, len(items))
+	hashes := make([]string, len(items))
+	leafs := make([]ledger.BatchLeaf, len(items))
 	for i, it := range items {
 		frame, err := codec.EncodeRun(it.run)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		h := codec.ContentHash(frame)
+		hashes[i] = hex.EncodeToString(h[:])
+		leafs[i] = ledger.BatchLeaf{Run: it.name, Hash: hashes[i]}
 		records[i] = segmentRecord(it.name, frame)
 	}
 	st := s.snap(specName)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s.loadManifestLocked(specName, st)
+	s.loadLedgerLocked(specName, st)
 	if err := os.MkdirAll(s.snapDir(specName), 0o755); err != nil {
-		return err
+		return nil, err
 	}
 	f, err := os.OpenFile(s.segmentPath(specName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	off, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
 		f.Close()
-		return err
+		return nil, err
 	}
+	entries := make([]snapEntry, len(items))
+	appended := false
 	for i, it := range items {
+		if old, ok := st.manifest.Runs[it.name]; ok && old.Codec == codec.Version && old.Hash == hashes[i] &&
+			s.segmentFrameIntact(specName, it.name, old) {
+			// Dedup: identical frame already live (and verified intact)
+			// in the segment.
+			e := old
+			e.XMLSize, e.XMLModNanos, e.XMLSHA256 = it.fp.size, it.fp.modNanos, it.fp.sha
+			entries[i] = e
+			continue
+		}
 		if _, err := f.Write(records[i]); err != nil {
 			f.Close()
-			return err
+			return nil, err
 		}
-		if old, ok := st.manifest.Runs[it.name]; ok {
-			st.manifest.Dead += old.Length
-			st.manifest.Live -= old.Length
-		}
-		st.manifest.Runs[it.name] = snapEntry{
+		appended = true
+		entries[i] = snapEntry{
 			Offset:      off,
 			Length:      int64(len(records[i])),
 			Codec:       codec.Version,
 			Nodes:       it.run.NumNodes(),
 			Edges:       it.run.NumEdges(),
-			XMLSize:     it.xmlSize,
-			XMLModNanos: it.xmlNanos,
+			XMLSize:     it.fp.size,
+			XMLModNanos: it.fp.modNanos,
+			XMLSHA256:   it.fp.sha,
+			Hash:        hashes[i],
 		}
-		st.manifest.Live += int64(len(records[i]))
 		off += int64(len(records[i]))
 	}
-	if durable {
+	if durable && appended {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return err
+			return nil, err
 		}
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return nil, err
+	}
+	rec, err := ledger.NewRecord(st.ledgerSeq+1, st.ledgerHead, leafs)
+	if err != nil {
+		return nil, err
+	}
+	if err := ledger.Append(s.ledgerPath(specName), rec, durable); err != nil {
+		return nil, err
+	}
+	st.ledgerSeq = rec.Seq
+	st.ledgerHead, _ = ledger.Parse(rec.Head)
+	for i, it := range items {
+		if old, ok := st.manifest.Runs[it.name]; ok && old.Offset != entries[i].Offset {
+			st.manifest.Dead += old.Length
+			st.manifest.Live -= old.Length
+		}
+		e := entries[i]
+		e.Batch = rec.Seq
+		if _, ok := st.manifest.Runs[it.name]; !ok || st.manifest.Runs[it.name].Offset != e.Offset {
+			st.manifest.Live += e.Length
+		}
+		st.manifest.Runs[it.name] = e
 	}
 	if err := s.saveManifestLocked(specName, st); err != nil {
-		return err
+		return nil, err
 	}
-	return s.maybeCompactLocked(specName, st)
+	return hashes, s.maybeCompactLocked(specName, st)
+}
+
+// segmentFrameIntact re-reads a manifest entry's segment record and
+// checks it still carries this run's frame with the recorded content
+// hash — the guard that keeps dedup from re-attesting bytes that were
+// corrupted or lost since the entry was written. A reused entry is
+// therefore always backed by verified bytes; a failed check simply
+// costs a fresh append.
+func (s *Store) segmentFrameIntact(specName, runName string, e snapEntry) bool {
+	f, err := os.Open(s.segmentPath(specName))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, e.Length)
+	if _, err := f.ReadAt(buf, e.Offset); err != nil {
+		return false
+	}
+	name, frame, err := parseSegmentRecord(buf)
+	if err != nil || name != runName {
+		return false
+	}
+	h := codec.ContentHash(frame)
+	return hex.EncodeToString(h[:]) == e.Hash
+}
+
+// loadLedgerLocked positions the append cursor at the tail of the
+// spec's ledger log. A malformed log is not repaired here — appends
+// continue from the last parseable record and VerifyLedger is the one
+// to report the damage. Caller holds st.mu.
+func (s *Store) loadLedgerLocked(specName string, st *snapState) {
+	if st.ledgerLoaded {
+		return
+	}
+	st.ledgerLoaded = true
+	recs, _ := ledger.ReadLog(s.ledgerPath(specName))
+	if len(recs) == 0 {
+		return
+	}
+	last := recs[len(recs)-1]
+	st.ledgerSeq = last.Seq
+	st.ledgerHead, _ = ledger.Parse(last.Head)
 }
 
 // dropRunSnapshot removes a run's manifest entry (delete and
@@ -360,15 +511,47 @@ func (s *Store) dropRunSnapshot(specName, runName string) {
 }
 
 // maybeCompactLocked rewrites the segment without dead frames once
-// they dominate. Caller holds st.mu. A reader that raced the rename
-// sees offsets that no longer line up — the record it lands on either
-// fails the frame checksum or names a different run, so it falls back
-// to XML; compaction needs no reader coordination.
+// they dominate. Caller holds st.mu.
 func (s *Store) maybeCompactLocked(specName string, st *snapState) error {
 	m := st.manifest
 	if m.Dead < compactMinDeadBytes || float64(m.Dead) < compactMinDeadRatio*float64(m.Dead+m.Live) {
 		return nil
 	}
+	return s.compactLocked(specName, st)
+}
+
+// Compact rewrites a spec's snapshot segment without its dead bytes
+// now, regardless of the automatic thresholds — an operational lever
+// (and test hook) over the same code path the thresholds trigger.
+// The ledger is untouched: compaction moves live frames, it does not
+// change them, so every inclusion proof survives byte-for-byte.
+func (s *Store) Compact(specName string) error {
+	if s.noSnapshot {
+		return nil
+	}
+	if err := ValidateName(specName); err != nil {
+		return err
+	}
+	st := s.snap(specName)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.loadManifestLocked(specName, st)
+	if _, err := os.Stat(s.segmentPath(specName)); err != nil {
+		if os.IsNotExist(err) {
+			return nil // nothing snapshotted yet
+		}
+		return err
+	}
+	return s.compactLocked(specName, st)
+}
+
+// compactLocked is the segment rewrite itself. Caller holds st.mu. A
+// reader that raced the rename sees offsets that no longer line up —
+// the record it lands on either fails the frame checksum or names a
+// different run, so it falls back to XML; compaction needs no reader
+// coordination.
+func (s *Store) compactLocked(specName string, st *snapState) error {
+	m := st.manifest
 	old, err := os.Open(s.segmentPath(specName))
 	if err != nil {
 		return err
@@ -487,7 +670,7 @@ func (s *Store) Snapshot(specName string) (SnapshotStats, error) {
 		// Parse from XML and snapshot; LoadRun's write-behind would do
 		// this too, but going through loadRunXML keeps the accounting
 		// exact even when the run is already in the memory cache.
-		size, mod, err := s.xmlFingerprint(specName, name)
+		fp, err := s.xmlFingerprint(specName, name)
 		if err != nil {
 			return stats, fmt.Errorf("store: %w", err)
 		}
@@ -495,7 +678,7 @@ func (s *Store) Snapshot(specName string) (SnapshotStats, error) {
 		if err != nil {
 			return stats, err
 		}
-		if err := s.writeRunSnapshot(specName, name, r, size, mod); err != nil {
+		if err := s.writeRunSnapshot(specName, name, r, fp); err != nil {
 			return stats, err
 		}
 		s.cacheRun(specName, name, r)
@@ -549,13 +732,13 @@ func (s *Store) Preload(specName string) (PreloadStats, error) {
 			stats.FromSnapshot++
 			continue
 		}
-		size, mod, fpErr := s.xmlFingerprint(specName, name)
+		fp, fpErr := s.xmlFingerprint(specName, name)
 		r, err := s.loadRunXML(specName, name, sp)
 		if err != nil {
 			return stats, err
 		}
 		if fpErr == nil {
-			_ = s.writeRunSnapshot(specName, name, r, size, mod) // best-effort repair
+			_ = s.writeRunSnapshot(specName, name, r, fp) // best-effort repair
 		}
 		s.cacheRun(specName, name, r)
 		stats.FromXML++

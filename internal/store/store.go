@@ -297,13 +297,13 @@ func (s *Store) LoadRun(specName, runName string) (*wfrun.Run, error) {
 	if r, ok := s.loadRunSnapshot(specName, runName, sp); ok {
 		return s.cacheRun(specName, runName, r), nil
 	}
-	size, mod, fpErr := s.xmlFingerprint(specName, runName)
+	fp, fpErr := s.xmlFingerprint(specName, runName)
 	r, err := s.loadRunXML(specName, runName, sp)
 	if err != nil {
 		return nil, err
 	}
 	if fpErr == nil {
-		_ = s.writeRunSnapshot(specName, runName, r, size, mod) // best-effort repair
+		_ = s.writeRunSnapshot(specName, runName, r, fp) // best-effort repair
 	}
 	return s.cacheRun(specName, runName, r), nil
 }
