@@ -5,6 +5,7 @@
 //	provserved -dir DIR [-addr :8077] [-cache 512] [-demo N] [-seed S] [-preload=true]
 //	           [-index-threshold N] [-landmarks M]
 //	           [-ingest-queue 1024] [-ingest-batch 64] [-ingest-maxwait 0]
+//	           [-timing-log FILE]
 //
 // The API is versioned under /v1; the unversioned routes of earlier
 // releases still answer identically but carry a Deprecation header:
@@ -25,7 +26,11 @@
 //	GET    /v1/specs/{spec}/cluster           k-medoids partitioning
 //	GET    /v1/specs/{spec}/outliers          knn outlier scores
 //	GET    /v1/specs/{spec}/nearest           nearest neighbors (?run=)
+//	PATCH  /v1/specs/{spec}/runs/{run}/events append live node-status events
+//	                                          (?complete=1 finalizes the run)
+//	GET    /v1/specs/{spec}/watch             NDJSON drift stream for live runs
 //	GET    /v1/tickets/{id}                   async ingest ticket status
+//	GET    /v1/metrics                        Prometheus text exposition
 //	GET    /v1/stats                          request/cache/engine/ingest counters
 //	GET    /v1/healthz                        liveness probe
 //
@@ -78,6 +83,7 @@ func main() {
 		inQueue = flag.Int("ingest-queue", 0, "group-commit ingest queue depth (0 = default 1024); full queue answers 429")
 		inBatch = flag.Int("ingest-batch", 0, "max runs per ingest group-commit (0 = default 64)")
 		inWait  = flag.Duration("ingest-maxwait", 0, "ingest batcher linger window (0 commits as soon as the queue drains)")
+		timing  = flag.String("timing-log", "", "append per-request stage timings as CSV to this file")
 	)
 	flag.Parse()
 	st, err := store.Open(*dir)
@@ -89,14 +95,23 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	handler := server.New(st, server.Options{
+	opts := server.Options{
 		CacheSize:      *cache,
 		IndexThreshold: *indexTh,
 		Landmarks:      *marks,
 		IngestQueue:    *inQueue,
 		IngestBatch:    *inBatch,
 		IngestMaxWait:  *inWait,
-	})
+	}
+	if *timing != "" {
+		sink, err := newTimingLog(*timing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sink.Close()
+		opts.OnRequestTiming = sink.record
+	}
+	handler := server.New(st, opts)
 	if *preload {
 		warmStart(st, handler)
 	}

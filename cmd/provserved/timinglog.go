@@ -1,0 +1,52 @@
+package main
+
+// CSV sink for the server's per-request stage timings (-timing-log).
+// One row per completed request; the header is written only when the
+// file starts empty, so appending across restarts keeps the file a
+// single well-formed CSV.
+
+import (
+	"os"
+	"sync"
+
+	"repro/internal/server"
+)
+
+type timingLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func newTimingLog(path string) (*timingLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(server.TimingCSVHeader() + "\n"); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &timingLog{f: f}, nil
+}
+
+// record is the server's OnRequestTiming hook: called concurrently,
+// must not retain t past the call.
+func (l *timingLog) record(t *server.RequestTiming) {
+	row := t.CSVRow()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.f.WriteString(row + "\n")
+}
+
+func (l *timingLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

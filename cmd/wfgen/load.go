@@ -1,0 +1,373 @@
+package main
+
+// wfgen load: a deterministic mixed-traffic load driver for
+// provserved. It fetches the target specification from the running
+// service, synthesizes a seeded workload (complete run documents for
+// sync ingest plus event streams for live ingest), then drives
+// -clients concurrent workers through an ingest/diff/live/metrics mix
+// for -duration, with one watcher attached to the spec's drift stream
+// throughout. The report is JSON per route — count, errors, p50/p99
+// latency — and the exit status enforces the CI gates: nonzero when
+// any route errored (unless -fail-on-errors=false) or when ingest p99
+// exceeds -max-p99-ingest.
+//
+//	wfgen load -url http://localhost:8077 -spec demo -duration 30s \
+//	           -clients 4 -seed 1 -o BENCH_load.json -max-p99-ingest 250
+
+import (
+	"archive/tar"
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	provdiff "repro"
+)
+
+// workload is the deterministic input of one load session: complete
+// run documents for sync ingest and event streams for live ingest.
+// Same spec + same seed + same size → byte-identical workload.
+type workload struct {
+	Runs [][]byte               // encoded run XML documents
+	Live [][]provdiff.LiveEvent // event streams, one per live run
+}
+
+// synthesizeWorkload generates n ingest documents and n live event
+// streams from one seeded source. Pure: no clock, no global state.
+func synthesizeWorkload(sp *provdiff.Spec, seed int64, n int) (*workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	w := &workload{}
+	for i := 0; i < n; i++ {
+		r, err := provdiff.RandomRun(sp, provdiff.DefaultRunParams(), rng)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := provdiff.EncodeRun(&buf, r, fmt.Sprintf("load-%d", i)); err != nil {
+			return nil, err
+		}
+		w.Runs = append(w.Runs, buf.Bytes())
+		lr, err := provdiff.RandomRun(sp, provdiff.DefaultRunParams(), rng)
+		if err != nil {
+			return nil, err
+		}
+		w.Live = append(w.Live, provdiff.RunEvents(lr))
+	}
+	return w, nil
+}
+
+// recorder collects per-route latency samples and error counts. The
+// clock is injectable so the accounting is unit-testable.
+type recorder struct {
+	now func() time.Time
+
+	mu      sync.Mutex
+	samples map[string][]float64 // milliseconds
+	errors  map[string]int64
+}
+
+func newRecorder(now func() time.Time) *recorder {
+	if now == nil {
+		now = time.Now
+	}
+	return &recorder{now: now, samples: map[string][]float64{}, errors: map[string]int64{}}
+}
+
+// observe runs op, charging its wall time to route; a returned error
+// is counted, not propagated. Context cancellation is the session
+// deadline firing mid-request — shutdown noise, not a service
+// failure — so those samples are dropped entirely.
+func (rec *recorder) observe(route string, op func() error) {
+	t0 := rec.now()
+	err := op()
+	ms := float64(rec.now().Sub(t0).Nanoseconds()) / 1e6
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.samples[route] = append(rec.samples[route], ms)
+	if err != nil {
+		rec.errors[route]++
+	}
+}
+
+// percentile is nearest-rank over a sorted sample set.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// routeReport is one route's line of the JSON report.
+type routeReport struct {
+	Count  int     `json:"count"`
+	Errors int64   `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// report folds the recorder into the final per-route summary.
+func (rec *recorder) report() map[string]routeReport {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make(map[string]routeReport, len(rec.samples))
+	for route, s := range rec.samples {
+		sorted := append([]float64(nil), s...)
+		sort.Float64s(sorted)
+		out[route] = routeReport{
+			Count:  len(sorted),
+			Errors: rec.errors[route],
+			P50MS:  percentile(sorted, 0.50),
+			P99MS:  percentile(sorted, 0.99),
+		}
+	}
+	return out
+}
+
+// fetchSpec pulls the target specification out of the service's
+// export tar so the workload validates against exactly what the
+// server stores.
+func fetchSpec(client *http.Client, baseURL, specName string) (*provdiff.Spec, error) {
+	resp, err := client.Get(baseURL + "/v1/specs/" + specName + "/export")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("export %s: HTTP %d", specName, resp.StatusCode)
+	}
+	tr := tar.NewReader(resp.Body)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("export %s: no spec.xml in archive", specName)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Name == "spec.xml" {
+			return provdiff.DecodeSpec(tr)
+		}
+	}
+}
+
+// listRuns names the runs already stored for the spec — diff targets.
+func listRuns(client *http.Client, baseURL, specName string) ([]string, error) {
+	resp, err := client.Get(baseURL + "/v1/specs/" + specName + "/runs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("list runs: HTTP %d", resp.StatusCode)
+	}
+	var body struct {
+		Runs []string `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Runs, nil
+}
+
+// expect2xx performs a request and drains the body, failing on
+// transport errors and non-2xx statuses alike.
+func expect2xx(client *http.Client, req *http.Request) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	return nil
+}
+
+// watchStream attaches to the spec's drift stream for the whole
+// session, counting lines; every line read is one "watch" sample with
+// near-zero latency, errors surface as watch errors. It uses its own
+// client without a request timeout — the stream is supposed to stay
+// open until ctx expires, and http.Client.Timeout covers body reads.
+func watchStream(ctx context.Context, baseURL, specName string, rec *recorder) {
+	req, err := http.NewRequestWithContext(ctx, "GET", baseURL+"/v1/specs/"+specName+"/watch", nil)
+	if err != nil {
+		return
+	}
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		rec.observe("watch", func() error { return err })
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		rec.observe("watch", func() error {
+			if !json.Valid(line) {
+				return fmt.Errorf("invalid watch line %q", line)
+			}
+			return nil
+		})
+	}
+}
+
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	var (
+		baseURL   = fs.String("url", "http://localhost:8077", "provserved base URL")
+		specName  = fs.String("spec", "demo", "target specification")
+		duration  = fs.Duration("duration", 30*time.Second, "how long to drive traffic")
+		clients   = fs.Int("clients", 4, "concurrent workers")
+		seed      = fs.Int64("seed", 1, "workload synthesis seed")
+		out       = fs.String("o", "", "report file (default stdout)")
+		maxP99    = fs.Float64("max-p99-ingest", 0, "fail if ingest p99 exceeds this many ms (0 disables)")
+		failOnErr = fs.Bool("fail-on-errors", true, "exit nonzero when any route recorded errors")
+	)
+	must(fs.Parse(args))
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	sp, err := fetchSpec(client, *baseURL, *specName)
+	must(err)
+	seededRuns, err := listRuns(client, *baseURL, *specName)
+	must(err)
+
+	// Enough distinct documents that workers never reuse a name within
+	// the session; names also carry the seed so reruns against a
+	// persistent store don't collide with a prior session's runs.
+	perClient := 512
+	wl, err := synthesizeWorkload(sp, *seed, *clients*2)
+	must(err)
+
+	rec := newRecorder(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	go watchStream(ctx, *baseURL, *specName, rec)
+
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ingested := []string{}
+			for i := 0; ctx.Err() == nil && i < perClient; i++ {
+				switch i % 4 {
+				case 0: // sync ingest of a complete run document
+					name := fmt.Sprintf("l%d-c%d-%d", *seed, c, i)
+					doc := wl.Runs[(c+i)%len(wl.Runs)]
+					rec.observe("ingest", func() error {
+						req, err := http.NewRequestWithContext(ctx, "POST",
+							*baseURL+"/v1/specs/"+*specName+"/runs/"+name, bytes.NewReader(doc))
+						if err != nil {
+							return err
+						}
+						return expect2xx(client, req)
+					})
+					ingested = append(ingested, name)
+				case 1: // diff two stored runs
+					pool := seededRuns
+					if len(pool) < 2 {
+						pool = ingested
+					}
+					if len(pool) < 2 {
+						continue
+					}
+					a, b := pool[(c+i)%len(pool)], pool[(c+i+1)%len(pool)]
+					rec.observe("diff", func() error {
+						req, err := http.NewRequestWithContext(ctx, "GET",
+							*baseURL+"/v1/specs/"+*specName+"/diff/"+a+"/"+b, nil)
+						if err != nil {
+							return err
+						}
+						return expect2xx(client, req)
+					})
+				case 2: // live ingest: half the events, the rest, complete
+					name := fmt.Sprintf("lv%d-c%d-%d", *seed, c, i)
+					evs := wl.Live[(c+i)%len(wl.Live)]
+					half := len(evs) / 2
+					post := func(evs []provdiff.LiveEvent, q string) error {
+						body, err := json.Marshal(evs)
+						if err != nil {
+							return err
+						}
+						req, err := http.NewRequestWithContext(ctx, "PATCH",
+							*baseURL+"/v1/specs/"+*specName+"/runs/"+name+"/events"+q, bytes.NewReader(body))
+						if err != nil {
+							return err
+						}
+						return expect2xx(client, req)
+					}
+					rec.observe("live_events", func() error { return post(evs[:half], "") })
+					rec.observe("live_complete", func() error { return post(evs[half:], "?complete=1") })
+				case 3: // observability scrape
+					rec.observe("metrics", func() error {
+						req, err := http.NewRequestWithContext(ctx, "GET", *baseURL+"/v1/metrics", nil)
+						if err != nil {
+							return err
+						}
+						return expect2xx(client, req)
+					})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	cancel()
+
+	routes := rec.report()
+	payload := map[string]any{
+		"spec":     *specName,
+		"seed":     *seed,
+		"clients":  *clients,
+		"duration": duration.String(),
+		"routes":   routes,
+	}
+	enc, err := json.MarshalIndent(payload, "", "  ")
+	must(err)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		must(err)
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintln(w, string(enc))
+
+	failed := false
+	if *failOnErr {
+		for route, r := range routes {
+			if r.Errors > 0 {
+				fmt.Fprintf(os.Stderr, "wfgen load: route %s recorded %d errors\n", route, r.Errors)
+				failed = true
+			}
+		}
+	}
+	if *maxP99 > 0 {
+		if r, ok := routes["ingest"]; ok && r.P99MS > *maxP99 {
+			fmt.Fprintf(os.Stderr, "wfgen load: ingest p99 %.1fms exceeds bound %.1fms\n", r.P99MS, *maxP99)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,10 @@
 //	wfgen spec -catalog PA -o pa.xml
 //	wfgen run -spec spec.xml -probp 0.95 -probf 0.5 -maxf 4 -probl 0.5 -maxl 4 -o run.xml
 //	wfgen run -spec spec.xml -target 500 -o run.xml
+//
+// It also doubles as the load driver for a running provserved:
+//
+//	wfgen load -url http://localhost:8077 -spec demo -duration 30s -o BENCH_load.json
 package main
 
 import (
@@ -24,13 +28,15 @@ func main() {
 		genSpec(os.Args[2:])
 	case "run":
 		genRun(os.Args[2:])
+	case "load":
+		runLoad(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wfgen spec|run [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wfgen spec|run|load [flags]")
 	os.Exit(2)
 }
 

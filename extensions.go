@@ -16,6 +16,7 @@ import (
 	"repro/internal/sptree"
 	"repro/internal/store"
 	"repro/internal/view"
+	"repro/internal/wfrun"
 )
 
 // Multi-run analysis (the paper's motivating workflow: compare many
@@ -336,3 +337,29 @@ func EncodeSpecMappingBinary(m *SpecMapping) ([]byte, error) {
 func DecodeSpecMappingBinary(data []byte, a, b *Spec) (*SpecMapping, error) {
 	return codec.DecodeSpecMapping(data, a, b)
 }
+
+// Live (still-executing) runs: internal/wfrun's incremental derivation
+// plus the store's event-log persistence. A LiveRun consumes node-
+// status events one at a time, re-deriving only the affected top-level
+// component of the specification tree; Complete assembles the full
+// run, byte-stable under XML round trips. The Store counterparts
+// (AppendLiveEvents, LiveStatusOf, ListLiveRuns, CompleteLiveRun,
+// AbandonLiveRun) persist the event stream and promote finished runs
+// through the group-commit import path.
+type (
+	// LiveEvent is one node-status event: a run edge appearing, named
+	// by endpoint labels with optional explicit specification refs.
+	LiveEvent = wfrun.Event
+	// LiveRun incrementally derives a run from a stream of events.
+	LiveRun = wfrun.Live
+	// LiveRunStatus snapshots a store-managed in-flight run.
+	LiveRunStatus = store.LiveStatus
+)
+
+// NewLiveRun starts incremental derivation of a run of sp.
+func NewLiveRun(sp *Spec) *LiveRun { return wfrun.NewLive(sp) }
+
+// RunEvents replays a finished run as the event stream that would
+// rebuild it — the bridge from stored runs to live-ingest testing and
+// load generation.
+func RunEvents(r *Run) []LiveEvent { return wfrun.Events(r) }

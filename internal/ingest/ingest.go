@@ -90,6 +90,7 @@ const (
 type Stats struct {
 	QueueDepth    int   // jobs currently waiting
 	QueueCapacity int   // configured bound
+	MaxDepth      int64 // deepest the queue has been (high-water mark)
 	Enqueued      int64 // jobs accepted onto the queue
 	Rejected      int64 // jobs refused with ErrQueueFull
 	Committed     int64 // jobs whose commit succeeded
@@ -117,6 +118,7 @@ type Pipeline struct {
 	committed, failed    atomic.Int64
 	batches, jobsBatched atomic.Int64
 	maxBatch             atomic.Int64
+	maxDepth             atomic.Int64
 	slowCommits          atomic.Int64
 	lastCommitNanos      atomic.Int64
 }
@@ -156,6 +158,17 @@ func (p *Pipeline) Enqueue(j *Job) error {
 	select {
 	case p.queue <- j:
 		p.enqueued.Add(1)
+		// Track the deepest the queue has been — the saturation gauge
+		// /metrics exposes. The read races benignly with the batcher
+		// draining; the high-water mark only ever moves up.
+		if depth := int64(len(p.queue)); depth > p.maxDepth.Load() {
+			for {
+				cur := p.maxDepth.Load()
+				if depth <= cur || p.maxDepth.CompareAndSwap(cur, depth) {
+					break
+				}
+			}
+		}
 		return nil
 	default:
 		p.rejected.Add(1)
@@ -271,6 +284,7 @@ func (p *Pipeline) Stats() Stats {
 	st := Stats{
 		QueueDepth:    len(p.queue),
 		QueueCapacity: p.opts.QueueDepth,
+		MaxDepth:      p.maxDepth.Load(),
 		Enqueued:      p.enqueued.Load(),
 		Rejected:      p.rejected.Load(),
 		Committed:     p.committed.Load(),

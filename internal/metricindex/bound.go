@@ -139,6 +139,12 @@ func lowerBoundRate(m cost.Model, sp *spec.Spec) float64 {
 	}
 }
 
+// LowerBoundRate exposes the histogram-bound rate for a model over
+// runs of sp: every unmapped leaf instance costs at least this much
+// under m, and 0 means the bound is unavailable (vacuous). The live
+// drift monitor prices excess executed instances with it.
+func LowerBoundRate(m cost.Model, sp *spec.Spec) float64 { return lowerBoundRate(m, sp) }
+
 // HistogramBound returns the histogram lower bound on the edit
 // distance between two runs of the same specification under model m:
 // a number never exceeding the exact Engine/naive distance. It

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/ingest"
@@ -69,12 +70,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.storeError(w, err)
 		return
 	}
+	t0 := time.Now()
 	body, ok := s.readBody(w, r)
+	observeStage(r.Context(), stageParse, t0)
 	if !ok {
 		return
 	}
 	if s.opts.DirectIngest {
+		t0 = time.Now()
 		s.directImport(w, specName, runName, body)
+		observeStage(r.Context(), stageStore, t0)
 		return
 	}
 	if s.query(r).flag("async") {
@@ -95,7 +100,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Park until the batch carrying this job commits. The batcher
 	// always delivers (Close drains), so no context select is needed;
 	// a client that hangs up simply never reads the response.
+	t0 = time.Now()
 	res := <-job.Resp
+	observeStage(r.Context(), stageStore, t0)
 	if res.Err != nil {
 		s.httpError(w, res.Err, ingestStatus(res.Err))
 		return

@@ -23,6 +23,7 @@ const (
 	kindNearest  = "nearest"
 	kindCross    = "xdiff"
 	kindEvolve   = "evolve"
+	kindDrift    = "drift"
 )
 
 // cohortScoped reports whether a cached artifact depends on the whole
@@ -32,7 +33,7 @@ const (
 // invalidation would serve stale neighbors.)
 func cohortScoped(kind string) bool {
 	switch kind {
-	case kindCluster, kindOutliers, kindNearest:
+	case kindCluster, kindOutliers, kindNearest, kindDrift:
 		return true
 	}
 	return false

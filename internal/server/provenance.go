@@ -10,6 +10,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/store"
@@ -27,15 +28,19 @@ func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, fmt.Errorf("run: %w", err), http.StatusBadRequest)
 		return
 	}
+	t0 := time.Now()
 	p, err := s.st.RunProof(specName, runName)
 	if err != nil {
+		observeStage(r.Context(), stageLedger, t0)
 		s.storeError(w, err)
 		return
 	}
 	// Self-check before serving: a proof that does not fold to its own
 	// head would only confuse clients — better a loud 500 here.
-	if _, err := store.VerifyProof(p); err != nil {
-		s.httpError(w, err, http.StatusInternalServerError)
+	_, verr := store.VerifyProof(p)
+	observeStage(r.Context(), stageLedger, t0)
+	if verr != nil {
+		s.httpError(w, verr, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, p)

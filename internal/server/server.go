@@ -36,7 +36,10 @@
 //	GET    /v1/specs/{spec}/outliers          knn outlier scores (?k=, ?cost=)
 //	GET    /v1/specs/{spec}/nearest           nearest neighbors (?run=, ?k=, ?cost=)
 //	GET    /v1/specs/{spec}/runs/{run}/proof  Merkle inclusion proof from the provenance ledger
+//	PATCH  /v1/specs/{spec}/runs/{run}/events append live node-status events (?cost=, ?complete=1)
+//	GET    /v1/specs/{spec}/watch             stream live-run drift updates as NDJSON
 //	GET    /v1/tickets/{id}                   async ingest ticket status
+//	GET    /v1/metrics                        Prometheus text-format metrics
 //	GET    /v1/stats                          service counters (incl. ledger heads + repository root)
 //	GET    /v1/healthz                        liveness probe
 //
@@ -55,6 +58,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -114,6 +118,11 @@ type Options struct {
 	// synchronously inline (the pre-pipeline behavior) — the baseline
 	// arm of the sustained-ingest benchmark and differential tests.
 	DirectIngest bool
+	// OnRequestTiming, when set, receives every finished request's
+	// stage-timing record after the handler returns (provserved wires
+	// it to the -timing-log CSV sink). Must be safe for concurrent
+	// calls; the record must not be retained past the call.
+	OnRequestTiming func(*RequestTiming)
 }
 
 // DefaultCacheSize is the diff-result LRU capacity used by provserved
@@ -133,12 +142,14 @@ type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	started time.Time
+	metrics *metricsRegistry
+	watch   *watchHub
 
 	reqDiff, reqSVG, reqCohort, reqSpecs, reqRuns atomic.Int64
 	reqImport, reqDelete, reqStats                atomic.Int64
 	reqCluster, reqOutliers, reqNearest           atomic.Int64
 	reqBulk, reqExport, reqEvolve, reqTickets     atomic.Int64
-	reqProof                                      atomic.Int64
+	reqProof, reqLive, reqWatch, reqMetrics       atomic.Int64
 	errCount                                      atomic.Int64
 }
 
@@ -159,6 +170,8 @@ func New(st *store.Store, opts Options) *Server {
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		metrics: newMetricsRegistry(),
+		watch:   newWatchHub(),
 	}
 	s.ingest = s.newIngest()
 	st.OnRunChange(s.cache.invalidateRun)
@@ -326,13 +339,18 @@ func scriptJSON(sc *edit.Script) []opJSON {
 // The engine is checked out only for the uncached computation and
 // everything the payload needs is extracted before it is returned, so
 // the pooled engine is immediately reusable.
-func (s *Server) diffPair(specName, runA, runB string, m cost.Model) (diffPayload, error) {
+func (s *Server) diffPair(ctx context.Context, specName, runA, runB string, m cost.Model) (diffPayload, error) {
 	key := cacheKey{spec: specName, runA: runA, runB: runB, cost: m.Name(), kind: kindDiff}
-	if v, ok := s.cache.get(key); ok {
+	t0 := time.Now()
+	v, ok := s.cache.get(key)
+	observeStage(ctx, stageCache, t0)
+	if ok {
 		p := v.(diffPayload)
 		p.Cached = true
 		return p, nil
 	}
+	t0 = time.Now()
+	defer func() { observeStage(ctx, stageDiff, t0) }()
 	// Capture the invalidation generation before touching store state:
 	// if either run changes while we compute, the payload is discarded
 	// rather than cached stale.
@@ -379,7 +397,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		s.crossDiff(w, ns[0], ns[1], ns[2], across, m)
 		return
 	}
-	p, err := s.diffPair(ns[0], ns[1], ns[2], m)
+	p, err := s.diffPair(r.Context(), ns[0], ns[1], ns[2], m)
 	if err != nil {
 		s.storeError(w, err)
 		return
@@ -558,6 +576,7 @@ type metricIndexStats struct {
 type ingestStats struct {
 	QueueDepth    int     `json:"queue_depth"`
 	QueueCapacity int     `json:"queue_capacity"`
+	MaxDepth      int64   `json:"max_depth"`
 	Enqueued      int64   `json:"enqueued"`
 	Rejected      int64   `json:"rejected"`
 	Committed     int64   `json:"committed"`
@@ -616,6 +635,7 @@ func (s *Server) Stats() statsPayload {
 	ig := ingestStats{
 		QueueDepth:    ps.QueueDepth,
 		QueueCapacity: ps.QueueCapacity,
+		MaxDepth:      ps.MaxDepth,
 		Enqueued:      ps.Enqueued,
 		Rejected:      ps.Rejected,
 		Committed:     ps.Committed,
@@ -649,6 +669,9 @@ func (s *Server) Stats() statsPayload {
 			"evolve":   s.reqEvolve.Load(),
 			"tickets":  s.reqTickets.Load(),
 			"proof":    s.reqProof.Load(),
+			"live":     s.reqLive.Load(),
+			"watch":    s.reqWatch.Load(),
+			"metrics":  s.reqMetrics.Load(),
 			"stats":    s.reqStats.Load(),
 		},
 		CohortMatrices: s.cohorts.count(),

@@ -52,6 +52,7 @@ func TestV1LegacyParity(t *testing.T) {
 		{key: "GET /specs/{spec}/cluster", method: "GET", legacy: "/specs/pa/cluster?k=2&seed=3", v1: "/v1/specs/pa/cluster?k=2&seed=3", prep: purge},
 		{key: "GET /specs/{spec}/outliers", method: "GET", legacy: "/specs/pa/outliers?k=2", v1: "/v1/specs/pa/outliers?k=2", prep: purge},
 		{key: "GET /specs/{spec}/nearest", method: "GET", legacy: "/specs/pa/nearest?run=r0&k=2", v1: "/v1/specs/pa/nearest?run=r0&k=2", prep: purge},
+		{key: "GET /metrics", method: "GET", legacy: "/metrics", v1: "/v1/metrics", skipBody: true},
 		{key: "GET /stats", method: "GET", legacy: "/stats", v1: "/v1/stats", skipBody: true},
 		{key: "GET /healthz", method: "GET", legacy: "/healthz", v1: "/v1/healthz"},
 	}

@@ -1,0 +1,284 @@
+package store
+
+// Live (still-executing) runs. A live run accumulates node-status
+// events through wfrun.Live; its event log is persisted as JSON lines
+// under <root>/<spec>/live/<run>.events so an interrupted server
+// replays in-flight runs on restart. Completion promotes the run into
+// the regular repository through the same ImportParsed path bulk
+// ingest uses, so it gets the snapshot segment, ledger attestation and
+// coalesced cache notification every other run gets — and the stored
+// XML re-parses to exactly the run the live derivation produced.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/wfrun"
+	"repro/internal/wfxml"
+)
+
+// LiveStatus is a snapshot of one in-flight run.
+type LiveStatus struct {
+	Spec   string `json:"spec"`
+	Run    string `json:"run"`
+	Events int    `json:"events"`
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+	// Counts is the executed-instance histogram indexed by
+	// specification leaf index — the drift monitor's raw material.
+	Counts []int `json:"counts"`
+}
+
+type liveRun struct {
+	lv   *wfrun.Live
+	f    *os.File // open append handle on the event log
+	path string
+}
+
+func (s *Store) liveDir(specName string) string {
+	return filepath.Join(s.specDir(specName), "live")
+}
+
+func (s *Store) livePath(specName, runName string) string {
+	return filepath.Join(s.liveDir(specName), runName+".events")
+}
+
+// liveEntry returns the in-memory state for a live run, replaying its
+// persisted event log if the store was reopened since the events
+// arrived. With create=false a run with no state and no log yields
+// (nil, nil).
+func (s *Store) liveEntry(specName, runName string, create bool) (*liveRun, error) {
+	key := runKey(specName, runName)
+	if e, ok := s.live[key]; ok {
+		return e, nil
+	}
+	sp, err := s.LoadSpec(specName)
+	if err != nil {
+		return nil, err
+	}
+	path := s.livePath(specName, runName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if os.IsNotExist(err) && !create {
+		return nil, nil
+	}
+	lv := wfrun.NewLive(sp)
+	if len(data) > 0 {
+		lines := bytes.Split(data, []byte("\n"))
+		for i, line := range lines {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			var ev wfrun.Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				if i == len(lines)-1 {
+					// Torn trailing write from a crash: drop it.
+					break
+				}
+				return nil, fmt.Errorf("store: corrupt live event log %s line %d: %w", path, i+1, err)
+			}
+			if err := lv.Append(ev); err != nil {
+				return nil, fmt.Errorf("store: replaying %s line %d: %w", path, i+1, err)
+			}
+		}
+		lv.Sync()
+	}
+	if err := os.MkdirAll(s.liveDir(specName), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	e := &liveRun{lv: lv, f: f, path: path}
+	s.live[key] = e
+	return e, nil
+}
+
+func (s *Store) liveStatus(specName, runName string, lv *wfrun.Live) LiveStatus {
+	return LiveStatus{
+		Spec:   specName,
+		Run:    runName,
+		Events: lv.Events(),
+		Nodes:  lv.Nodes(),
+		Edges:  lv.Edges(),
+		Counts: lv.Counts(),
+	}
+}
+
+// AppendLiveEvents applies a batch of node-status events to a live
+// run, creating it on first touch. Events are validated one at a time:
+// on error, the events before the failing one remain applied and
+// persisted, and the returned status reflects them. A name already
+// present as a stored (completed) run is rejected with
+// ErrDuplicateRun.
+func (s *Store) AppendLiveEvents(specName, runName string, evs []wfrun.Event) (LiveStatus, error) {
+	if err := validName(specName); err != nil {
+		return LiveStatus{}, err
+	}
+	if err := validName(runName); err != nil {
+		return LiveStatus{}, err
+	}
+	if _, err := os.Stat(s.runPath(specName, runName)); err == nil {
+		return LiveStatus{}, fmt.Errorf("store: run %s/%s: %w", specName, runName, ErrDuplicateRun)
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	e, err := s.liveEntry(specName, runName, true)
+	if err != nil {
+		return LiveStatus{}, err
+	}
+	w := bufio.NewWriter(e.f)
+	for i, ev := range evs {
+		if err := e.lv.Append(ev); err != nil {
+			_ = w.Flush()
+			e.lv.Sync()
+			return s.liveStatus(specName, runName, e.lv), fmt.Errorf("store: event %d: %w", i, err)
+		}
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return s.liveStatus(specName, runName, e.lv), fmt.Errorf("store: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		return s.liveStatus(specName, runName, e.lv), fmt.Errorf("store: %w", err)
+	}
+	e.lv.Sync()
+	return s.liveStatus(specName, runName, e.lv), nil
+}
+
+// LiveStatusOf reports the state of one live run; ok is false when the
+// run has no live state.
+func (s *Store) LiveStatusOf(specName, runName string) (LiveStatus, bool, error) {
+	if err := validName(specName); err != nil {
+		return LiveStatus{}, false, err
+	}
+	if err := validName(runName); err != nil {
+		return LiveStatus{}, false, err
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	e, err := s.liveEntry(specName, runName, false)
+	if err != nil {
+		return LiveStatus{}, false, err
+	}
+	if e == nil {
+		return LiveStatus{}, false, nil
+	}
+	return s.liveStatus(specName, runName, e.lv), true, nil
+}
+
+// ListLiveRuns names every in-flight run of a specification, loaded or
+// only persisted.
+func (s *Store) ListLiveRuns(specName string) ([]string, error) {
+	if err := validName(specName); err != nil {
+		return nil, err
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	names := make(map[string]bool)
+	prefix := specName + "/"
+	for key := range s.live {
+		if strings.HasPrefix(key, prefix) {
+			names[strings.TrimPrefix(key, prefix)] = true
+		}
+	}
+	entries, err := os.ReadDir(s.liveDir(specName))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".events"); ok {
+			names[n] = true
+		}
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// CompleteLiveRun finishes a live run: the assembled tree is validated
+// against the specification, the run is imported through the bulk
+// group-commit path (snapshot + ledger + coalesced notification), and
+// the live state is dropped.
+func (s *Store) CompleteLiveRun(specName, runName string) (*wfrun.Run, error) {
+	if err := validName(specName); err != nil {
+		return nil, err
+	}
+	if err := validName(runName); err != nil {
+		return nil, err
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	e, err := s.liveEntry(specName, runName, false)
+	if err != nil {
+		return nil, err
+	}
+	if e == nil {
+		return nil, fmt.Errorf("store: no live run %s/%s: %w", specName, runName, os.ErrNotExist)
+	}
+	run, err := e.lv.Complete()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := wfxml.EncodeRun(&buf, run, runName); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.ImportParsed(specName, []ParsedRun{{Name: runName, XML: buf.Bytes(), Run: run}}); err != nil {
+		return nil, err
+	}
+	e.f.Close()
+	os.Remove(e.path)
+	delete(s.live, runKey(specName, runName))
+	return run, nil
+}
+
+// LiveCount reports how many live runs are loaded in memory — the
+// /metrics gauge. Persisted-but-unloaded runs are not counted until
+// something touches them.
+func (s *Store) LiveCount() int {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return len(s.live)
+}
+
+// AbandonLiveRun discards a live run's state and event log.
+func (s *Store) AbandonLiveRun(specName, runName string) error {
+	if err := validName(specName); err != nil {
+		return err
+	}
+	if err := validName(runName); err != nil {
+		return err
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	key := runKey(specName, runName)
+	e, ok := s.live[key]
+	if ok {
+		e.f.Close()
+		delete(s.live, key)
+	}
+	err := os.Remove(s.livePath(specName, runName))
+	if !ok && os.IsNotExist(err) {
+		return fmt.Errorf("store: no live run %s/%s: %w", specName, runName, os.ErrNotExist)
+	}
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

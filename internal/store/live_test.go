@@ -1,0 +1,158 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/wfrun"
+	"repro/internal/wfxml"
+)
+
+func seedLiveSpec(t *testing.T, dir string) (*Store, []wfrun.Event) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	sp, err := gen.RandomSpec(gen.SpecConfig{Edges: 10, SeriesRatio: 1.5, Forks: 1, Loops: 1}, rng)
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	if err := st.SaveSpec("s", sp); err != nil {
+		t.Fatalf("save spec: %v", err)
+	}
+	run, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return st, wfrun.Events(run)
+}
+
+func TestLiveRunLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	st, evs := seedLiveSpec(t, dir)
+
+	half := len(evs) / 2
+	status, err := st.AppendLiveEvents("s", "r1", evs[:half])
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if status.Events != half {
+		t.Fatalf("events = %d, want %d", status.Events, half)
+	}
+	if names, _ := st.ListLiveRuns("s"); len(names) != 1 || names[0] != "r1" {
+		t.Fatalf("live runs = %v, want [r1]", names)
+	}
+
+	// Reopen mid-run: the persisted event log replays.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	status2, ok, err := st2.LiveStatusOf("s", "r1")
+	if err != nil || !ok {
+		t.Fatalf("status after reopen: ok=%v err=%v", ok, err)
+	}
+	if status2.Events != half {
+		t.Fatalf("replayed events = %d, want %d", status2.Events, half)
+	}
+
+	if _, err := st2.AppendLiveEvents("s", "r1", evs[half:]); err != nil {
+		t.Fatalf("append rest: %v", err)
+	}
+	run, err := st2.CompleteLiveRun("s", "r1")
+	if err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if err := run.Validate(); err != nil {
+		t.Fatalf("completed run invalid: %v", err)
+	}
+
+	// Live state is gone; the run is a regular stored run whose XML
+	// re-parses to the same diffable content as the in-memory result.
+	if _, ok, _ := st2.LiveStatusOf("s", "r1"); ok {
+		t.Fatal("live state survived completion")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s", "live", "r1.events")); !os.IsNotExist(err) {
+		t.Fatalf("event log survived completion: %v", err)
+	}
+	if _, err := st2.LoadRun("s", "r1"); err != nil {
+		t.Fatalf("load completed run: %v", err)
+	}
+
+	// A second run imported normally diffs against the live-completed
+	// one identically from the warm cache and from a cold re-parse.
+	sp, _ := st2.LoadSpec("s")
+	lv := wfrun.NewLive(sp)
+	for _, ev := range evs {
+		if err := lv.Append(ev); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	other, err := lv.Complete()
+	if err != nil {
+		t.Fatalf("complete twin: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := wfxml.EncodeRun(&buf, other, "r2"); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := st2.ImportParsed("s", []ParsedRun{{Name: "r2", XML: buf.Bytes(), Run: other}}); err != nil {
+		t.Fatalf("import twin: %v", err)
+	}
+	warm, err := st2.Diff("s", "r1", "r2", cost.Unit{})
+	if err != nil {
+		t.Fatalf("warm diff: %v", err)
+	}
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("cold open: %v", err)
+	}
+	cold, err := st3.Diff("s", "r1", "r2", cost.Unit{})
+	if err != nil {
+		t.Fatalf("cold diff: %v", err)
+	}
+	if warm.Distance != cold.Distance {
+		t.Fatalf("warm/cold diffs differ: %v vs %v", warm.Distance, cold.Distance)
+	}
+
+	// Appending to a completed (stored) run name is a conflict.
+	if _, err := st2.AppendLiveEvents("s", "r1", evs[:1]); !errors.Is(err, ErrDuplicateRun) {
+		t.Fatalf("append to stored run = %v, want ErrDuplicateRun", err)
+	}
+}
+
+func TestLiveRunAbandonAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, evs := seedLiveSpec(t, dir)
+	if _, err := st.AppendLiveEvents("s", "r", evs[:3]); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := st.AbandonLiveRun("s", "r"); err != nil {
+		t.Fatalf("abandon: %v", err)
+	}
+	if _, ok, _ := st.LiveStatusOf("s", "r"); ok {
+		t.Fatal("live state survived abandon")
+	}
+	if err := st.AbandonLiveRun("s", "r"); err == nil {
+		t.Fatal("expected abandoning a missing run to fail")
+	}
+	if _, err := st.CompleteLiveRun("s", "missing"); err == nil {
+		t.Fatal("expected completing a missing run to fail")
+	}
+	// A bad event reports its index but keeps the prefix.
+	status, err := st.AppendLiveEvents("s", "r", []wfrun.Event{evs[0], {From: "zz", To: "qq"}})
+	if err == nil {
+		t.Fatal("expected a bad event to fail")
+	}
+	if status.Events != 1 {
+		t.Fatalf("events after partial batch = %d, want 1", status.Events)
+	}
+}

@@ -58,6 +58,9 @@ type Store struct {
 
 	mapMu    sync.Mutex
 	mappings map[string]*evolve.SpecMapping // "a\x00b" → spec mapping
+
+	liveMu sync.Mutex
+	live   map[string]*liveRun // "<spec>/<run>" → in-flight run state
 }
 
 // Open opens (creating if needed) a repository rooted at dir.
@@ -71,6 +74,7 @@ func Open(dir string) (*Store, error) {
 		runs:     make(map[string]*wfrun.Run),
 		snaps:    make(map[string]*snapState),
 		mappings: make(map[string]*evolve.SpecMapping),
+		live:     make(map[string]*liveRun),
 	}, nil
 }
 
