@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cli"
@@ -30,21 +31,51 @@ import (
 	"repro/internal/wfrun"
 )
 
+// stdout and stderr are swappable so the CLI tests can run the command
+// in-process and read what a user would see.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+// exitErr unwinds to run's recover with an exit code; fatal raises it
+// instead of calling os.Exit so tests get a return value.
+type exitErr struct{ code int }
+
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole command as a function: parse flags, load the
+// documents, print the diff, return the exit code.
+func run(args []string) (code int) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case exitErr:
+			code = r.code
+		default:
+			panic(r)
+		}
+	}()
+	fs := flag.NewFlagSet("pdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		specPath   = flag.String("spec", "", "specification XML file (required)")
-		fromPath   = flag.String("from", "", "source run XML file (required)")
-		toPath     = flag.String("to", "", "target run XML file (required)")
-		costName   = flag.String("cost", "unit", "cost model: unit, length, or power:EPS")
-		script     = flag.Bool("script", false, "print the minimum-cost edit script")
-		clusters   = flag.Int("clusters", -1, "print the composite-module rollup at this depth")
-		htmlOut    = flag.String("html", "", "write an HTML visualization to this file")
-		acrossPath = flag.String("across", "", "evolved specification XML: -to is a run of this version")
+		specPath   = fs.String("spec", "", "specification XML file (required)")
+		fromPath   = fs.String("from", "", "source run XML file (required)")
+		toPath     = fs.String("to", "", "target run XML file (required)")
+		costName   = fs.String("cost", "unit", "cost model: unit, length, or power:EPS")
+		script     = fs.Bool("script", false, "print the minimum-cost edit script")
+		clusters   = fs.Int("clusters", -1, "print the composite-module rollup at this depth")
+		htmlOut    = fs.String("html", "", "write an HTML visualization to this file")
+		acrossPath = fs.String("across", "", "evolved specification XML: -to is a run of this version")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *specPath == "" || *fromPath == "" || *toPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	model, err := cli.ParseCost(*costName)
 	if err != nil {
@@ -60,7 +91,7 @@ func main() {
 	}
 	if *acrossPath != "" {
 		crossDiff(sp, r1, *acrossPath, *toPath, model)
-		return
+		return 0
 	}
 	r2, err := cli.LoadRun(*toPath, sp)
 	if err != nil {
@@ -70,22 +101,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(d.Summary())
+	fmt.Fprint(stdout, d.Summary())
 	if *script {
-		fmt.Println("\nedit script:")
-		fmt.Print(d.Script.String())
+		fmt.Fprintln(stdout, "\nedit script:")
+		fmt.Fprint(stdout, d.Script.String())
 	}
 	if *clusters >= 0 {
-		fmt.Println()
-		fmt.Print(d.ClusterReport(*clusters))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, d.ClusterReport(*clusters))
 	}
 	if *htmlOut != "" {
 		page := d.HTML(fmt.Sprintf("pdiff: %s vs %s", *fromPath, *toPath))
 		if err := os.WriteFile(*htmlOut, []byte(page), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nwrote %s\n", *htmlOut)
+		fmt.Fprintf(stdout, "\nwrote %s\n", *htmlOut)
 	}
+	return 0
 }
 
 // crossDiff handles -across: compare a run of one spec version with a
@@ -108,16 +140,16 @@ func crossDiff(sp1 *spec.Spec, r1 *wfrun.Run, acrossPath, toPath string, model c
 		fatal(err)
 	}
 	st := m.Stats()
-	fmt.Printf("spec evolution: cost %g, %d modules survive, %d deleted, %d inserted\n",
+	fmt.Fprintf(stdout, "spec evolution: cost %g, %d modules survive, %d deleted, %d inserted\n",
 		m.Cost, st.MappedModules, st.DeletedModules, st.InsertedModules)
-	fmt.Printf("cross-version distance: %g (%s cost)\n", res.Distance, model.Name())
-	fmt.Printf("  data-driven change (run diff of projection): %g\n", res.EngineDistance)
-	fmt.Printf("  spec-forced change: dropped %g (%d regions), inserted %g (%d regions)\n",
+	fmt.Fprintf(stdout, "cross-version distance: %g (%s cost)\n", res.Distance, model.Name())
+	fmt.Fprintf(stdout, "  data-driven change (run diff of projection): %g\n", res.EngineDistance)
+	fmt.Fprintf(stdout, "  spec-forced change: dropped %g (%d regions), inserted %g (%d regions)\n",
 		res.Projection.DroppedCost, res.Projection.DroppedRegions,
 		res.Projection.InsertedCost, res.Projection.InsertedRegions)
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pdiff:", err)
-	os.Exit(1)
+	fmt.Fprintln(stderr, "pdiff:", err)
+	panic(exitErr{1})
 }

@@ -1,0 +1,161 @@
+package main
+
+// First tests for the pdiff CLI: the one-shot two-file diff a user
+// reaches for before standing up a repository, run in-process through
+// the real entry point.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/wfxml"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, out, errOut string) {
+	t.Helper()
+	var ob, eb bytes.Buffer
+	stdout, stderr = &ob, &eb
+	defer func() { stdout, stderr = os.Stdout, os.Stderr }()
+	return run(args), ob.String(), eb.String()
+}
+
+// fixtures renders the PA catalog spec and two runs into a directory.
+func fixtures(t *testing.T) (specPath, run1, run2 string) {
+	t.Helper()
+	dir := t.TempDir()
+	sp, err := gen.Catalog("PA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wfxml.EncodeSpec(&buf, sp, "pa"); err != nil {
+		t.Fatal(err)
+	}
+	specPath = filepath.Join(dir, "spec.xml")
+	if err := os.WriteFile(specPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	paths := []*string{&run1, &run2}
+	for i, p := range paths {
+		r, err := gen.RandomRun(sp, gen.DefaultRunParams(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		if err := wfxml.EncodeRun(&buf, r, fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		*p = filepath.Join(dir, fmt.Sprintf("r%d.xml", i))
+		if err := os.WriteFile(*p, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return specPath, run1, run2
+}
+
+func TestDiffHappyPath(t *testing.T) {
+	specPath, r1, r2 := fixtures(t)
+	code, out, errOut := runCLI(t, "-spec", specPath, "-from", r1, "-to", r2)
+	if code != 0 {
+		t.Fatalf("code %d, err %q", code, errOut)
+	}
+	if !strings.Contains(out, "distance") {
+		t.Fatalf("summary missing distance: %q", out)
+	}
+	// -script adds the edit script section on top of the summary.
+	code, scripted, _ := runCLI(t, "-spec", specPath, "-from", r1, "-to", r2, "-script")
+	if code != 0 || !strings.Contains(scripted, "edit script:") {
+		t.Fatalf("-script output: code %d %q", code, scripted)
+	}
+	if len(scripted) <= len(out) {
+		t.Fatal("-script printed nothing beyond the summary")
+	}
+	// Identical runs diff to distance 0.
+	code, same, _ := runCLI(t, "-spec", specPath, "-from", r1, "-to", r1)
+	if code != 0 || !strings.Contains(same, "distance") {
+		t.Fatalf("self diff: code %d %q", code, same)
+	}
+	// -clusters prints the composite-module rollup at the given depth.
+	code, rolled, errOut := runCLI(t, "-spec", specPath, "-from", r1, "-to", r2, "-clusters", "1")
+	if code != 0 {
+		t.Fatalf("-clusters: code %d err %q", code, errOut)
+	}
+	if len(rolled) <= len(out) {
+		t.Fatal("-clusters printed nothing beyond the summary")
+	}
+}
+
+// TestCrossVersionDiff drives -across with the same specification as
+// both versions: the evolution mapping is the identity, so the whole
+// distance is data-driven and none is spec-forced.
+func TestCrossVersionDiff(t *testing.T) {
+	specPath, r1, r2 := fixtures(t)
+	code, out, errOut := runCLI(t, "-spec", specPath, "-from", r1, "-to", r2, "-across", specPath)
+	if code != 0 {
+		t.Fatalf("code %d, err %q", code, errOut)
+	}
+	for _, want := range []string{"cross-version", "data-driven", "spec-forced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cross diff output missing %q: %q", want, out)
+		}
+	}
+	// A nonexistent evolved spec fails cleanly, naming the file.
+	code, _, errOut = runCLI(t, "-spec", specPath, "-from", r1, "-to", r2, "-across", specPath+".nope")
+	if code != 1 || !strings.Contains(errOut, "loading") {
+		t.Fatalf("missing across spec: code %d err %q", code, errOut)
+	}
+}
+
+func TestHTMLOutput(t *testing.T) {
+	specPath, r1, r2 := fixtures(t)
+	htmlPath := filepath.Join(t.TempDir(), "diff.html")
+	code, out, errOut := runCLI(t, "-spec", specPath, "-from", r1, "-to", r2, "-html", htmlPath)
+	if code != 0 {
+		t.Fatalf("code %d, err %q", code, errOut)
+	}
+	if !strings.Contains(out, "wrote "+htmlPath) {
+		t.Fatalf("no write confirmation: %q", out)
+	}
+	page, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(page, []byte("<html")) {
+		t.Fatalf("not an HTML page: %.80s", page)
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	specPath, r1, r2 := fixtures(t)
+	tests := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"missing required flags", []string{"-spec", specPath}, 2, "Usage"},
+		{"unknown flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"bad cost model", []string{"-spec", specPath, "-from", r1, "-to", r2, "-cost", "bogus"}, 1, "cost"},
+		{"metric-violating epsilon", []string{"-spec", specPath, "-from", r1, "-to", r2, "-cost", "power:2"}, 1, "power"},
+		{"missing run file", []string{"-spec", specPath, "-from", specPath + ".nope", "-to", r2}, 1, "no such file"},
+		{"spec as run", []string{"-spec", specPath, "-from", specPath, "-to", r2}, 1, "loading"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runCLI(t, tc.args...)
+			if code != tc.wantCode {
+				t.Fatalf("code = %d, want %d (out %q err %q)", code, tc.wantCode, out, errOut)
+			}
+			if !strings.Contains(errOut, tc.wantErr) {
+				t.Fatalf("stderr %q does not mention %q", errOut, tc.wantErr)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@
 // differencing engines and parsed runs warm across requests:
 //
 //	provserved -dir DIR [-addr :8077] [-cache 512] [-demo N] [-seed S] [-preload=true]
+//	           [-backend fs|memory|object] [-shards N]
 //	           [-index-threshold N] [-landmarks M]
 //	           [-ingest-queue 1024] [-ingest-batch 64] [-ingest-maxwait 0]
 //	           [-timing-log FILE]
@@ -41,6 +42,11 @@
 // optional linger window for batching under bursty async load (0
 // commits as soon as the queue drains).
 //
+// -backend selects the storage engine (a local directory tree, an
+// in-memory store for ephemeral demos, or a content-addressed
+// object-store layout) and -shards N spreads tenant specs across N
+// such backends under DIR/shard-0..shard-(N-1) by consistent hashing.
+//
 // -demo N seeds an empty repository with the paper's protein
 // annotation workflow ("demo") and N random runs, plus a mutated,
 // lineage-linked version "demo-v2" with N runs of its own, so a fresh
@@ -74,6 +80,8 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8077", "listen address")
 		dir     = flag.String("dir", "provstore", "repository directory")
+		backend = flag.String("backend", "fs", "storage backend: fs, memory or object")
+		shards  = flag.Int("shards", 1, "shard the repository across N backends under DIR/shard-i")
 		cache   = flag.Int("cache", server.DefaultCacheSize, "diff-result LRU capacity (0 disables)")
 		demo    = flag.Int("demo", 0, "seed a 'demo' spec with N generated runs if absent")
 		seed    = flag.Int64("seed", 1, "random seed for -demo run generation")
@@ -86,10 +94,11 @@ func main() {
 		timing  = flag.String("timing-log", "", "append per-request stage timings as CSV to this file")
 	)
 	flag.Parse()
-	st, err := store.Open(*dir)
+	st, err := store.OpenRepository(*dir, *backend, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer st.Close()
 	if *demo > 0 {
 		if err := seedDemo(st, *demo, *seed); err != nil {
 			log.Fatal(err)

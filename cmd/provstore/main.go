@@ -17,6 +17,11 @@
 //	provstore -dir DIR outliers NAME [-k 3] [-cost unit] [-indexed|-exact]
 //	provstore -dir DIR nearest NAME RUN [-k 5] [-cost unit] [-indexed|-exact]
 //
+// Every subcommand also honors -backend fs|memory|object (the storage
+// engine under DIR) and -shards N (spread tenant specs across N such
+// backends under DIR/shard-0..shard-(N-1) by consistent hashing) —
+// the same repository layouts provserved serves.
+//
 // "import-dir" bulk-imports every *.xml file of a directory as runs
 // (named by filename) in one pass: parallel parse, one snapshot
 // append, one coalesced change notification. "export" writes a spec
@@ -49,6 +54,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -64,18 +70,52 @@ import (
 	"repro/internal/wfrun"
 )
 
+// stdout and stderr are the command's output streams, swappable so
+// the CLI tests can run subcommands in-process and read what a user
+// would see.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+// exitErr unwinds a subcommand to run's recover with an exit code;
+// fatal and usage raise it instead of calling os.Exit so tests get a
+// return value, not a dead process.
+type exitErr struct{ code int }
+
 func main() {
-	var dir string
-	flag.StringVar(&dir, "dir", "provstore", "repository directory")
-	flag.Parse()
-	args := flag.Args()
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole CLI as a function: parse flags, open the
+// repository, dispatch the subcommand, return the exit code.
+func run(args []string) (code int) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case exitErr:
+			code = r.code
+		default:
+			panic(r)
+		}
+	}()
+	fs := flag.NewFlagSet("provstore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "provstore", "repository directory")
+	backend := fs.String("backend", "fs", "storage backend: fs, memory or object")
+	shards := fs.Int("shards", 1, "shard the repository across N backends under DIR/shard-i")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	args = fs.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	st, err := store.Open(dir)
+	st, err := store.OpenRepository(*dir, *backend, *shards)
 	if err != nil {
 		fatal(err)
 	}
+	defer st.Close()
 	switch args[0] {
 	case "import-spec":
 		importSpec(st, args[1:])
@@ -110,16 +150,17 @@ func main() {
 	default:
 		usage()
 	}
+	return 0
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: provstore -dir DIR import-spec|import-run|import-dir|export|snapshot|verify|gen-run|ls|put-version|evolve|diff|matrix|cluster|outliers|nearest ...")
-	os.Exit(2)
+	fmt.Fprintln(stderr, "usage: provstore [-dir DIR] [-backend fs|memory|object] [-shards N] import-spec|import-run|import-dir|export|snapshot|verify|gen-run|ls|put-version|evolve|diff|matrix|cluster|outliers|nearest ...")
+	panic(exitErr{2})
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "provstore:", err)
-	os.Exit(1)
+	fmt.Fprintln(stderr, "provstore:", err)
+	panic(exitErr{1})
 }
 
 func importSpec(st *store.Store, args []string) {
@@ -134,7 +175,7 @@ func importSpec(st *store.Store, args []string) {
 		fatal(err)
 	}
 	stats := sp.Stats()
-	fmt.Printf("stored %s: |V|=%d |E|=%d forks=%d loops=%d\n",
+	fmt.Fprintf(stdout, "stored %s: |V|=%d |E|=%d forks=%d loops=%d\n",
 		args[0], stats.V, stats.E, stats.Forks, stats.Loops)
 }
 
@@ -153,11 +194,11 @@ func importRun(st *store.Store, args []string) {
 	if err := st.SaveRun(args[0], args[1], r); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("stored %s/%s: %d nodes, %d edges\n", args[0], args[1], r.NumNodes(), r.NumEdges())
+	fmt.Fprintf(stdout, "stored %s/%s: %d nodes, %d edges\n", args[0], args[1], r.NumNodes(), r.NumEdges())
 }
 
 func importDir(st *store.Store, args []string) {
-	fs := flag.NewFlagSet("import-dir", flag.ExitOnError)
+	fs := flag.NewFlagSet("import-dir", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "parallel parse workers (0 = all cores)")
 	if len(args) < 2 {
 		fatal(fmt.Errorf("import-dir SPEC DIR [flags]"))
@@ -169,7 +210,7 @@ func importDir(st *store.Store, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("imported %d runs into %s (%d nodes, %d edges)\n",
+	fmt.Fprintf(stdout, "imported %d runs into %s (%d nodes, %d edges)\n",
 		len(stats.Imported), args[0], stats.Nodes, stats.Edges)
 }
 
@@ -177,7 +218,7 @@ func export(st *store.Store, args []string) {
 	if len(args) != 2 {
 		fatal(fmt.Errorf("export SPEC OUT.tar (or - for stdout)"))
 	}
-	out := os.Stdout
+	var out io.Writer = stdout
 	if args[1] != "-" {
 		f, err := os.Create(args[1])
 		if err != nil {
@@ -191,7 +232,7 @@ func export(st *store.Store, args []string) {
 	}
 	if args[1] != "-" {
 		runs, _ := st.ListRuns(args[0])
-		fmt.Printf("exported %s (%d runs) to %s\n", args[0], len(runs), args[1])
+		fmt.Fprintf(stdout, "exported %s (%d runs) to %s\n", args[0], len(runs), args[1])
 	}
 }
 
@@ -209,7 +250,7 @@ func snapshot(st *store.Store, args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s: %d runs snapshotted (%d written, %d fresh, %d live bytes)\n",
+		fmt.Fprintf(stdout, "%s: %d runs snapshotted (%d written, %d fresh, %d live bytes)\n",
 			name, stats.Runs, stats.Written, stats.Fresh, stats.LiveBytes)
 	}
 }
@@ -232,23 +273,23 @@ func verify(st *store.Store, args []string) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Printf("%s: %d batches, head %s\n", name, heads[name].Batches, heads[name].Head)
+		fmt.Fprintf(stdout, "%s: %d batches, head %s\n", name, heads[name].Batches, heads[name].Head)
 	}
-	fmt.Printf("repository root %s\n", root)
-	fmt.Printf("verified %d specs, %d batches, %d runs\n", report.Specs, report.Batches, report.Runs)
+	fmt.Fprintf(stdout, "repository root %s\n", root)
+	fmt.Fprintf(stdout, "verified %d specs, %d batches, %d runs\n", report.Specs, report.Batches, report.Runs)
 	if !report.OK() {
 		for _, issue := range report.Issues {
-			fmt.Fprintln(os.Stderr, "provstore: DIVERGENT", issue.String())
+			fmt.Fprintln(stderr, "provstore: DIVERGENT", issue.String())
 		}
-		fmt.Fprintf(os.Stderr, "provstore: first divergent batch: spec %s batch %d\n",
+		fmt.Fprintf(stderr, "provstore: first divergent batch: spec %s batch %d\n",
 			report.Issues[0].Spec, report.Issues[0].Batch)
-		os.Exit(1)
+		panic(exitErr{1})
 	}
-	fmt.Println("ledger OK")
+	fmt.Fprintln(stdout, "ledger OK")
 }
 
 func genRun(st *store.Store, args []string) {
-	fs := flag.NewFlagSet("gen-run", flag.ExitOnError)
+	fs := flag.NewFlagSet("gen-run", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed")
 	target := fs.Int("target", 0, "approximate run size in edges (0 = unconstrained)")
 	if len(args) < 2 {
@@ -274,7 +315,7 @@ func genRun(st *store.Store, args []string) {
 	if err := st.SaveRun(args[0], args[1], r); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("generated %s/%s: %d nodes, %d edges\n", args[0], args[1], r.NumNodes(), r.NumEdges())
+	fmt.Fprintf(stdout, "generated %s/%s: %d nodes, %d edges\n", args[0], args[1], r.NumNodes(), r.NumEdges())
 }
 
 func list(st *store.Store, args []string) {
@@ -285,7 +326,7 @@ func list(st *store.Store, args []string) {
 		}
 		for _, s := range specs {
 			runs, _ := st.ListRuns(s)
-			fmt.Printf("%s\t%d runs\n", s, len(runs))
+			fmt.Fprintf(stdout, "%s\t%d runs\n", s, len(runs))
 		}
 		return
 	}
@@ -294,7 +335,7 @@ func list(st *store.Store, args []string) {
 		fatal(err)
 	}
 	for _, r := range runs {
-		fmt.Println(r)
+		fmt.Fprintln(stdout, r)
 	}
 }
 
@@ -317,7 +358,7 @@ func putVersion(st *store.Store, args []string) {
 		fatal(err)
 	}
 	stats := m.Stats()
-	fmt.Printf("stored %s as version of %s: mapping cost %g, %d modules survive (%d renamed), %d inserted, %d deleted\n",
+	fmt.Fprintf(stdout, "stored %s as version of %s: mapping cost %g, %d modules survive (%d renamed), %d inserted, %d deleted\n",
 		args[1], args[0], m.Cost, stats.MappedModules, stats.RenamedModules,
 		stats.InsertedModules, stats.DeletedModules)
 }
@@ -325,7 +366,7 @@ func putVersion(st *store.Store, args []string) {
 // evolveCmd prints the spec-evolution mapping between two stored
 // specification versions.
 func evolveCmd(st *store.Store, args []string) {
-	fs := flag.NewFlagSet("evolve", flag.ExitOnError)
+	fs := flag.NewFlagSet("evolve", flag.ContinueOnError)
 	svgOut := fs.String("svg", "", "write the side-by-side overlay SVG to this file")
 	if len(args) < 2 {
 		fatal(fmt.Errorf("evolve SPEC_A SPEC_B [flags]"))
@@ -342,10 +383,10 @@ func evolveCmd(st *store.Store, args []string) {
 	if linked {
 		link = "lineage-linked"
 	}
-	fmt.Printf("%s -> %s (%s)\n", args[0], args[1], link)
-	fmt.Printf("mapping cost: %g\n", m.Cost)
-	fmt.Printf("nodes: %d -> %d (%d mapped)\n", stats.ANodes, stats.BNodes, stats.Mapped)
-	fmt.Printf("modules: %d mapped (%d renamed), %d deleted, %d inserted; %d combinators restructured\n",
+	fmt.Fprintf(stdout, "%s -> %s (%s)\n", args[0], args[1], link)
+	fmt.Fprintf(stdout, "mapping cost: %g\n", m.Cost)
+	fmt.Fprintf(stdout, "nodes: %d -> %d (%d mapped)\n", stats.ANodes, stats.BNodes, stats.Mapped)
+	fmt.Fprintf(stdout, "modules: %d mapped (%d renamed), %d deleted, %d inserted; %d combinators restructured\n",
 		stats.MappedModules, stats.RenamedModules, stats.DeletedModules, stats.InsertedModules, stats.RetypedInternals)
 	var renamed []string
 	for a, b := range m.MappedModules() {
@@ -355,7 +396,7 @@ func evolveCmd(st *store.Store, args []string) {
 	}
 	sort.Strings(renamed)
 	for _, line := range renamed {
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 	}
 	if *svgOut != "" {
 		keptA := make(map[graph.Edge]bool)
@@ -369,12 +410,12 @@ func evolveCmd(st *store.Store, args []string) {
 		if err := os.WriteFile(*svgOut, []byte(svg), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *svgOut)
+		fmt.Fprintf(stdout, "wrote %s\n", *svgOut)
 	}
 }
 
 func diff(st *store.Store, args []string) {
-	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 	costName := fs.String("cost", "unit", "cost model")
 	script := fs.Bool("script", false, "print the edit script")
 	across := fs.String("across", "", "second spec: RUN2 belongs to this lineage-linked version")
@@ -402,12 +443,12 @@ func diff(st *store.Store, args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("cross-version distance %s/%s -> %s/%s: %g (%s cost)\n",
+		fmt.Fprintf(stdout, "cross-version distance %s/%s -> %s/%s: %g (%s cost)\n",
 			args[0], args[1], *across, args[2], res.Distance, model.Name())
-		fmt.Printf("  run-diff distance (projected): %g\n", res.EngineDistance)
-		fmt.Printf("  dropped by evolution: %g (%d regions)\n", res.Projection.DroppedCost, res.Projection.DroppedRegions)
-		fmt.Printf("  inserted by evolution: %g (%d regions)\n", res.Projection.InsertedCost, res.Projection.InsertedRegions)
-		fmt.Printf("  spec mapping cost: %g\n", res.Mapping.Cost)
+		fmt.Fprintf(stdout, "  run-diff distance (projected): %g\n", res.EngineDistance)
+		fmt.Fprintf(stdout, "  dropped by evolution: %g (%d regions)\n", res.Projection.DroppedCost, res.Projection.DroppedRegions)
+		fmt.Fprintf(stdout, "  inserted by evolution: %g (%d regions)\n", res.Projection.InsertedCost, res.Projection.InsertedRegions)
+		fmt.Fprintf(stdout, "  spec mapping cost: %g\n", res.Mapping.Cost)
 		return
 	}
 	r1, err := st.LoadRun(args[0], args[1])
@@ -422,15 +463,15 @@ func diff(st *store.Store, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(d.Summary())
+	fmt.Fprint(stdout, d.Summary())
 	if *script {
-		fmt.Println("\nedit script (with detected path replacements):")
-		fmt.Print(view.RenderCompact(d.Script))
+		fmt.Fprintln(stdout, "\nedit script (with detected path replacements):")
+		fmt.Fprint(stdout, view.RenderCompact(d.Script))
 	}
 }
 
 func matrix(st *store.Store, args []string) {
-	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
 	costName := fs.String("cost", "unit", "cost model")
 	if len(args) < 1 {
 		fatal(fmt.Errorf("matrix SPEC [flags]"))
@@ -453,11 +494,11 @@ func matrix(st *store.Store, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(mx)
-	fmt.Printf("medoid:  %s\n", names[mx.Medoid()])
-	fmt.Printf("outlier: %s\n\n", names[mx.Outlier()])
-	fmt.Println("clustering:")
-	fmt.Print(mx.Cluster().Render())
+	fmt.Fprintln(stdout, mx)
+	fmt.Fprintf(stdout, "medoid:  %s\n", names[mx.Medoid()])
+	fmt.Fprintf(stdout, "outlier: %s\n\n", names[mx.Outlier()])
+	fmt.Fprintln(stdout, "clustering:")
+	fmt.Fprint(stdout, mx.Cluster().Render())
 }
 
 // cohortMatrix computes the distance matrix over all stored runs,
@@ -482,7 +523,7 @@ func cohortMatrix(st *store.Store, specName, costName string, minRuns int) *anal
 }
 
 func clusterCmd(st *store.Store, args []string) {
-	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
 	costName := fs.String("cost", "unit", "cost model")
 	k := fs.Int("k", 2, "number of clusters")
 	seed := fs.Int64("seed", 1, "initialization seed")
@@ -504,7 +545,7 @@ func clusterCmd(st *store.Store, args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("sampled k-medoids over %d runs (k=%d, total distance %g):\n",
+		fmt.Fprintf(stdout, "sampled k-medoids over %d runs (k=%d, total distance %g):\n",
 			co.Len(), cl.K, cl.Cost)
 		printClusters(cl, co.Labels())
 		printIndexStats(ix)
@@ -515,7 +556,7 @@ func clusterCmd(st *store.Store, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("k-medoids over %d runs (k=%d, total distance %g, silhouette %.3f):\n",
+	fmt.Fprintf(stdout, "k-medoids over %d runs (k=%d, total distance %g, silhouette %.3f):\n",
 		len(mx.Labels), cl.K, cl.Cost, cl.Silhouette)
 	printClusters(cl, mx.Labels)
 }
@@ -524,19 +565,19 @@ func clusterCmd(st *store.Store, args []string) {
 // cluster, medoids starred.
 func printClusters(cl *cluster.Clustering, labels []string) {
 	for c := 0; c < cl.K; c++ {
-		fmt.Printf("  cluster %d  medoid %s\n", c, labels[cl.Medoids[c]])
+		fmt.Fprintf(stdout, "  cluster %d  medoid %s\n", c, labels[cl.Medoids[c]])
 		for _, i := range cl.Members(c) {
 			marker := " "
 			if i == cl.Medoids[c] {
 				marker = "*"
 			}
-			fmt.Printf("    %s %s\n", marker, labels[i])
+			fmt.Fprintf(stdout, "    %s %s\n", marker, labels[i])
 		}
 	}
 }
 
 func outliersCmd(st *store.Store, args []string) {
-	fs := flag.NewFlagSet("outliers", flag.ExitOnError)
+	fs := flag.NewFlagSet("outliers", flag.ContinueOnError)
 	costName := fs.String("cost", "unit", "cost model")
 	k := fs.Int("k", 3, "neighbors per score")
 	indexed := fs.Bool("indexed", false, "force the metric-index path")
@@ -557,9 +598,9 @@ func outliersCmd(st *store.Store, args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-20s %10s\n", "run", "knn-score")
+		fmt.Fprintf(stdout, "%-20s %10s\n", "run", "knn-score")
 		for _, s := range scores {
-			fmt.Printf("%-20s %10.3f\n", co.Label(s.Index), s.Score)
+			fmt.Fprintf(stdout, "%-20s %10.3f\n", co.Label(s.Index), s.Score)
 		}
 		printIndexStats(ix)
 		return
@@ -569,14 +610,14 @@ func outliersCmd(st *store.Store, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-20s %10s %10s\n", "run", "knn-score", "mean-all")
+	fmt.Fprintf(stdout, "%-20s %10s %10s\n", "run", "knn-score", "mean-all")
 	for _, s := range scores {
-		fmt.Printf("%-20s %10.3f %10.3f\n", mx.Labels[s.Index], s.Score, s.MeanAll)
+		fmt.Fprintf(stdout, "%-20s %10.3f %10.3f\n", mx.Labels[s.Index], s.Score, s.MeanAll)
 	}
 }
 
 func nearestCmd(st *store.Store, args []string) {
-	fs := flag.NewFlagSet("nearest", flag.ExitOnError)
+	fs := flag.NewFlagSet("nearest", flag.ContinueOnError)
 	costName := fs.String("cost", "unit", "cost model")
 	k := fs.Int("k", 5, "neighbors to report")
 	indexed := fs.Bool("indexed", false, "force the metric-index path")
@@ -601,9 +642,9 @@ func nearestCmd(st *store.Store, args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("nearest neighbors of %s/%s:\n", args[0], args[1])
+		fmt.Fprintf(stdout, "nearest neighbors of %s/%s:\n", args[0], args[1])
 		for _, n := range nn {
-			fmt.Printf("  %-20s %g\n", co.Label(n.Index), n.Distance)
+			fmt.Fprintf(stdout, "  %-20s %g\n", co.Label(n.Index), n.Distance)
 		}
 		printIndexStats(ix)
 		return
@@ -623,9 +664,9 @@ func nearestCmd(st *store.Store, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("nearest neighbors of %s/%s:\n", args[0], args[1])
+	fmt.Fprintf(stdout, "nearest neighbors of %s/%s:\n", args[0], args[1])
 	for _, n := range nn {
-		fmt.Printf("  %-20s %g\n", mx.Labels[n.Index], n.Distance)
+		fmt.Fprintf(stdout, "  %-20s %g\n", mx.Labels[n.Index], n.Distance)
 	}
 }
 
@@ -684,6 +725,6 @@ func printIndexStats(ix *metricindex.Index) {
 	if total == 0 {
 		return
 	}
-	fmt.Printf("index: %d exact diffs, %d pruned (%.1f%% of %d candidate pairs), %d landmarks\n",
+	fmt.Fprintf(stdout, "index: %d exact diffs, %d pruned (%.1f%% of %d candidate pairs), %d landmarks\n",
 		exact, pruned, 100*float64(pruned)/float64(total), total, ix.Landmarks())
 }

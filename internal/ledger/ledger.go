@@ -20,13 +20,11 @@
 package ledger
 
 import (
-	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 )
 
@@ -271,17 +269,27 @@ func (r Record) Check(prev Hash) error {
 	return nil
 }
 
+// MarshalRecord renders a record as the exact newline-terminated JSON
+// line Append would write — the building block for stores that append
+// through their own storage backend instead of the local filesystem.
+func MarshalRecord(rec Record) ([]byte, error) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
 // Append writes the record as one JSON line at the end of the log,
 // fsyncing when durable. The write is a single O_APPEND write of a
 // complete line, so concurrent readers see either the old log or the
 // old log plus one whole record — and a crash mid-write leaves a torn
 // final line that ReadLog discards.
 func Append(path string, rec Record, durable bool) error {
-	line, err := json.Marshal(rec)
+	line, err := MarshalRecord(rec)
 	if err != nil {
 		return err
 	}
-	line = append(line, '\n')
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -306,38 +314,47 @@ func Append(path string, rec Record, durable bool) error {
 // verifier can report the first divergent batch while an appender can
 // still continue the chain from the last good record.
 func ReadLog(path string) ([]Record, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
 		}
 		return nil, err
 	}
-	defer f.Close()
+	recs, _, err := ParseLog(data)
+	return recs, err
+}
 
-	var recs []Record
-	r := bufio.NewReaderSize(f, 64<<10)
-	for lineNo := 1; ; lineNo++ {
-		line, err := r.ReadBytes('\n')
-		if err == io.EOF {
-			if len(bytes.TrimSpace(line)) > 0 {
-				// Torn tail: an append that never completed. Not tampering.
-				return recs, nil
-			}
-			return recs, nil
+// ParseLog parses an in-memory ledger log. Alongside the records it
+// returns the byte length of the cleanly parsed prefix — every
+// complete, well-formed line. A torn final line (no terminating
+// newline: a crash mid-append) is dropped without error and excluded
+// from the prefix, so an appender can truncate the log back to valid
+// before continuing the chain — appending after torn bytes would weld
+// them onto the next record and turn crash debris into what looks like
+// tampering. A malformed line that IS newline-terminated is returned
+// as an error, exactly as in ReadLog.
+func ParseLog(data []byte) (recs []Record, valid int, err error) {
+	for pos, lineNo := 0, 1; pos < len(data); lineNo++ {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			// Torn tail: an append that never completed. Not tampering.
+			return recs, valid, nil
 		}
-		if err != nil {
-			return recs, err
-		}
+		line := data[pos : pos+nl]
+		pos += nl + 1
 		if len(bytes.TrimSpace(line)) == 0 {
+			valid = pos
 			continue
 		}
 		var rec Record
 		if uerr := json.Unmarshal(line, &rec); uerr != nil {
-			return recs, fmt.Errorf("ledger: record at line %d malformed: %w", lineNo, uerr)
+			return recs, valid, fmt.Errorf("ledger: record at line %d malformed: %w", lineNo, uerr)
 		}
 		recs = append(recs, rec)
+		valid = pos
 	}
+	return recs, valid, nil
 }
 
 // VerifyChain checks seq contiguity, chaining and per-record roots

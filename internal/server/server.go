@@ -599,6 +599,13 @@ type ledgerStats struct {
 	Specs    map[string]store.SpecLedger `json:"specs"`
 }
 
+// storageStats names the storage backend the repository runs on and,
+// when it is sharded, each shard's placement and traffic counters.
+type storageStats struct {
+	Backend string             `json:"backend"`
+	Shards  []store.ShardStats `json:"shards,omitempty"`
+}
+
 type statsPayload struct {
 	UptimeSeconds  float64          `json:"uptime_seconds"`
 	Requests       map[string]int64 `json:"requests"`
@@ -609,6 +616,7 @@ type statsPayload struct {
 	CohortMatrices int              `json:"cohort_matrices"`
 	MetricIndex    metricIndexStats `json:"metric_index"`
 	Ledger         ledgerStats      `json:"ledger"`
+	Storage        storageStats     `json:"storage"`
 }
 
 // Stats snapshots the service counters (also served at /stats).
@@ -678,6 +686,7 @@ func (s *Server) Stats() statsPayload {
 		MetricIndex:    mi,
 		Ingest:         ig,
 		Ledger:         ls,
+		Storage:        storageStats{Backend: s.st.BackendKind(), Shards: s.st.ShardStats()},
 		Errors:         s.errCount.Load(),
 		Cache:          s.cache.snapshot(),
 		Engines:        es,

@@ -55,7 +55,7 @@ type ImportStats struct {
 // pass: every document is parsed and derived concurrently (workers
 // goroutines; <= 0 means GOMAXPROCS), written as authoritative XML,
 // snapshotted into the segment, and published to the parsed-run cache
-// — the parse happened from exactly the bytes now on disk, so the
+// — the parse happened from exactly the bytes now stored, so the
 // cache invariant ("only ever serve what a fresh parse would
 // produce") holds without eviction.
 //
@@ -138,7 +138,7 @@ func (s *Store) ImportRuns(specName string, runs []RunData, workers int) (Import
 // ImportParsed is the group-commit half of the bulk import, shared
 // with the server's ingest pipeline: runs that are already parsed
 // (each Run decoded from exactly its XML bytes) are written as
-// authoritative XML, snapshotted in ONE fsynced segment append + ONE
+// authoritative XML, snapshotted in ONE synced segment append + ONE
 // manifest save, published to the parsed-run cache, and announced
 // with ONE coalesced OnRunsBulkChange notification — the per-run
 // OnRunChange hooks do not fire.
@@ -171,21 +171,19 @@ func (s *Store) ImportParsed(specName string, runs []ParsedRun) (ImportStats, er
 	if _, err := s.LoadSpec(specName); err != nil {
 		return stats, err
 	}
-	if err := os.MkdirAll(s.runsDir(specName), 0o755); err != nil {
-		return stats, fmt.Errorf("store: %w", err)
-	}
 	batch := make([]snapBatchItem, 0, len(runs))
 	for _, pr := range runs {
-		path := s.runPath(specName, pr.Name)
-		if err := os.WriteFile(path, pr.XML, 0o644); err != nil {
-			// A failed write may have left a truncated document; remove
-			// it so the run cannot poison later listings and cohorts.
-			os.Remove(path)
+		key := runXMLKey(specName, pr.Name)
+		if err := s.be.WriteFile(key, pr.XML); err != nil {
+			// WriteFile is atomic, but stay defensive: drop whatever the
+			// backend may have left so the run cannot poison later
+			// listings and cohorts.
+			_ = s.be.Remove(key)
 			return s.bulkAbort(stats, specName, batch, err)
 		}
 		fp, err := s.fingerprintXML(specName, pr.Name, pr.XML)
 		if err != nil {
-			os.Remove(path)
+			_ = s.be.Remove(key)
 			return s.bulkAbort(stats, specName, batch, fmt.Errorf("store: %w", err))
 		}
 		batch = append(batch, snapBatchItem{name: pr.Name, run: pr.Run, fp: fp})
@@ -196,16 +194,16 @@ func (s *Store) ImportParsed(specName string, runs []ParsedRun) (ImportStats, er
 		stats.Nodes += pr.Run.NumNodes()
 		stats.Edges += pr.Run.NumEdges()
 	}
-	// The segment append is fsynced: for pipeline clients the batch
+	// The segment append is synced: for pipeline clients the batch
 	// commit IS the durability point they were promised. Snapshot
-	// failures stay best-effort (the XML on disk is authoritative).
+	// failures stay best-effort (the stored XML is authoritative).
 	stats.Hashes, _ = s.writeRunSnapshotBatch(specName, batch, true)
 	s.notifyBulkChange(specName, stats.Imported)
 	return stats, nil
 }
 
 // bulkAbort reports a mid-write failure. Runs already fully written
-// stay on disk (they are individually valid); their snapshots are
+// stay stored (they are individually valid); their snapshots are
 // written and one coalesced notification covers them so subscribers
 // cannot miss the partial import.
 func (s *Store) bulkAbort(stats ImportStats, specName string, batch []snapBatchItem, err error) (ImportStats, error) {
@@ -216,13 +214,10 @@ func (s *Store) bulkAbort(stats ImportStats, specName string, batch []snapBatchI
 	return stats, err
 }
 
-func (s *Store) runsDir(specName string) string {
-	return filepath.Join(s.specDir(specName), "runs")
-}
-
-// ImportDir bulk-imports every *.xml file of a directory as runs of a
-// specification, named by base filename. The provstore import-dir
-// subcommand is a thin wrapper over this.
+// ImportDir bulk-imports every *.xml file of a local directory as runs
+// of a specification, named by base filename. The directory is
+// EXTERNAL input (the provstore import-dir subcommand), so it is read
+// with plain os calls regardless of the repository's backend.
 func (s *Store) ImportDir(specName, dir string, workers int) (ImportStats, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -261,8 +256,8 @@ func (s *Store) ExportSpec(specName string, runNames []string, w io.Writer) erro
 		}
 	}
 	tw := tar.NewWriter(w)
-	addFile := func(name, src string) error {
-		data, err := os.ReadFile(src)
+	addFile := func(name, key string) error {
+		data, err := s.be.ReadFile(key)
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -280,14 +275,14 @@ func (s *Store) ExportSpec(specName string, runNames []string, w io.Writer) erro
 		}
 		return nil
 	}
-	if err := addFile("spec.xml", s.specPath(specName)); err != nil {
+	if err := addFile("spec.xml", specXMLKey(specName)); err != nil {
 		return err
 	}
 	for _, name := range runNames {
 		if err := validName(name); err != nil {
 			return err
 		}
-		if err := addFile("runs/"+name+".xml", s.runPath(specName, name)); err != nil {
+		if err := addFile("runs/"+name+".xml", runXMLKey(specName, name)); err != nil {
 			return err
 		}
 	}
@@ -297,7 +292,7 @@ func (s *Store) ExportSpec(specName string, runNames []string, w io.Writer) erro
 // ReadRunTar collects run documents from a tar stream: every regular
 // *.xml entry except spec.xml becomes a run named by its base
 // filename. Entry names are validated before they can touch the
-// filesystem; maxRun bounds a single document and maxTotal the whole
+// repository; maxRun bounds a single document and maxTotal the whole
 // stream.
 func ReadRunTar(r io.Reader, maxRun, maxTotal int64) ([]RunData, error) {
 	tr := tar.NewReader(r)

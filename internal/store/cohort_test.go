@@ -38,11 +38,7 @@ func seedCohort(t *testing.T, n int) (*Store, []string) {
 			t.Fatal(err)
 		}
 	}
-	s2, err := Open(sRoot(s))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s2, names
+	return reopenStore(s), names
 }
 
 func TestRunCache(t *testing.T) {

@@ -1,0 +1,245 @@
+// Package faultfs is a deterministic fault-injection decorator for
+// store.Backend: it forwards every operation to an inner backend
+// until a scheduled rule fires, then fails that operation the way
+// real storage fails — a generic I/O error, ENOSPC, a partial append
+// that commits a prefix before erroring (the torn-write shape), or a
+// silently dropped fsync. Rules are keyed by operation and key suffix
+// and fire on the Nth match, so a test script reads as "the 2nd
+// append to the ledger log runs out of disk" and replays identically
+// every run.
+//
+// The crash/recovery differential tests drive it like this: run a
+// workload against a wrapped backend, let a rule fire mid-commit,
+// Clear() the rules (the machine rebooted), reopen a fresh store over
+// the same backend, and require the recovered repository to serve
+// exactly what a never-faulted twin serves — or to fail loudly via
+// VerifyLedger, never to be silently wrong.
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/store"
+)
+
+// Op names a backend operation a rule can target.
+type Op string
+
+const (
+	OpRead   Op = "read"
+	OpWrite  Op = "write"
+	OpAppend Op = "append"
+	OpReadAt Op = "readat"
+	OpStat   Op = "stat"
+	OpList   Op = "list"
+	OpRemove Op = "remove"
+)
+
+// Mode is how a fired rule fails the operation.
+type Mode int
+
+const (
+	// ErrIO fails the operation with a generic injected I/O error.
+	ErrIO Mode = iota
+	// ENOSPC fails the operation with syscall.ENOSPC.
+	ENOSPC
+	// PartialThenErr commits a prefix of the data before erroring —
+	// the torn-write crash shape. Only meaningful on Append; WriteFile
+	// is atomic by contract, so there it degrades to ErrIO.
+	PartialThenErr
+	// DropSync lets an Append succeed but silently discards its
+	// durability request (sync=true is forwarded as sync=false).
+	DropSync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ErrIO:
+		return "errio"
+	case ENOSPC:
+		return "enospc"
+	case PartialThenErr:
+		return "partial"
+	case DropSync:
+		return "dropsync"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// errInjected marks every fault this package raises.
+var errInjected = fmt.Errorf("faultfs: injected fault")
+
+// IsInjected reports whether an error came from a fired rule.
+func IsInjected(err error) bool {
+	for ; err != nil; err = unwrap(err) {
+		if err == errInjected {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// Rule schedules one fault: the Nth operation of kind Op whose key
+// ends in KeySuffix fails with Mode. N is 1-based; N<=0 means every
+// match. An empty KeySuffix matches every key.
+type Rule struct {
+	Op        Op
+	KeySuffix string
+	N         int
+	Mode      Mode
+}
+
+type ruleState struct {
+	Rule
+	matches int
+	spent   bool
+}
+
+// Backend decorates an inner store.Backend with scheduled faults.
+type Backend struct {
+	inner store.Backend
+
+	mu       sync.Mutex
+	rules    []*ruleState
+	injected []string // log of fired faults, for assertions
+}
+
+// Wrap decorates a backend; with no rules scheduled it is a
+// transparent proxy.
+func Wrap(inner store.Backend) *Backend {
+	return &Backend{inner: inner}
+}
+
+// Fail schedules a rule.
+func (b *Backend) Fail(r Rule) {
+	b.mu.Lock()
+	b.rules = append(b.rules, &ruleState{Rule: r})
+	b.mu.Unlock()
+}
+
+// Clear drops every scheduled rule — the reboot between a crash and
+// recovery. Fired-fault history is kept for assertions.
+func (b *Backend) Clear() {
+	b.mu.Lock()
+	b.rules = nil
+	b.mu.Unlock()
+}
+
+// Injected returns a description of every fault that fired, in order.
+func (b *Backend) Injected() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.injected...)
+}
+
+// check consumes at most one matching rule for the operation and
+// returns its mode. ok is false when no fault is due.
+func (b *Backend) check(op Op, key string) (Mode, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, r := range b.rules {
+		if r.spent || r.Op != op || !strings.HasSuffix(key, r.KeySuffix) {
+			continue
+		}
+		r.matches++
+		if r.N > 0 && r.matches != r.N {
+			continue
+		}
+		if r.N > 0 {
+			r.spent = true
+		}
+		b.injected = append(b.injected, fmt.Sprintf("%s %s %s", op, key, r.Mode))
+		return r.Mode, true
+	}
+	return 0, false
+}
+
+func (b *Backend) fail(op Op, key string, m Mode) error {
+	err := errInjected
+	if m == ENOSPC {
+		err = syscall.ENOSPC
+	}
+	return &fs.PathError{Op: string(op), Path: key, Err: err}
+}
+
+func (b *Backend) Kind() string { return b.inner.Kind() }
+
+func (b *Backend) ReadFile(key string) ([]byte, error) {
+	if m, ok := b.check(OpRead, key); ok {
+		return nil, b.fail(OpRead, key, m)
+	}
+	return b.inner.ReadFile(key)
+}
+
+func (b *Backend) WriteFile(key string, data []byte) error {
+	if m, ok := b.check(OpWrite, key); ok {
+		// WriteFile is atomic by contract: a partial mode still fails
+		// without committing anything.
+		return b.fail(OpWrite, key, m)
+	}
+	return b.inner.WriteFile(key, data)
+}
+
+func (b *Backend) Append(key string, data []byte, sync bool) error {
+	m, ok := b.check(OpAppend, key)
+	if !ok {
+		return b.inner.Append(key, data, sync)
+	}
+	switch m {
+	case PartialThenErr:
+		// Commit a strict prefix, then fail — what a full disk or a
+		// power cut leaves behind.
+		if n := len(data) / 2; n > 0 {
+			if err := b.inner.Append(key, data[:n], false); err != nil {
+				return err
+			}
+		}
+		return b.fail(OpAppend, key, m)
+	case DropSync:
+		return b.inner.Append(key, data, false)
+	default:
+		return b.fail(OpAppend, key, m)
+	}
+}
+
+func (b *Backend) ReadAt(key string, p []byte, off int64) error {
+	if m, ok := b.check(OpReadAt, key); ok {
+		return b.fail(OpReadAt, key, m)
+	}
+	return b.inner.ReadAt(key, p, off)
+}
+
+func (b *Backend) Stat(key string) (store.BlobInfo, error) {
+	if m, ok := b.check(OpStat, key); ok {
+		return store.BlobInfo{}, b.fail(OpStat, key, m)
+	}
+	return b.inner.Stat(key)
+}
+
+func (b *Backend) List(dir string) ([]store.Entry, error) {
+	if m, ok := b.check(OpList, dir); ok {
+		return nil, b.fail(OpList, dir, m)
+	}
+	return b.inner.List(dir)
+}
+
+func (b *Backend) Remove(key string) error {
+	if m, ok := b.check(OpRemove, key); ok {
+		return b.fail(OpRemove, key, m)
+	}
+	return b.inner.Remove(key)
+}
+
+func (b *Backend) Close() error { return b.inner.Close() }

@@ -10,7 +10,6 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"os"
 	"sort"
 
 	"repro/internal/codec"
@@ -88,7 +87,7 @@ func (s *Store) RunProof(specName, runName string) (*RunProof, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, err := ledger.ReadLog(s.ledgerPath(specName))
+	recs, err := s.readLedger(specName)
 	if err != nil {
 		return nil, fmt.Errorf("store: ledger of %q: %w", specName, err)
 	}
@@ -190,7 +189,7 @@ func (s *Store) LedgerHeads() (map[string]SpecLedger, string, error) {
 	out := make(map[string]SpecLedger, len(specs))
 	heads := make(map[string]ledger.Hash, len(specs))
 	for _, name := range specs {
-		recs, _ := ledger.ReadLog(s.ledgerPath(name))
+		recs, _ := s.readLedger(name)
 		sl := SpecLedger{Head: ledger.Zero.Hex(), Batches: int64(len(recs))}
 		if len(recs) > 0 {
 			sl.Head = recs[len(recs)-1].Head
@@ -254,7 +253,7 @@ func (s *Store) VerifyLedger(specNames ...string) (VerifyReport, error) {
 		if err := ValidateName(specName); err != nil {
 			return report, err
 		}
-		if _, err := os.Stat(s.specDir(specName)); err != nil {
+		if _, err := s.be.Stat(specXMLKey(specName)); err != nil {
 			return report, fmt.Errorf("store: unknown spec %q: %w", specName, err)
 		}
 		report.Specs++
@@ -271,7 +270,7 @@ func (s *Store) VerifyLedger(specNames ...string) (VerifyReport, error) {
 }
 
 func (s *Store) verifySpecLedger(specName string, report *VerifyReport) {
-	recs, lerr := ledger.ReadLog(s.ledgerPath(specName))
+	recs, lerr := s.readLedger(specName)
 	report.Batches += int64(len(recs))
 	if lerr != nil {
 		report.Issues = append(report.Issues, VerifyIssue{
@@ -336,7 +335,8 @@ func (s *Store) verifySpecLedger(specName string, report *VerifyReport) {
 			continue
 		}
 		if scanned == nil {
-			scanned = scanSegment(s.segmentPath(specName))
+			seg, _ := s.be.ReadFile(segmentKey(specName))
+			scanned = scanSegment(seg)
 		}
 		if scanned[name][e.Hash] {
 			continue // frame intact, just at a different offset
@@ -345,16 +345,12 @@ func (s *Store) verifySpecLedger(specName string, report *VerifyReport) {
 	}
 }
 
-// scanSegment walks a segment file record by record, collecting every
+// scanSegment walks segment bytes record by record, collecting every
 // (run name, frame content hash) it can parse. Used as the verifier's
 // fallback when manifest offsets are stale; a malformed region ends
 // the scan (later records are unreachable without valid framing).
-func scanSegment(path string) map[string]map[string]bool {
+func scanSegment(data []byte) map[string]map[string]bool {
 	out := map[string]map[string]bool{}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return out
-	}
 	for pos := 0; pos < len(data); {
 		n, w := binary.Uvarint(data[pos:])
 		if w <= 0 || n > uint64(len(data)-pos-w) {

@@ -98,20 +98,19 @@ func TestLedgerDedupOnReimport(t *testing.T) {
 	if _, err := s.ImportRuns("pa", batch, 2); err != nil {
 		t.Fatal(err)
 	}
-	seg := filepath.Join(dir, "pa", "snapshot", "runs.seg")
-	before, err := os.Stat(seg)
+	before, err := s.Backend().Stat(segmentKey("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.ImportRuns("pa", batch, 2); err != nil {
 		t.Fatal(err)
 	}
-	after, err := os.Stat(seg)
+	after, err := s.Backend().Stat(segmentKey("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if after.Size() != before.Size() {
-		t.Fatalf("identical re-import grew segment: %d -> %d bytes", before.Size(), after.Size())
+	if after.Size != before.Size {
+		t.Fatalf("identical re-import grew segment: %d -> %d bytes", before.Size, after.Size)
 	}
 	heads, _, err := s.LedgerHeads()
 	if err != nil {
@@ -179,6 +178,9 @@ func TestLedgerChainAcrossRestart(t *testing.T) {
 // fingerprint, serving the stale snapshot. The content hash must
 // demote the entry to a re-parse.
 func TestStaleSnapshotSameSizeSameMtime(t *testing.T) {
+	if testBackendKind() != "fs" {
+		t.Skip("os.Chtimes mtime pinning needs the fs backend")
+	}
 	dir := seedDir(t, 1)
 	s := reopen(t, dir)
 	if _, err := s.Snapshot("pa"); err != nil {
@@ -232,6 +234,9 @@ func TestStaleSnapshotSameSizeSameMtime(t *testing.T) {
 // freshness — rewriting identical bytes with a new mtime must NOT
 // demote the snapshot (stat drift, same content).
 func TestSameContentMtimeDriftStaysFresh(t *testing.T) {
+	if testBackendKind() != "fs" {
+		t.Skip("os.Chtimes mtime pinning needs the fs backend")
+	}
 	dir := seedDir(t, 1)
 	s := reopen(t, dir)
 	if _, err := s.Snapshot("pa"); err != nil {
@@ -318,8 +323,7 @@ func TestCrashedCompactionLeavesVerifyGreen(t *testing.T) {
 	if err := s.DeleteRun("pa", "k0"); err != nil {
 		t.Fatal(err)
 	}
-	manifestPath := filepath.Join(dir, "pa", "snapshot", "manifest.json")
-	preCompaction, err := os.ReadFile(manifestPath)
+	preCompaction, err := s.Backend().ReadFile(manifestKey("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +336,7 @@ func TestCrashedCompactionLeavesVerifyGreen(t *testing.T) {
 		t.Fatalf("compaction: %v", err)
 	}
 	// "Crash": the manifest save never happened.
-	if err := os.WriteFile(manifestPath, preCompaction, 0o644); err != nil {
+	if err := s.Backend().WriteFile(manifestKey("pa"), preCompaction); err != nil {
 		t.Fatal(err)
 	}
 
@@ -355,15 +359,15 @@ func TestVerifyDetectsFlippedByte(t *testing.T) {
 	if _, err := s.ImportRuns("pa", genRunXML(t, s, 3, 21, "f"), 2); err != nil {
 		t.Fatal(err)
 	}
-	seg := filepath.Join(dir, "pa", "snapshot", "runs.seg")
-	orig, err := os.ReadFile(seg)
+	be := openTestBackend(t, dir)
+	orig, err := be.ReadFile(segmentKey("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, pos := range []int{0, 1, len(orig) / 2, len(orig) - 1} {
 		tampered := append([]byte(nil), orig...)
 		tampered[pos] ^= 0x01
-		if err := os.WriteFile(seg, tampered, 0o644); err != nil {
+		if err := be.WriteFile(segmentKey("pa"), tampered); err != nil {
 			t.Fatal(err)
 		}
 		report, err := reopen(t, dir).VerifyLedger("pa")
@@ -378,7 +382,7 @@ func TestVerifyDetectsFlippedByte(t *testing.T) {
 		}
 	}
 	// Restore: clean state verifies again.
-	if err := os.WriteFile(seg, orig, 0o644); err != nil {
+	if err := be.WriteFile(segmentKey("pa"), orig); err != nil {
 		t.Fatal(err)
 	}
 	requireVerifyOK(t, reopen(t, dir))
@@ -395,8 +399,8 @@ func TestVerifyDetectsLedgerTampering(t *testing.T) {
 	if _, err := s.ImportRuns("pa", genRunXML(t, s, 2, 32, "u"), 1); err != nil {
 		t.Fatal(err)
 	}
-	logPath := filepath.Join(dir, "pa", "snapshot", "ledger.log")
-	orig, err := os.ReadFile(logPath)
+	be := openTestBackend(t, dir)
+	orig, err := be.ReadFile(ledgerKey("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +413,7 @@ func TestVerifyDetectsLedgerTampering(t *testing.T) {
 	if bytes.Equal(tampered, orig) {
 		t.Fatal("tampering had no effect")
 	}
-	if err := os.WriteFile(logPath, tampered, 0o644); err != nil {
+	if err := be.WriteFile(ledgerKey("pa"), tampered); err != nil {
 		t.Fatal(err)
 	}
 	report, err := reopen(t, dir).VerifyLedger("pa")

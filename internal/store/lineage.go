@@ -3,8 +3,6 @@ package store
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/codec"
@@ -40,13 +38,8 @@ type lineageDoc struct {
 	Parent  string `json:"parent"`
 }
 
-func (s *Store) lineagePath(specName string) string {
-	return filepath.Join(s.specDir(specName), "lineage.json")
-}
-
-func (s *Store) mappingBinPath(specName string) string {
-	return filepath.Join(s.snapDir(specName), "lineage.bin")
-}
+func lineageKey(specName string) string    { return specName + "/lineage.json" }
+func mappingBinKey(specName string) string { return specName + "/snapshot/lineage.bin" }
 
 // PutSpecVersion stores child as a new specification version evolved
 // from the stored specification parentName: the child spec is saved
@@ -94,11 +87,7 @@ func (s *Store) PutSpecVersion(parentName, childName string, child *spec.Spec) e
 	if err != nil {
 		return err
 	}
-	tmp := s.lineagePath(childName) + ".tmp"
-	if err := os.WriteFile(tmp, append(doc, '\n'), 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp, s.lineagePath(childName)); err != nil {
+	if err := s.be.WriteFile(lineageKey(childName), append(doc, '\n')); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.writeMappingSnapshot(childName, m) // best-effort cache frame
@@ -114,14 +103,7 @@ func (s *Store) writeMappingSnapshot(childName string, m *evolve.SpecMapping) {
 	if err != nil {
 		return
 	}
-	if err := os.MkdirAll(s.snapDir(childName), 0o755); err != nil {
-		return
-	}
-	tmp := s.mappingBinPath(childName) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return
-	}
-	_ = os.Rename(tmp, s.mappingBinPath(childName))
+	_ = s.be.WriteFile(mappingBinKey(childName), data)
 }
 
 // Parent returns the recorded parent version of a specification, or ""
@@ -130,9 +112,9 @@ func (s *Store) Parent(specName string) (string, error) {
 	if err := validName(specName); err != nil {
 		return "", err
 	}
-	data, err := os.ReadFile(s.lineagePath(specName))
+	data, err := s.be.ReadFile(lineageKey(specName))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if isNotExist(err) {
 			return "", nil
 		}
 		return "", fmt.Errorf("store: %w", err)
@@ -264,7 +246,7 @@ func (s *Store) stepMapping(parentName, childName string) (*evolve.SpecMapping, 
 		return nil, err
 	}
 	var m *evolve.SpecMapping
-	if data, err := os.ReadFile(s.mappingBinPath(childName)); err == nil {
+	if data, err := s.be.ReadFile(mappingBinKey(childName)); err == nil {
 		m, _ = codec.DecodeSpecMapping(data, parent, child)
 	}
 	if m == nil {

@@ -3,7 +3,6 @@ package store
 import (
 	"math"
 	"math/rand"
-	"os"
 	"testing"
 
 	"repro/internal/cost"
@@ -15,10 +14,7 @@ import (
 // a couple of runs under the first two versions.
 func seedLineage(t *testing.T, dir string) *Store {
 	t.Helper()
-	st, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := openTestStore(t, dir)
 	sp, err := gen.Catalog("PA")
 	if err != nil {
 		t.Fatal(err)
@@ -175,11 +171,8 @@ func TestMappingSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Restart: a fresh store over the same directory.
-	st2, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Restart: a fresh store over the same persisted state.
+	st2 := openTestStore(t, dir)
 	mAfter, linked, err := st2.SpecMapping("demo", "demo-v2")
 	if err != nil {
 		t.Fatal(err)
@@ -201,19 +194,16 @@ func TestMappingSurvivesRestart(t *testing.T) {
 
 	// Corrupt the frame: a third store must fall back to recomputing
 	// and still answer identically.
-	frame := st2.mappingBinPath("demo-v2")
-	data, err := os.ReadFile(frame)
+	frame := mappingBinKey("demo-v2")
+	data, err := st2.Backend().ReadFile(frame)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0xff
-	if err := os.WriteFile(frame, data, 0o644); err != nil {
+	if err := st2.Backend().WriteFile(frame, data); err != nil {
 		t.Fatal(err)
 	}
-	st3, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	st3 := openTestStore(t, dir)
 	mRepaired, _, err := st3.SpecMapping("demo", "demo-v2")
 	if err != nil {
 		t.Fatal(err)
@@ -240,10 +230,7 @@ func TestLineageRejectsBadNames(t *testing.T) {
 // evict cached mappings that point into the replaced spec object, or
 // every later CrossDiff would fail with a spec-identity mismatch.
 func TestSaveSpecDropsStaleMappings(t *testing.T) {
-	st, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := openStore(t)
 	pa, err := gen.Catalog("PA")
 	if err != nil {
 		t.Fatal(err)

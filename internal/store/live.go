@@ -2,20 +2,18 @@ package store
 
 // Live (still-executing) runs. A live run accumulates node-status
 // events through wfrun.Live; its event log is persisted as JSON lines
-// under <root>/<spec>/live/<run>.events so an interrupted server
-// replays in-flight runs on restart. Completion promotes the run into
-// the regular repository through the same ImportParsed path bulk
-// ingest uses, so it gets the snapshot segment, ledger attestation and
+// under <spec>/live/<run>.events so an interrupted server replays
+// in-flight runs on restart. Completion promotes the run into the
+// regular repository through the same ImportParsed path bulk ingest
+// uses, so it gets the snapshot segment, ledger attestation and
 // coalesced cache notification every other run gets — and the stored
 // XML re-parses to exactly the run the live derivation produced.
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 
@@ -36,23 +34,27 @@ type LiveStatus struct {
 }
 
 type liveRun struct {
-	lv   *wfrun.Live
-	f    *os.File // open append handle on the event log
-	path string
+	lv  *wfrun.Live
+	key string // backend key of the event journal
 }
 
-func (s *Store) liveDir(specName string) string {
-	return filepath.Join(s.specDir(specName), "live")
-}
-
-func (s *Store) livePath(specName, runName string) string {
-	return filepath.Join(s.liveDir(specName), runName+".events")
+func liveDirKey(specName string) string { return specName + "/live" }
+func liveKey(specName, runName string) string {
+	return specName + "/live/" + runName + ".events"
 }
 
 // liveEntry returns the in-memory state for a live run, replaying its
 // persisted event log if the store was reopened since the events
 // arrived. With create=false a run with no state and no log yields
 // (nil, nil).
+//
+// Replay is where crash debris gets repaired: a torn trailing line
+// (an append the crash cut short — unterminated, whether or not its
+// prefix happens to parse) is dropped AND truncated away, because the
+// next append would otherwise weld new bytes onto the fragment and
+// turn it into a malformed MIDDLE line that a later replay must treat
+// as corruption. A malformed line that IS newline-terminated is
+// exactly that corruption, and errors.
 func (s *Store) liveEntry(specName, runName string, create bool) (*liveRun, error) {
 	key := runKey(specName, runName)
 	if e, ok := s.live[key]; ok {
@@ -62,44 +64,54 @@ func (s *Store) liveEntry(specName, runName string, create bool) (*liveRun, erro
 	if err != nil {
 		return nil, err
 	}
-	path := s.livePath(specName, runName)
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	jkey := liveKey(specName, runName)
+	data, err := s.be.ReadFile(jkey)
+	if err != nil && !isNotExist(err) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if os.IsNotExist(err) && !create {
+	missing := err != nil
+	if missing && !create {
 		return nil, nil
 	}
 	lv := wfrun.NewLive(sp)
 	if len(data) > 0 {
-		lines := bytes.Split(data, []byte("\n"))
-		for i, line := range lines {
+		complete := data
+		var torn bool
+		if nl := bytes.LastIndexByte(data, '\n'); nl < 0 {
+			complete, torn = nil, true
+		} else if nl != len(data)-1 {
+			complete, torn = data[:nl+1], len(bytes.TrimSpace(data[nl+1:])) > 0
+		}
+		for i, line := range bytes.Split(complete, []byte("\n")) {
 			line = bytes.TrimSpace(line)
 			if len(line) == 0 {
 				continue
 			}
 			var ev wfrun.Event
 			if err := json.Unmarshal(line, &ev); err != nil {
-				if i == len(lines)-1 {
-					// Torn trailing write from a crash: drop it.
-					break
-				}
-				return nil, fmt.Errorf("store: corrupt live event log %s line %d: %w", path, i+1, err)
+				return nil, fmt.Errorf("store: corrupt live event log %s line %d: %w", jkey, i+1, err)
 			}
 			if err := lv.Append(ev); err != nil {
-				return nil, fmt.Errorf("store: replaying %s line %d: %w", path, i+1, err)
+				return nil, fmt.Errorf("store: replaying %s line %d: %w", jkey, i+1, err)
 			}
 		}
 		lv.Sync()
+		if torn {
+			// Truncate the torn trailing write back to the valid prefix so
+			// subsequent appends start on a line boundary.
+			if err := s.be.WriteFile(jkey, complete); err != nil {
+				return nil, fmt.Errorf("store: repairing %s: %w", jkey, err)
+			}
+		}
 	}
-	if err := os.MkdirAll(s.liveDir(specName), 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	if missing {
+		// Materialize the journal so the run is visible (ListLiveRuns,
+		// restart replay) even before its first event arrives.
+		if err := s.be.WriteFile(jkey, nil); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	e := &liveRun{lv: lv, f: f, path: path}
+	e := &liveRun{lv: lv, key: jkey}
 	s.live[key] = e
 	return e, nil
 }
@@ -128,7 +140,7 @@ func (s *Store) AppendLiveEvents(specName, runName string, evs []wfrun.Event) (L
 	if err := validName(runName); err != nil {
 		return LiveStatus{}, err
 	}
-	if _, err := os.Stat(s.runPath(specName, runName)); err == nil {
+	if _, err := s.be.Stat(runXMLKey(specName, runName)); err == nil {
 		return LiveStatus{}, fmt.Errorf("store: run %s/%s: %w", specName, runName, ErrDuplicateRun)
 	}
 	s.liveMu.Lock()
@@ -137,21 +149,30 @@ func (s *Store) AppendLiveEvents(specName, runName string, evs []wfrun.Event) (L
 	if err != nil {
 		return LiveStatus{}, err
 	}
-	w := bufio.NewWriter(e.f)
+	var buf bytes.Buffer
+	flush := func() error {
+		if buf.Len() == 0 {
+			return nil
+		}
+		return s.be.Append(e.key, buf.Bytes(), false)
+	}
 	for i, ev := range evs {
 		if err := e.lv.Append(ev); err != nil {
-			_ = w.Flush()
+			ferr := flush()
 			e.lv.Sync()
+			if ferr != nil {
+				return s.liveStatus(specName, runName, e.lv), fmt.Errorf("store: %w", ferr)
+			}
 			return s.liveStatus(specName, runName, e.lv), fmt.Errorf("store: event %d: %w", i, err)
 		}
 		line, err := json.Marshal(ev)
 		if err != nil {
 			return s.liveStatus(specName, runName, e.lv), fmt.Errorf("store: %w", err)
 		}
-		w.Write(line)
-		w.WriteByte('\n')
+		buf.Write(line)
+		buf.WriteByte('\n')
 	}
-	if err := w.Flush(); err != nil {
+	if err := flush(); err != nil {
 		return s.liveStatus(specName, runName, e.lv), fmt.Errorf("store: %w", err)
 	}
 	e.lv.Sync()
@@ -194,12 +215,12 @@ func (s *Store) ListLiveRuns(specName string) ([]string, error) {
 			names[strings.TrimPrefix(key, prefix)] = true
 		}
 	}
-	entries, err := os.ReadDir(s.liveDir(specName))
-	if err != nil && !os.IsNotExist(err) {
+	entries, err := s.be.List(liveDirKey(specName))
+	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	for _, e := range entries {
-		if n, ok := strings.CutSuffix(e.Name(), ".events"); ok {
+		if n, ok := strings.CutSuffix(e.Name, ".events"); ok {
 			names[n] = true
 		}
 	}
@@ -242,8 +263,7 @@ func (s *Store) CompleteLiveRun(specName, runName string) (*wfrun.Run, error) {
 	if _, err := s.ImportParsed(specName, []ParsedRun{{Name: runName, XML: buf.Bytes(), Run: run}}); err != nil {
 		return nil, err
 	}
-	e.f.Close()
-	os.Remove(e.path)
+	_ = s.be.Remove(e.key)
 	delete(s.live, runKey(specName, runName))
 	return run, nil
 }
@@ -268,16 +288,15 @@ func (s *Store) AbandonLiveRun(specName, runName string) error {
 	s.liveMu.Lock()
 	defer s.liveMu.Unlock()
 	key := runKey(specName, runName)
-	e, ok := s.live[key]
+	_, ok := s.live[key]
 	if ok {
-		e.f.Close()
 		delete(s.live, key)
 	}
-	err := os.Remove(s.livePath(specName, runName))
-	if !ok && os.IsNotExist(err) {
+	err := s.be.Remove(liveKey(specName, runName))
+	if !ok && isNotExist(err) {
 		return fmt.Errorf("store: no live run %s/%s: %w", specName, runName, os.ErrNotExist)
 	}
-	if err != nil && !os.IsNotExist(err) {
+	if err != nil && !isNotExist(err) {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil

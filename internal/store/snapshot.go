@@ -1,15 +1,13 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"repro/internal/codec"
@@ -23,18 +21,18 @@ import (
 // provserved, a CI job, a new replica) rebuilds its in-memory caches
 // by decoding snapshots instead of re-parsing and re-deriving XML.
 //
-// Layout, per specification:
+// Layout, per specification (backend keys):
 //
-//	<root>/<spec>/snapshot/manifest.json   index of snapshotted runs
-//	<root>/<spec>/snapshot/runs.seg        append-only run frames
-//	<root>/<spec>/snapshot/spec.bin        binary specification frame
+//	<spec>/snapshot/manifest.json   index of snapshotted runs
+//	<spec>/snapshot/runs.seg        append-only run frames
+//	<spec>/snapshot/spec.bin        binary specification frame
 //
 // The segment is append-only: every snapshotted run is one
 // checksummed codec frame at a recorded offset, and the manifest maps
 // run names to (offset, length, codec version, node/edge counts) plus
-// a stat fingerprint of the run's XML file. A manifest entry is only
-// trusted when its fingerprint still matches the XML on disk, so
-// out-of-band edits to the authoritative files simply demote the
+// a stat fingerprint of the run's XML blob. A manifest entry is only
+// trusted when its fingerprint still matches the stored XML, so
+// out-of-band edits to the authoritative blobs simply demote the
 // snapshot to a miss. Deleting or re-importing a run drops its entry;
 // the dead bytes stay in the segment until the compaction threshold
 // is crossed, exactly like a log-structured store.
@@ -42,7 +40,7 @@ import (
 // Everything here is a cache of the XML: any read error, checksum
 // mismatch, codec version skew or fingerprint drift falls back to the
 // XML re-parse (which then repairs the snapshot write-behind). Losing
-// the snapshot directory can never lose data.
+// the snapshot keys can never lose data.
 
 // manifestVersion guards the manifest JSON schema itself. Version 2
 // added content hashing (frame hash, XML hash, ledger batch seq); a
@@ -66,7 +64,7 @@ type snapEntry struct {
 	Codec  int   `json:"codec"` // codec.Version the frame was written with
 	Nodes  int   `json:"nodes"`
 	Edges  int   `json:"edges"`
-	// XMLSize and XMLModNanos fingerprint the authoritative XML file
+	// XMLSize and XMLModNanos fingerprint the authoritative XML blob
 	// the frame was derived from; XMLSHA256 is the digest of its bytes
 	// and is what freshness actually rests on — size+mtime alone miss a
 	// same-length rewrite inside the filesystem's mtime granularity.
@@ -91,7 +89,7 @@ type snapManifest struct {
 // snapState is the in-memory snapshot state of one specification.
 // Guarded by Store.snapMu: manifest mutations and segment appends are
 // rare (imports, deletes) and serialize; reads copy the entry out and
-// release the lock before touching the segment file.
+// release the lock before touching the segment blob.
 type snapState struct {
 	mu       sync.Mutex
 	manifest *snapManifest
@@ -103,21 +101,11 @@ type snapState struct {
 	ledgerHead   ledger.Hash
 }
 
-func (s *Store) snapDir(specName string) string {
-	return filepath.Join(s.specDir(specName), "snapshot")
-}
-func (s *Store) manifestPath(specName string) string {
-	return filepath.Join(s.snapDir(specName), "manifest.json")
-}
-func (s *Store) segmentPath(specName string) string {
-	return filepath.Join(s.snapDir(specName), "runs.seg")
-}
-func (s *Store) specBinPath(specName string) string {
-	return filepath.Join(s.snapDir(specName), "spec.bin")
-}
-func (s *Store) ledgerPath(specName string) string {
-	return filepath.Join(s.snapDir(specName), "ledger.log")
-}
+// Snapshot-layer backend keys.
+func manifestKey(specName string) string { return specName + "/snapshot/manifest.json" }
+func segmentKey(specName string) string  { return specName + "/snapshot/runs.seg" }
+func specBinKey(specName string) string  { return specName + "/snapshot/spec.bin" }
+func ledgerKey(specName string) string   { return specName + "/snapshot/ledger.log" }
 
 // snap returns the snapshot state for a spec, creating it on first
 // use. The manifest itself is loaded lazily under the state lock.
@@ -143,7 +131,7 @@ func (s *Store) loadManifestLocked(specName string, st *snapState) {
 		return
 	}
 	st.loaded = true
-	data, err := os.ReadFile(s.manifestPath(specName))
+	data, err := s.be.ReadFile(manifestKey(specName))
 	if err == nil {
 		var m snapManifest
 		if err := json.Unmarshal(data, &m); err == nil && m.Version == manifestVersion && m.Runs != nil {
@@ -152,29 +140,22 @@ func (s *Store) loadManifestLocked(specName string, st *snapState) {
 		}
 	}
 	st.manifest = &snapManifest{Version: manifestVersion, Runs: map[string]snapEntry{}}
-	if fi, err := os.Stat(s.segmentPath(specName)); err == nil {
-		st.manifest.Dead = fi.Size()
+	if fi, err := s.be.Stat(segmentKey(specName)); err == nil {
+		st.manifest.Dead = fi.Size
 	}
 }
 
-// saveManifestLocked writes the manifest atomically (temp + rename).
-// Caller holds st.mu.
+// saveManifestLocked writes the manifest atomically (the backend's
+// WriteFile contract). Caller holds st.mu.
 func (s *Store) saveManifestLocked(specName string, st *snapState) error {
-	if err := os.MkdirAll(s.snapDir(specName), 0o755); err != nil {
-		return err
-	}
 	data, err := json.MarshalIndent(st.manifest, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := s.manifestPath(specName) + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.manifestPath(specName))
+	return s.be.WriteFile(manifestKey(specName), append(data, '\n'))
 }
 
-// xmlFP fingerprints a run's authoritative XML file: stat identity
+// xmlFP fingerprints a run's authoritative XML blob: stat identity
 // plus a content digest. The digest is what validation trusts — stat
 // fields are recorded for diagnostics and cannot promote a stale
 // entry, only the hash can.
@@ -184,31 +165,31 @@ type xmlFP struct {
 	sha      string
 }
 
-// xmlFingerprint stats and digests a run's XML file.
+// xmlFingerprint stats and digests a run's XML blob.
 func (s *Store) xmlFingerprint(specName, runName string) (xmlFP, error) {
-	path := s.runPath(specName, runName)
-	fi, err := os.Stat(path)
+	key := runXMLKey(specName, runName)
+	fi, err := s.be.Stat(key)
 	if err != nil {
 		return xmlFP{}, err
 	}
-	data, err := os.ReadFile(path)
+	data, err := s.be.ReadFile(key)
 	if err != nil {
 		return xmlFP{}, err
 	}
 	sum := sha256.Sum256(data)
-	return xmlFP{size: fi.Size(), modNanos: fi.ModTime().UnixNano(), sha: hex.EncodeToString(sum[:])}, nil
+	return xmlFP{size: fi.Size, modNanos: fi.ModTime.UnixNano(), sha: hex.EncodeToString(sum[:])}, nil
 }
 
 // fingerprintXML digests already-read XML bytes plus the stat of the
-// file they were just written to — the import paths hold the bytes in
+// blob they were just written to — the import paths hold the bytes in
 // memory and need not read them back.
 func (s *Store) fingerprintXML(specName, runName string, data []byte) (xmlFP, error) {
-	fi, err := os.Stat(s.runPath(specName, runName))
+	fi, err := s.be.Stat(runXMLKey(specName, runName))
 	if err != nil {
 		return xmlFP{}, err
 	}
 	sum := sha256.Sum256(data)
-	return xmlFP{size: fi.Size(), modNanos: fi.ModTime().UnixNano(), sha: hex.EncodeToString(sum[:])}, nil
+	return xmlFP{size: fi.Size, modNanos: fi.ModTime.UnixNano(), sha: hex.EncodeToString(sum[:])}, nil
 }
 
 // fresh reports whether a manifest entry still describes this XML.
@@ -219,10 +200,10 @@ func (e snapEntry) fresh(fp xmlFP) bool {
 }
 
 // hasFreshSnapshot reports whether a run has a live manifest entry of
-// the current codec version whose XML content hash matches the disk —
-// the freshness probe (no segment read, no decode) behind Snapshot's
-// idempotency. A frame that is fresh by this test but corrupt on disk
-// still self-heals on the next load.
+// the current codec version whose XML content hash matches the stored
+// blob — the freshness probe (no segment read, no decode) behind
+// Snapshot's idempotency. A frame that is fresh by this test but
+// corrupt in the segment still self-heals on the next load.
 func (s *Store) hasFreshSnapshot(specName, runName string) bool {
 	if s.noSnapshot {
 		return false
@@ -261,7 +242,7 @@ func parseSegmentRecord(buf []byte) (runName string, frame []byte, err error) {
 }
 
 // loadRunSnapshot attempts the snapshot fast path for one run: a
-// manifest entry whose fingerprint matches the XML on disk, a segment
+// manifest entry whose fingerprint matches the stored XML, a segment
 // record naming this very run whose frame checksum verifies, and a
 // frame that decodes against the spec. Any failure returns
 // (nil, false) and the caller re-parses XML.
@@ -281,13 +262,8 @@ func (s *Store) loadRunSnapshot(specName, runName string, sp *spec.Spec) (*wfrun
 	if err != nil || !e.fresh(fp) {
 		return nil, false
 	}
-	f, err := os.Open(s.segmentPath(specName))
-	if err != nil {
-		return nil, false
-	}
-	defer f.Close()
 	buf := make([]byte, e.Length)
-	if _, err := f.ReadAt(buf, e.Offset); err != nil {
+	if err := s.be.ReadAt(segmentKey(specName), buf, e.Offset); err != nil {
 		return nil, false
 	}
 	name, frame, err := parseSegmentRecord(buf)
@@ -311,8 +287,8 @@ type snapBatchItem struct {
 // writeRunSnapshot appends a freshly parsed run to the segment and
 // records it in the manifest — the write-behind half of the snapshot
 // cache, called after every XML parse. The caller supplies the XML
-// fingerprint it captured BEFORE parsing: if the file was overwritten
-// since, the recorded fingerprint no longer matches the disk and the
+// fingerprint it captured BEFORE parsing: if the blob was overwritten
+// since, the recorded fingerprint no longer matches the store and the
 // entry demotes itself to a miss instead of serving a stale frame.
 // Errors are returned for callers that care (Snapshot); the LoadRun
 // path treats them as best-effort.
@@ -324,19 +300,19 @@ func (s *Store) writeRunSnapshot(specName, runName string, r *wfrun.Run, fp xmlF
 }
 
 // writeRunSnapshotBatch appends many runs in one pass: frames are
-// encoded up front, the segment is opened once, and the manifest is
-// rewritten once however many runs the batch carries — bulk imports
-// would otherwise pay one full-manifest rewrite per run. With durable
-// set the segment is fsynced before the manifest records the frames —
-// the group-commit durability point of the ingest pipeline. The
-// write-behind cache paths leave it unset; they can always re-parse
-// the authoritative XML.
+// encoded up front, the segment grows by ONE backend append, and the
+// manifest is rewritten once however many runs the batch carries —
+// bulk imports would otherwise pay one full-manifest rewrite per run.
+// With durable set the segment append is synced before the manifest
+// records the frames — the group-commit durability point of the
+// ingest pipeline. The write-behind cache paths leave it unset; they
+// can always re-parse the authoritative XML.
 //
 // The batch is also one ledger record: every item's frame content
 // hash becomes a Merkle leaf, the batch root is chained onto the
 // spec's ledger head, and the record is appended to ledger.log before
-// the manifest commits to it. The write order — segment (fsynced),
-// ledger (fsynced), manifest — means a crash at any boundary leaves
+// the manifest commits to it. The write order — segment (synced),
+// ledger (synced), manifest — means a crash at any boundary leaves
 // the previous manifest pointing at still-valid append-only state.
 //
 // A run whose name AND frame hash match its live manifest entry is
@@ -369,20 +345,12 @@ func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem, du
 	defer st.mu.Unlock()
 	s.loadManifestLocked(specName, st)
 	s.loadLedgerLocked(specName, st)
-	if err := os.MkdirAll(s.snapDir(specName), 0o755); err != nil {
-		return nil, err
+	var off int64
+	if fi, err := s.be.Stat(segmentKey(specName)); err == nil {
+		off = fi.Size
 	}
-	f, err := os.OpenFile(s.segmentPath(specName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	off, err := f.Seek(0, io.SeekEnd)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
+	var seg bytes.Buffer
 	entries := make([]snapEntry, len(items))
-	appended := false
 	for i, it := range items {
 		if old, ok := st.manifest.Runs[it.name]; ok && old.Codec == codec.Version && old.Hash == hashes[i] &&
 			s.segmentFrameIntact(specName, it.name, old) {
@@ -393,13 +361,8 @@ func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem, du
 			entries[i] = e
 			continue
 		}
-		if _, err := f.Write(records[i]); err != nil {
-			f.Close()
-			return nil, err
-		}
-		appended = true
 		entries[i] = snapEntry{
-			Offset:      off,
+			Offset:      off + int64(seg.Len()),
 			Length:      int64(len(records[i])),
 			Codec:       codec.Version,
 			Nodes:       it.run.NumNodes(),
@@ -409,22 +372,22 @@ func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem, du
 			XMLSHA256:   it.fp.sha,
 			Hash:        hashes[i],
 		}
-		off += int64(len(records[i]))
+		seg.Write(records[i])
 	}
-	if durable && appended {
-		if err := f.Sync(); err != nil {
-			f.Close()
+	if seg.Len() > 0 {
+		if err := s.be.Append(segmentKey(specName), seg.Bytes(), durable); err != nil {
 			return nil, err
 		}
-	}
-	if err := f.Close(); err != nil {
-		return nil, err
 	}
 	rec, err := ledger.NewRecord(st.ledgerSeq+1, st.ledgerHead, leafs)
 	if err != nil {
 		return nil, err
 	}
-	if err := ledger.Append(s.ledgerPath(specName), rec, durable); err != nil {
+	line, err := ledger.MarshalRecord(rec)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.be.Append(ledgerKey(specName), line, durable); err != nil {
 		return nil, err
 	}
 	st.ledgerSeq = rec.Seq
@@ -454,13 +417,8 @@ func (s *Store) writeRunSnapshotBatch(specName string, items []snapBatchItem, du
 // therefore always backed by verified bytes; a failed check simply
 // costs a fresh append.
 func (s *Store) segmentFrameIntact(specName, runName string, e snapEntry) bool {
-	f, err := os.Open(s.segmentPath(specName))
-	if err != nil {
-		return false
-	}
-	defer f.Close()
 	buf := make([]byte, e.Length)
-	if _, err := f.ReadAt(buf, e.Offset); err != nil {
+	if err := s.be.ReadAt(segmentKey(specName), buf, e.Offset); err != nil {
 		return false
 	}
 	name, frame, err := parseSegmentRecord(buf)
@@ -471,16 +429,44 @@ func (s *Store) segmentFrameIntact(specName, runName string, e snapEntry) bool {
 	return hex.EncodeToString(h[:]) == e.Hash
 }
 
+// readLedger loads a spec's ledger log through the backend — the
+// byte-level twin of ledger.ReadLog.
+func (s *Store) readLedger(specName string) ([]ledger.Record, error) {
+	data, err := s.be.ReadFile(ledgerKey(specName))
+	if err != nil {
+		if isNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	recs, _, perr := ledger.ParseLog(data)
+	return recs, perr
+}
+
 // loadLedgerLocked positions the append cursor at the tail of the
-// spec's ledger log. A malformed log is not repaired here — appends
-// continue from the last parseable record and VerifyLedger is the one
-// to report the damage. Caller holds st.mu.
+// spec's ledger log — and repairs a torn tail first. A crash mid-
+// append leaves a partial final line; readers tolerate it, but a
+// subsequent append would weld new bytes onto the torn fragment,
+// merging them into one malformed MIDDLE line that VerifyLedger can
+// no longer tell from tampering. Truncating back to the valid prefix
+// before any further append keeps crash debris and tampering
+// distinguishable. A malformed interior line is NOT repaired here —
+// appends continue from the last parseable record and VerifyLedger is
+// the one to report the damage. Caller holds st.mu.
 func (s *Store) loadLedgerLocked(specName string, st *snapState) {
 	if st.ledgerLoaded {
 		return
 	}
 	st.ledgerLoaded = true
-	recs, _ := ledger.ReadLog(s.ledgerPath(specName))
+	data, err := s.be.ReadFile(ledgerKey(specName))
+	if err != nil {
+		return
+	}
+	recs, valid, perr := ledger.ParseLog(data)
+	if perr == nil && valid < len(data) {
+		// Torn tail from a crashed append: truncate to the valid prefix.
+		_ = s.be.WriteFile(ledgerKey(specName), data[:valid])
+	}
 	if len(recs) == 0 {
 		return
 	}
@@ -536,8 +522,8 @@ func (s *Store) Compact(specName string) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s.loadManifestLocked(specName, st)
-	if _, err := os.Stat(s.segmentPath(specName)); err != nil {
-		if os.IsNotExist(err) {
+	if _, err := s.be.Stat(segmentKey(specName)); err != nil {
+		if isNotExist(err) {
 			return nil // nothing snapshotted yet
 		}
 		return err
@@ -546,50 +532,32 @@ func (s *Store) Compact(specName string) error {
 }
 
 // compactLocked is the segment rewrite itself. Caller holds st.mu. A
-// reader that raced the rename sees offsets that no longer line up —
-// the record it lands on either fails the frame checksum or names a
-// different run, so it falls back to XML; compaction needs no reader
-// coordination.
+// reader that raced the atomic replacement sees offsets that no
+// longer line up — the record it lands on either fails the frame
+// checksum or names a different run, so it falls back to XML;
+// compaction needs no reader coordination.
 func (s *Store) compactLocked(specName string, st *snapState) error {
 	m := st.manifest
-	old, err := os.Open(s.segmentPath(specName))
-	if err != nil {
-		return err
-	}
-	defer old.Close()
-	tmp := s.segmentPath(specName) + ".tmp"
-	out, err := os.Create(tmp)
+	old, err := s.be.ReadFile(segmentKey(specName))
 	if err != nil {
 		return err
 	}
 	fresh := make(map[string]snapEntry, len(m.Runs))
-	var off int64
+	var out bytes.Buffer
 	for name, e := range m.Runs {
-		buf := make([]byte, e.Length)
-		if _, err := old.ReadAt(buf, e.Offset); err != nil {
-			out.Close()
-			os.Remove(tmp)
-			return err
+		if e.Offset < 0 || e.Offset+e.Length > int64(len(old)) {
+			return fmt.Errorf("store: segment entry %q out of bounds", name)
 		}
-		if _, err := out.Write(buf); err != nil {
-			out.Close()
-			os.Remove(tmp)
-			return err
-		}
-		e.Offset = off
-		off += e.Length
+		rec := old[e.Offset : e.Offset+e.Length]
+		e.Offset = int64(out.Len())
+		out.Write(rec)
 		fresh[name] = e
 	}
-	if err := out.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, s.segmentPath(specName)); err != nil {
-		os.Remove(tmp)
+	if err := s.be.WriteFile(segmentKey(specName), out.Bytes()); err != nil {
 		return err
 	}
 	m.Runs = fresh
-	m.Live = off
+	m.Live = int64(out.Len())
 	m.Dead = 0
 	return s.saveManifestLocked(specName, st)
 }
@@ -599,32 +567,25 @@ func (s *Store) writeSpecSnapshot(specName string, sp *spec.Spec) error {
 	if s.noSnapshot {
 		return nil
 	}
-	if err := os.MkdirAll(s.snapDir(specName), 0o755); err != nil {
-		return err
-	}
-	tmp := s.specBinPath(specName) + ".tmp"
-	if err := os.WriteFile(tmp, codec.EncodeSpec(sp), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.specBinPath(specName))
+	return s.be.WriteFile(specBinKey(specName), codec.EncodeSpec(sp))
 }
 
 // loadSpecSnapshot attempts to decode spec.bin, guarded by the XML
-// file's fingerprint recorded... specifications change so rarely that
-// the guard is simply "spec.xml must not be newer than spec.bin".
+// blob's fingerprint... specifications change so rarely that the
+// guard is simply "spec.xml must not be newer than spec.bin".
 func (s *Store) loadSpecSnapshot(specName string) (*spec.Spec, bool) {
 	if s.noSnapshot {
 		return nil, false
 	}
-	binInfo, err := os.Stat(s.specBinPath(specName))
+	binInfo, err := s.be.Stat(specBinKey(specName))
 	if err != nil {
 		return nil, false
 	}
-	xmlInfo, err := os.Stat(s.specPath(specName))
-	if err != nil || xmlInfo.ModTime().After(binInfo.ModTime()) {
+	xmlInfo, err := s.be.Stat(specXMLKey(specName))
+	if err != nil || xmlInfo.ModTime.After(binInfo.ModTime) {
 		return nil, false
 	}
-	data, err := os.ReadFile(s.specBinPath(specName))
+	data, err := s.be.ReadFile(specBinKey(specName))
 	if err != nil {
 		return nil, false
 	}

@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
-	"os"
-	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -21,10 +19,7 @@ import (
 func seedDir(t testing.TB, n int) string {
 	t.Helper()
 	dir := t.TempDir()
-	s, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := openTestStore(t, dir)
 	pa, err := gen.Catalog("PA")
 	if err != nil {
 		t.Fatal(err)
@@ -53,18 +48,21 @@ func seedDir(t testing.TB, n int) string {
 // take the XML path.
 func xmlOnly(t testing.TB, dir string) {
 	t.Helper()
-	if err := os.RemoveAll(filepath.Join(dir, "pa", "snapshot")); err != nil {
+	be := openTestBackend(t, dir)
+	entries, err := be.List("pa/snapshot")
+	if err != nil {
 		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := be.Remove("pa/snapshot/" + e.Name); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
 func reopen(t testing.TB, dir string) *Store {
 	t.Helper()
-	s, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
+	return openTestStore(t, dir)
 }
 
 // TestSnapshotRoundTrip is the snapshot analogue of the codec
@@ -113,7 +111,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 		// Differencing needs both runs on one spec object: re-parse the
 		// XML against the snapshot store's spec for the distance check.
-		data, err := os.ReadFile(filepath.Join(dir, "pa", "runs", name+".xml"))
+		data, err := cold.Backend().ReadFile(runXMLKey("pa", name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,15 +145,15 @@ func TestSnapshotCorruptionFallsBackToXML(t *testing.T) {
 	if _, err := reopen(t, dir).Snapshot("pa"); err != nil {
 		t.Fatal(err)
 	}
-	seg := filepath.Join(dir, "pa", "snapshot", "runs.seg")
-	data, err := os.ReadFile(seg)
+	be := openTestBackend(t, dir)
+	data, err := be.ReadFile(segmentKey("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < len(data); i += 7 {
 		data[i] ^= 0xff
 	}
-	if err := os.WriteFile(seg, data, 0o644); err != nil {
+	if err := be.WriteFile(segmentKey("pa"), data); err != nil {
 		t.Fatal(err)
 	}
 	corrupted := reopen(t, dir)
@@ -362,7 +360,7 @@ func TestManifestLossCountsSegmentDead(t *testing.T) {
 	if _, err := reopen(t, dir).Snapshot("pa"); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "pa", "snapshot", "manifest.json"), []byte("{corrupt"), 0o644); err != nil {
+	if err := openTestBackend(t, dir).WriteFile(manifestKey("pa"), []byte("{corrupt")); err != nil {
 		t.Fatal(err)
 	}
 	s := reopen(t, dir)
@@ -440,12 +438,12 @@ func TestSnapshotCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatalf("compaction: %v", err)
 	}
-	fi, err := os.Stat(filepath.Join(dir, "pa", "snapshot", "runs.seg"))
+	fi, err := s.Backend().Stat(segmentKey("pa"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fi.Size() != live {
-		t.Fatalf("segment is %d bytes after compaction, manifest says %d live", fi.Size(), live)
+	if fi.Size != live {
+		t.Fatalf("segment is %d bytes after compaction, manifest says %d live", fi.Size, live)
 	}
 	pre, err := reopen(t, dir).Preload("pa")
 	if err != nil {

@@ -1,24 +1,26 @@
-// Package store is a small on-disk provenance repository: XML
-// specifications with their collected runs, addressable by name, plus
-// differencing and cohort analysis over stored runs. It provides the
-// persistence layer the PDiffView prototype keeps behind its
-// import/export menus ("view, store, generate and import/export
-// SP-specifications and their associated runs", Section VII).
+// Package store is a provenance repository: XML specifications with
+// their collected runs, addressable by name, plus differencing and
+// cohort analysis over stored runs. It provides the persistence layer
+// the PDiffView prototype keeps behind its import/export menus
+// ("view, store, generate and import/export SP-specifications and
+// their associated runs", Section VII).
 //
-// Both specifications and parsed runs are cached under a read-write
-// lock, so repeated differencing of stored runs (the cohort paths)
-// parses each XML file once and then serves all readers concurrently.
+// Persistence goes through the Backend interface — a local directory
+// tree (the classic layout), an in-memory map, an object-store-style
+// bucket, or a consistent-hash shard fan-out over any of those. Both
+// specifications and parsed runs are cached under a read-write lock,
+// so repeated differencing of stored runs (the cohort paths) parses
+// each XML document once and then serves all readers concurrently.
 //
-// Layout:
+// Logical layout (identical to the on-disk layout of the fs backend):
 //
-//	<root>/<spec>/spec.xml
-//	<root>/<spec>/runs/<run>.xml
+//	<spec>/spec.xml
+//	<spec>/runs/<run>.xml
 package store
 
 import (
+	"bytes"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -32,14 +34,14 @@ import (
 	"repro/internal/wfxml"
 )
 
-// Store is a directory-backed provenance repository. It is safe for
+// Store is a backend-backed provenance repository. It is safe for
 // concurrent use; loaded specifications are cached so runs of the same
 // specification share one *spec.Spec (a requirement for differencing),
 // and parsed runs are cached so differencing the same stored runs
 // repeatedly does not re-parse their XML. Cached runs are shared:
 // treat them as immutable (differencing only reads them).
 type Store struct {
-	root string
+	be Backend
 
 	mu    sync.RWMutex
 	specs map[string]*spec.Spec
@@ -63,27 +65,54 @@ type Store struct {
 	live   map[string]*liveRun // "<spec>/<run>" → in-flight run state
 }
 
-// Open opens (creating if needed) a repository rooted at dir.
+// Open opens (creating if needed) a repository rooted at dir on the
+// filesystem backend — the historical constructor, byte-compatible
+// with repositories written before backends existed.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	be, err := NewFSBackend(dir)
+	if err != nil {
+		return nil, err
 	}
+	return OpenBackend(be), nil
+}
+
+// OpenBackend opens a repository over an explicit storage backend.
+// The store takes ownership: Close closes the backend.
+func OpenBackend(be Backend) *Store {
 	return &Store{
-		root:     dir,
+		be:       be,
 		specs:    make(map[string]*spec.Spec),
 		runs:     make(map[string]*wfrun.Run),
 		snaps:    make(map[string]*snapState),
 		mappings: make(map[string]*evolve.SpecMapping),
 		live:     make(map[string]*liveRun),
-	}, nil
+	}
 }
+
+// Backend returns the storage backend the repository lives on.
+func (s *Store) Backend() Backend { return s.be }
+
+// BackendKind names the storage backend for stats and diagnostics.
+func (s *Store) BackendKind() string { return s.be.Kind() }
+
+// ShardStats reports per-shard storage counters when the repository
+// runs over a sharded backend, nil otherwise.
+func (s *Store) ShardStats() []ShardStats {
+	if sb, ok := s.be.(interface{ ShardStats() []ShardStats }); ok {
+		return sb.ShardStats()
+	}
+	return nil
+}
+
+// Close releases the storage backend.
+func (s *Store) Close() error { return s.be.Close() }
 
 func runKey(specName, runName string) string { return specName + "/" + runName }
 
 // ValidateName reports whether a spec or run name is safe to join into
 // the repository root. Every boundary that accepts untrusted names
 // (the CLI, the HTTP service) must call it before the name reaches the
-// filesystem: path separators, traversal components, NUL bytes and
+// backend: path separators, traversal components, NUL bytes and
 // hidden/dot names are all rejected, so a stored object can never
 // escape <root>/<spec>/runs/.
 func ValidateName(name string) error {
@@ -143,10 +172,11 @@ func (s *Store) notifyBulkChange(specName string, runNames []string) {
 	}
 }
 
-func (s *Store) specDir(name string) string  { return filepath.Join(s.root, name) }
-func (s *Store) specPath(name string) string { return filepath.Join(s.root, name, "spec.xml") }
-func (s *Store) runPath(specName, runName string) string {
-	return filepath.Join(s.root, specName, "runs", runName+".xml")
+// Backend keys of the repository layout.
+func specXMLKey(name string) string { return name + "/spec.xml" }
+func runsDirKey(name string) string { return name + "/runs" }
+func runXMLKey(specName, runName string) string {
+	return specName + "/runs/" + runName + ".xml"
 }
 
 // SaveSpec stores a specification under the given name. Saving over an
@@ -160,16 +190,12 @@ func (s *Store) SaveSpec(name string, sp *spec.Spec) error {
 	if len(runs) > 0 {
 		return fmt.Errorf("store: specification %q already has %d runs; refusing to overwrite", name, len(runs))
 	}
-	if err := os.MkdirAll(filepath.Join(s.specDir(name), "runs"), 0o755); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	f, err := os.Create(s.specPath(name))
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	if err := wfxml.EncodeSpec(f, sp, name); err != nil {
+	var buf bytes.Buffer
+	if err := wfxml.EncodeSpec(&buf, sp, name); err != nil {
 		return err
+	}
+	if err := s.be.WriteFile(specXMLKey(name), buf.Bytes()); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
 	_ = s.writeSpecSnapshot(name, sp) // best-effort warm-start frame
 	s.mu.Lock()
@@ -195,12 +221,11 @@ func (s *Store) LoadSpec(name string) (*spec.Spec, error) {
 	s.mu.RUnlock()
 	sp, fromSnap := s.loadSpecSnapshot(name)
 	if !fromSnap {
-		f, err := os.Open(s.specPath(name))
+		data, err := s.be.ReadFile(specXMLKey(name))
 		if err != nil {
 			return nil, fmt.Errorf("store: unknown specification %q: %w", name, err)
 		}
-		defer f.Close()
-		if sp, err = wfxml.DecodeSpec(f); err != nil {
+		if sp, err = wfxml.DecodeSpec(bytes.NewReader(data)); err != nil {
 			return nil, err
 		}
 		_ = s.writeSpecSnapshot(name, sp) // best-effort warm-start frame
@@ -218,15 +243,15 @@ func (s *Store) LoadSpec(name string) (*spec.Spec, error) {
 
 // ListSpecs returns the stored specification names, sorted.
 func (s *Store) ListSpecs() ([]string, error) {
-	entries, err := os.ReadDir(s.root)
+	entries, err := s.be.List("")
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var out []string
 	for _, e := range entries {
-		if e.IsDir() {
-			if _, err := os.Stat(s.specPath(e.Name())); err == nil {
-				out = append(out, e.Name())
+		if e.Dir {
+			if _, err := s.be.Stat(specXMLKey(e.Name)); err == nil {
+				out = append(out, e.Name)
 			}
 		}
 	}
@@ -251,16 +276,15 @@ func (s *Store) SaveRun(specName, runName string, r *wfrun.Run) error {
 	if r.Spec != sp {
 		return fmt.Errorf("store: run does not belong to stored specification %q; build runs against LoadSpec(%q)", specName, specName)
 	}
-	f, err := os.Create(s.runPath(specName, runName))
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	if err := wfxml.EncodeRun(f, r, runName); err != nil {
+	var buf bytes.Buffer
+	if err := wfxml.EncodeRun(&buf, r, runName); err != nil {
 		return err
 	}
+	if err := s.be.WriteFile(runXMLKey(specName, runName), buf.Bytes()); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	// Evict rather than cache the caller's object: the cache must only
-	// ever serve what a fresh parse of the on-disk XML would produce.
+	// ever serve what a fresh parse of the stored XML would produce.
 	// The snapshot entry goes with it — the next load re-parses the new
 	// XML and repairs the snapshot write-behind.
 	s.mu.Lock()
@@ -312,15 +336,14 @@ func (s *Store) LoadRun(specName, runName string) (*wfrun.Run, error) {
 	return s.cacheRun(specName, runName, r), nil
 }
 
-// loadRunXML parses a run's authoritative XML file and derives its
+// loadRunXML parses a run's authoritative XML document and derives its
 // tree — the slow path behind the run cache and the snapshot layer.
 func (s *Store) loadRunXML(specName, runName string, sp *spec.Spec) (*wfrun.Run, error) {
-	f, err := os.Open(s.runPath(specName, runName))
+	data, err := s.be.ReadFile(runXMLKey(specName, runName))
 	if err != nil {
 		return nil, fmt.Errorf("store: unknown run %q of %q: %w", runName, specName, err)
 	}
-	defer f.Close()
-	return wfxml.DecodeRun(f, sp)
+	return wfxml.DecodeRun(bytes.NewReader(data), sp)
 }
 
 // cacheRun publishes a parsed run, keeping the first copy if another
@@ -342,24 +365,21 @@ func (s *Store) ListRuns(specName string) ([]string, error) {
 	if err := validName(specName); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(filepath.Join(s.specDir(specName), "runs"))
+	entries, err := s.be.List(runsDirKey(specName))
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var out []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
-			out = append(out, strings.TrimSuffix(e.Name(), ".xml"))
+		if !e.Dir && strings.HasSuffix(e.Name, ".xml") {
+			out = append(out, strings.TrimSuffix(e.Name, ".xml"))
 		}
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
-// DeleteRun removes a stored run everywhere it lives: the XML file,
+// DeleteRun removes a stored run everywhere it lives: the XML blob,
 // the parsed-run cache, and the snapshot manifest (so a restart can
 // never resurrect it). Exactly one change notification fires, after
 // all state is consistent.
@@ -370,7 +390,7 @@ func (s *Store) DeleteRun(specName, runName string) error {
 	if err := validName(runName); err != nil {
 		return err
 	}
-	if err := os.Remove(s.runPath(specName, runName)); err != nil {
+	if err := s.be.Remove(runXMLKey(specName, runName)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()

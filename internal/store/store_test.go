@@ -10,15 +10,6 @@ import (
 	"repro/internal/wfrun"
 )
 
-func openStore(t *testing.T) *Store {
-	t.Helper()
-	s, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
-}
-
 func TestSaveLoadSpecAndRuns(t *testing.T) {
 	s := openStore(t)
 	pa, err := gen.Catalog("PA")
@@ -259,11 +250,8 @@ func TestConcurrentLoads(t *testing.T) {
 	if err := s.SaveSpec("pa", pa); err != nil {
 		t.Fatal(err)
 	}
-	// Clear the cache by reopening the store on the same directory.
-	s2, err := Open(sRoot(s))
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Clear the cache by reopening the store on the same backend.
+	s2 := reopenStore(s)
 	var wg sync.WaitGroup
 	specs := make([]interface{}, 8)
 	for i := 0; i < 8; i++ {
@@ -285,5 +273,3 @@ func TestConcurrentLoads(t *testing.T) {
 		}
 	}
 }
-
-func sRoot(s *Store) string { return s.root }

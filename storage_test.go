@@ -1,0 +1,160 @@
+package provdiff
+
+// Tests for the public storage surface: the backend constructors, the
+// sharded composition, and OpenRepository — the same calls an embedder
+// makes to put the store on a non-default backend.
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// seedStorageFixture returns a catalog spec and two runs for it.
+func seedStorageFixture(t *testing.T) (sp *Spec, r1, r2 *Run) {
+	t.Helper()
+	sp, err := Catalog("PA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	params := RunParams{ProbP: 0.8, ProbF: 0.5, MaxF: 3, ProbL: 0.5, MaxL: 2}
+	if r1, err = RandomRun(sp, params, rng); err != nil {
+		t.Fatal(err)
+	}
+	if r2, err = RandomRun(sp, params, rng); err != nil {
+		t.Fatal(err)
+	}
+	return sp, r1, r2
+}
+
+// roundTrip saves a spec and two runs through st and diffs them back.
+func roundTrip(t *testing.T, st *Store, sp *Spec, r1, r2 *Run) {
+	t.Helper()
+	if err := st.SaveSpec("pa", sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveRun("pa", "r1", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveRun("pa", "r2", r2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Diff("pa", "r1", "r2", Unit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance < 0 {
+		t.Fatalf("negative distance %g", res.Distance)
+	}
+}
+
+func TestStorageBackendFacade(t *testing.T) {
+	sp, r1, r2 := seedStorageFixture(t)
+
+	t.Run("fs", func(t *testing.T) {
+		be, err := NewFSBackend(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := OpenStoreBackend(be)
+		defer st.Close()
+		roundTrip(t, st, sp, r1, r2)
+		if st.BackendKind() != "fs" {
+			t.Fatalf("kind = %q", st.BackendKind())
+		}
+	})
+
+	t.Run("memory", func(t *testing.T) {
+		st := OpenStoreBackend(NewMemoryBackend())
+		defer st.Close()
+		roundTrip(t, st, sp, r1, r2)
+	})
+
+	t.Run("object", func(t *testing.T) {
+		be, err := NewObjectBackend(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := OpenStoreBackend(be)
+		defer st.Close()
+		roundTrip(t, st, sp, r1, r2)
+	})
+
+	t.Run("by-kind", func(t *testing.T) {
+		for _, kind := range []string{"fs", "memory", "object"} {
+			be, err := NewStorageBackend(kind, t.TempDir())
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			if be.Kind() != kind {
+				t.Fatalf("kind = %q, want %q", be.Kind(), kind)
+			}
+			if err := be.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := NewStorageBackend("s3", t.TempDir()); err == nil {
+			t.Fatal("unknown kind accepted")
+		}
+	})
+}
+
+func TestShardedStorageFacade(t *testing.T) {
+	sp, r1, r2 := seedStorageFixture(t)
+	be, err := NewShardedBackend(NewMemoryBackend(), NewMemoryBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := OpenStoreBackend(be)
+	defer st.Close()
+	roundTrip(t, st, sp, r1, r2)
+
+	st2, err := OpenStoreSharded(NewMemoryBackend(), NewMemoryBackend(), NewMemoryBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	roundTrip(t, st2, sp, r1, r2)
+	stats := st2.ShardStats()
+	if len(stats) != 3 {
+		t.Fatalf("shard stats = %d entries, want 3", len(stats))
+	}
+	var specs int
+	for _, s := range stats {
+		specs += s.Specs
+	}
+	if specs != 1 {
+		t.Fatalf("spec placed %d times across shards, want once", specs)
+	}
+}
+
+func TestOpenRepositoryFacade(t *testing.T) {
+	sp, r1, r2 := seedStorageFixture(t)
+	dir := t.TempDir()
+	st, err := OpenRepository(dir, "object", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, st, sp, r1, r2)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen over the shard directories created above.
+	again, err := OpenRepository(dir, "object", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	names, err := again.ListRuns("pa")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("reopen: runs=%v err=%v", names, err)
+	}
+	// Single-backend path.
+	st1, err := OpenRepository(filepath.Join(dir, "single"), "fs", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st1.Close()
+	roundTrip(t, st1, sp, r1, r2)
+}
